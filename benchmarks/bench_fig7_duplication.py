@@ -1,0 +1,43 @@
+"""Figure 7: average percentage of duplicated instructions, IPAS vs
+Baseline (top-N configurations).
+
+The paper's key cost argument: IPAS protects substantially fewer
+instructions than the Shoestring-style baseline, which explains both the
+detection-rate and the slowdown differences.
+"""
+
+import pytest
+
+from repro.experiments import banner, format_table, percent, run_full_evaluation
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import one_shot
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig7_duplicated_instructions(benchmark, report, scale):
+    def compute():
+        rows = []
+        for name in WORKLOAD_NAMES:
+            result = run_full_evaluation(name, scale)
+            ipas = _mean([e["duplicated_fraction"] for e in result["ipas"]])
+            base = _mean([e["duplicated_fraction"] for e in result["baseline"]])
+            rows.append([name, ipas, base])
+        return rows
+
+    rows = one_shot(benchmark, compute)
+    text = banner("Figure 7: average duplicated instructions (top-N configs)") + "\n"
+    text += format_table(
+        ["code", "IPAS", "Baseline"],
+        [[name, percent(i), percent(b)] for name, i, b in rows],
+    )
+    report("fig7_duplication", text)
+
+    # Paper claim: IPAS duplicates fewer instructions than Baseline on
+    # every code.
+    for name, ipas, base in rows:
+        assert ipas < base, f"{name}: IPAS {ipas:.2f} !< Baseline {base:.2f}"
+        assert 0.0 <= ipas <= 1.0 and 0.0 <= base <= 1.0

@@ -1,0 +1,37 @@
+"""Figure 8: strong-scaling slowdown of the best IPAS configuration.
+
+The protected and unprotected programs run fault-free under the simulated
+MPI runtime at 1-8 ranks; the paper's expectation — reproduced here — is
+that slowdown stays roughly constant with scale, because IPAS instruments
+computation only.
+"""
+
+import pytest
+
+from repro.experiments import DEFAULT_RANKS, banner, format_table, run_scalability
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_fig8_scalability(benchmark, report, scale, name):
+    result = one_shot(
+        benchmark, lambda: run_scalability(name, ranks=DEFAULT_RANKS, scale=scale)
+    )
+
+    rows = [
+        [p["ranks"], p["clean_cycles"], p["protected_cycles"], round(p["slowdown"], 3)]
+        for p in result["points"]
+    ]
+    text = banner(f"Figure 8: scalability — {name} (best IPAS config)") + "\n"
+    text += format_table(
+        ["MPI ranks", "clean cycles", "protected cycles", "slowdown"], rows
+    )
+    report(f"fig8_scalability_{name}", text)
+
+    slowdowns = [p["slowdown"] for p in result["points"]]
+    assert all(s >= 1.0 for s in slowdowns)
+    # "Slowdown does not vary considerably with scale": the spread across
+    # rank counts stays within a small band.
+    assert max(slowdowns) - min(slowdowns) < 0.25, slowdowns

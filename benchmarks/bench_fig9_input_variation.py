@@ -1,0 +1,64 @@
+"""Figure 9 (+ Table 5): SOC reduction as the input varies.
+
+IPAS is trained on input 1 and evaluated on the larger inputs 2-4 of each
+code's Table-5 ladder.  The paper's expectation: SOC reduction transfers —
+it stays comparable to the training-input reduction (AMG being the noted
+exception, with extra variability from its changing hierarchy).
+"""
+
+import pytest
+
+from repro.experiments import banner, format_table, run_input_variation
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_fig9_input_variation(benchmark, report, scale, name):
+    result = one_shot(benchmark, lambda: run_input_variation(name, scale=scale))
+
+    rows = [
+        [
+            p["input"],
+            p["label"],
+            f"{100*p['unprotected_soc']:.1f}%",
+            f"{100*p['protected_soc']:.1f}%",
+            round(p["soc_reduction"], 1),
+        ]
+        for p in result["points"]
+    ]
+    text = banner(
+        f"Figure 9: input variation — {name} (trained on input 1)"
+    ) + "\n"
+    text += format_table(
+        ["input", "parameters", "unprot. SOC", "prot. SOC", "SOC reduction %"],
+        rows,
+    )
+    text += f"\nmean reduction: {result['mean_reduction']:.1f}%"
+    report(f"fig9_input_variation_{name}", text)
+
+    reductions = [p["soc_reduction"] for p in result["points"]]
+    # Protection trained on input 1 must still reduce SOC on larger inputs
+    # (the paper tolerates variability; AMG is its own noted exception).
+    transferred = [r for r in reductions[1:] if r > 20.0]
+    assert len(transferred) >= max(1, len(reductions[1:]) - 1), reductions
+
+
+def test_table5_input_ladder(benchmark, report):
+    def compute():
+        rows = []
+        for name in WORKLOAD_NAMES:
+            workload = get_workload(name)
+            rows.append(
+                [name] + [workload.input_labels[i] for i in (1, 2, 3, 4)]
+            )
+        return rows
+
+    rows = one_shot(benchmark, compute)
+    text = banner("Table 5: application inputs (input 1 trains IPAS)") + "\n"
+    text += format_table(
+        ["code", "input 1 (training)", "input 2", "input 3", "input 4"], rows
+    )
+    report("table5_inputs", text)
+    assert len(rows) == 5

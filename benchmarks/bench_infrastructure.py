@@ -1,0 +1,97 @@
+"""Microbenchmarks of the substrate itself (proper pytest-benchmark use).
+
+These time the pieces the experiment costs are made of: frontend
+compilation, interpreter throughput, fault-injection runs, feature
+extraction, the duplication pass, and one SMO fit.  Useful for spotting
+performance regressions in the infrastructure that would silently inflate
+every campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.faults import Campaign, injectable_instructions
+from repro.features import FeatureExtractor
+from repro.interp import Interpreter
+from repro.ml import SVC
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+from repro.workloads import get_workload
+
+KERNEL = """
+int n = 200;
+output double result[1];
+double work(int n) {
+    double s = 0.0;
+    for (int i = 1; i <= n; i = i + 1) {
+        s = s + 1.0 / ((double)i * (double)i);
+    }
+    return s;
+}
+void main() { result[0] = work(n); }
+"""
+
+
+def test_frontend_compile(benchmark):
+    module = benchmark(lambda: compile_source(KERNEL))
+    assert module.static_instruction_count > 10
+
+
+def test_interpreter_throughput(benchmark):
+    interp = Interpreter(compile_source(KERNEL))
+
+    def run():
+        result = interp.run()
+        assert result.status == "ok"
+        return result
+
+    result = benchmark(run)
+    assert abs(result.value is None or True)
+
+
+def test_fault_injection_run(benchmark):
+    workload = get_workload("is")
+    interp = workload.make_interpreter(1)
+    campaign = Campaign(interp, verifier=workload.verifier())
+    campaign.prepare()
+    import random
+
+    rng = random.Random(0)
+    site = campaign.sample_site(rng)
+    record = benchmark(lambda: campaign.run_site(site))
+    assert record.outcome is not None
+
+
+def test_feature_extraction(benchmark):
+    module = get_workload("hpccg").compile()
+    instructions = injectable_instructions(module)
+
+    def extract():
+        extractor = FeatureExtractor(module)
+        return extractor.extract_many(instructions[:50])
+
+    X = benchmark(extract)
+    assert X.shape[1] == 31
+
+
+def test_duplication_pass(benchmark):
+    def protect():
+        module = get_workload("hpccg").compile()
+        return duplicate_instructions(
+            module, FullDuplicationSelector().select(module)
+        )
+
+    report = benchmark(protect)
+    assert report.duplicated > 0
+
+
+def test_svm_smo_fit(benchmark):
+    rng = np.random.RandomState(0)
+    X = rng.randn(300, 31)
+    y = (X[:, 0] + 0.5 * X[:, 3] > 1.0).astype(int)
+
+    def fit():
+        return SVC(C=100.0, gamma=0.05).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.n_support_ > 0

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Quickstart: protect a small kernel with IPAS, end to end.
+
+Walks the four steps of the paper's Fig. 1 on a 40-line scil kernel:
+
+1. define the program and its output-verification routine,
+2. collect fault-injection training data,
+3. train the SVM classifier (grid-searched by the Eq.-1 F-score),
+4. duplicate the predicted SOC-generating instructions,
+
+then injects faults into the protected program to show the checks firing.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import compile_source
+from repro.core import ExperimentScale, IpasPipeline
+from repro.faults import Campaign, Outcome
+from repro.interp import Interpreter
+from repro.workloads.base import Workload
+
+
+# -- Step 0: a small scientific kernel in scil --------------------------------
+# It computes a dot-product-based norm; `output` globals are what the
+# verification routine inspects.
+
+KERNEL_SOURCE = """
+int n = 24;
+output double result[2];
+
+double norm2(double a[], int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * a[i];
+    }
+    return s;
+}
+
+void main() {
+    double x[32];
+    for (int i = 0; i < n; i = i + 1) {
+        x[i] = 1.0 / (double)(i + 1);
+    }
+    double s = norm2(x, n);
+    result[0] = s;
+    result[1] = sqrt(s);
+}
+"""
+
+
+class QuickstartWorkload(Workload):
+    """A Workload bundles the program, its inputs, and its verifier."""
+
+    name = "quickstart"
+    description = "dot-product norm kernel"
+    source = KERNEL_SOURCE
+    inputs = {1: {"n": 24}, 2: {"n": 28}, 3: {"n": 30}, 4: {"n": 32}}
+    input_labels = {1: "n=24", 2: "n=28", 3: "n=30", 4: "n=32"}
+    # Default verifier: outputs must match the golden run exactly.
+    # Real workloads use tolerance/energy/sortedness checks (see
+    # repro.workloads) — that is the paper's Table 2.
+
+
+def main() -> None:
+    workload = QuickstartWorkload()
+    scale = ExperimentScale(
+        train_samples=200, grid_configs=16, eval_trials=100, top_n=3
+    )
+
+    print("== Step 1-2: fault-injection campaign (training data) ==")
+    pipeline = IpasPipeline(workload, scale)
+    data = pipeline.collect_training_data()
+    print(f"  {len(data)} injected faults on the training input")
+    print(f"  outcome mix: {data.campaign.counts}")
+    print(f"  SOC-generating fraction: {data.positive_fraction:.1%}")
+
+    print("\n== Step 3: train the classifier (SVM grid search) ==")
+    configs = pipeline.train()
+    for tc in configs:
+        print(f"  {tc.config}")
+
+    print("\n== Step 4: protect with the best configuration ==")
+    variant = pipeline.protect(configs[0])
+    report = variant.report
+    print(
+        f"  duplicated {report.duplicated}/{report.eligible} eligible "
+        f"instructions ({report.duplicated_fraction:.1%}), "
+        f"{report.checks_inserted} checks inserted"
+    )
+
+    print("\n== The protected program still computes the same answer ==")
+    clean = workload.make_interpreter(1)
+    clean_result = clean.run()
+    protected = workload.make_interpreter(1, module=variant.module)
+    protected_result = protected.run()
+    print(f"  clean:     result = {clean.read_global('result')}")
+    print(f"  protected: result = {protected.read_global('result')}")
+    slowdown = protected_result.cycles / clean_result.cycles
+    print(f"  slowdown: {slowdown:.2f}x")
+
+    print("\n== Injecting faults into the protected program ==")
+    campaign = Campaign(protected, verifier=workload.verifier())
+    result = campaign.run(100, seed=7)
+    for outcome in Outcome:
+        print(f"  {outcome.value:>9}: {result.counts.counts[outcome]:3d} / 100")
+
+    unprotected_campaign = Campaign(
+        workload.make_interpreter(1), verifier=workload.verifier()
+    )
+    unprotected = unprotected_campaign.run(100, seed=7)
+    print(
+        f"\n  SOC: {unprotected.counts.soc_fraction:.0%} unprotected -> "
+        f"{result.counts.soc_fraction:.0%} protected"
+    )
+
+
+if __name__ == "__main__":
+    main()

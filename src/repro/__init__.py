@@ -1,0 +1,40 @@
+"""repro — a reproduction of IPAS (Laguna et al., CGO 2016).
+
+IPAS protects scientific applications against *silent output corruption*
+(SOC) by learning, from fault-injection experiments, which instructions must
+be duplicated — and duplicating only those.
+
+Top-level convenience API::
+
+    from repro import compile_source
+    from repro.workloads import get_workload
+    from repro.core import IpasPipeline
+
+The heavy lifting lives in the subpackages:
+
+=================  ==========================================================
+``repro.ir``       typed SSA IR (the LLVM substitute)
+``repro.frontend`` the scil language: lexer, parser, sema, IR codegen
+``repro.analysis`` dominators, loops, call graph, Weiser slicing, liveness
+``repro.passes``   mem2reg, constant folding, DCE, CFG simplification
+``repro.interp``   IR interpreter, memory model, cycle cost model, traps
+``repro.faults``   FlipIt-style statistical fault injection
+``repro.features`` the 31 Table-1 instruction features
+``repro.ml``       from-scratch SVM (SMO), decision tree, k-NN, CV, grids
+``repro.protect``  instruction selectors + the duplication pass
+``repro.parallel`` simulated MPI (SPMD ranks, collectives, abort semantics)
+``repro.workloads`` CoMD / HPCCG / AMG / FFT / IS in scil, with verification
+``repro.core``     the IPAS pipeline (paper Fig. 1 steps 1-4) and evaluation
+=================  ==========================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__", "compile_source"]
+
+
+def compile_source(source: str, name: str = "module", optimize: bool = True):
+    """Compile scil source text to an optimized, verified IR module."""
+    from .frontend import compile_to_ir
+
+    return compile_to_ir(source, name=name, optimize=optimize)

@@ -1,0 +1,33 @@
+"""repro.analysis — CFG, dominance, loops, slicing, and dataflow analyses."""
+
+from .cfg import (
+    edges,
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    successor_map,
+)
+from .dominators import DominatorTree
+from .postdom import PostDominatorTree, control_dependence
+from .loops import Loop, LoopInfo
+from .callgraph import CallGraph
+from .dataflow import block_liveness, distance_to_return, instructions_to_return
+from .slicing import (
+    SliceContext,
+    SliceStatistics,
+    backward_slice,
+    forward_slice,
+    underlying_object,
+)
+
+__all__ = [
+    "edges", "postorder", "predecessor_map", "reachable_blocks",
+    "remove_unreachable_blocks", "reverse_postorder", "successor_map",
+    "DominatorTree", "PostDominatorTree", "control_dependence",
+    "Loop", "LoopInfo", "CallGraph",
+    "block_liveness", "distance_to_return", "instructions_to_return",
+    "SliceContext", "SliceStatistics", "backward_slice", "forward_slice",
+    "underlying_object",
+]

@@ -1,0 +1,72 @@
+"""Call graph construction (direct calls only — the IR has no indirect calls)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.function import Function
+from ..ir.instructions import CallInst
+from ..ir.module import Module
+
+
+class CallGraph:
+    """Caller→callee edges of a module, plus simple reachability queries."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        for fn in module.functions.values():
+            self.callees.setdefault(fn.name, set())
+            self.callers.setdefault(fn.name, set())
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                if isinstance(inst, CallInst):
+                    self.callees[fn.name].add(inst.callee.name)
+                    self.callers[inst.callee.name].add(fn.name)
+
+    def callees_of(self, fn: Function) -> Set[str]:
+        return set(self.callees.get(fn.name, set()))
+
+    def callers_of(self, fn: Function) -> Set[str]:
+        return set(self.callers.get(fn.name, set()))
+
+    def reachable_from(self, root: str) -> Set[str]:
+        """Function names transitively callable from ``root``."""
+        seen: Set[str] = set()
+        stack: List[str] = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+    def is_recursive(self, fn: Function) -> bool:
+        """Whether ``fn`` can (transitively) call itself."""
+        for callee in self.callees.get(fn.name, ()):
+            if fn.name in {callee} | self.reachable_from(callee):
+                return True
+        return False
+
+    def topological_order(self) -> List[str]:
+        """Bottom-up order (callees before callers); cycles broken arbitrarily."""
+        order: List[str] = []
+        visited: Set[str] = set()
+        in_stack: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            in_stack.add(name)
+            for callee in sorted(self.callees.get(name, ())):
+                if callee not in in_stack:
+                    visit(callee)
+            in_stack.discard(name)
+            order.append(name)
+
+        for name in sorted(self.callees):
+            visit(name)
+        return order

@@ -1,0 +1,115 @@
+"""Control-flow-graph utilities over :class:`~repro.ir.function.Function`.
+
+The IR stores successor edges on terminators; this module derives the rest:
+predecessor maps, reachability, and the traversal orders that dominator
+construction and the dataflow analyses need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+def successor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    return {block: block.successors() for block in fn.blocks}
+
+
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in DFS discovery order."""
+    if not fn.blocks:
+        return []
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+    stack = [fn.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        order.append(block)
+        for succ in reversed(block.successors()):
+            if succ not in seen:
+                stack.append(succ)
+    return order
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    """Postorder DFS over reachable blocks (iterative, cycle-safe)."""
+    if not fn.blocks:
+        return []
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+    # (block, successor iterator index) stack
+    stack = [(fn.entry, 0)]
+    seen.add(fn.entry)
+    while stack:
+        block, idx = stack[-1]
+        succs = block.successors()
+        if idx < len(succs):
+            stack[-1] = (block, idx + 1)
+            succ = succs[idx]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, 0))
+        else:
+            stack.pop()
+            order.append(block)
+    return order
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Reverse postorder — the canonical forward-dataflow iteration order."""
+    return list(reversed(postorder(fn)))
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Delete blocks not reachable from the entry.  Returns count removed.
+
+    Phi nodes in surviving blocks are updated to drop incoming entries from
+    deleted predecessors.
+    """
+    reach = set(reachable_blocks(fn))
+    dead = [b for b in fn.blocks if b not in reach]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    for block in fn.blocks:
+        if block in dead_set:
+            continue
+        for phi in block.phis():
+            for pred in list(phi.incoming_blocks):
+                if pred in dead_set:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        # Sever all edges and operands so use-lists stay consistent.
+        for inst in list(block.instructions):
+            if inst.is_used():
+                # Uses can only come from other dead blocks or phis already
+                # cleaned; replace with undef to break the links.
+                from ..ir.values import UndefValue
+
+                inst.replace_all_uses_with(UndefValue(inst.type))
+            inst.drop_operands()
+            block.remove(inst)
+        fn.remove_block(block)
+    return len(dead)
+
+
+def edges(fn: Function) -> List[tuple]:
+    """All CFG edges as (from_block, to_block) pairs."""
+    result = []
+    for block in fn.blocks:
+        for succ in block.successors():
+            result.append((block, succ))
+    return result

@@ -1,0 +1,115 @@
+"""Classic dataflow analyses: liveness and reaching block distances.
+
+Liveness backs dead-code elimination sanity checks and tests; the
+"distance to return" analysis computes feature 20 of Table 1 (remaining
+instructions to reach a return), defined here as the minimum number of
+instructions executed from a given instruction to any ``ret``, assuming each
+block on the path executes once (a static shortest-path measure).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiNode, RetInst
+from ..ir.values import Value
+from .cfg import postorder, predecessor_map
+
+
+def block_liveness(fn: Function) -> Tuple[Dict[BasicBlock, Set[Value]], Dict[BasicBlock, Set[Value]]]:
+    """Backward liveness: per-block (live_in, live_out) sets of SSA values."""
+    use: Dict[BasicBlock, Set[Value]] = {}
+    defs: Dict[BasicBlock, Set[Value]] = {}
+    for block in fn.blocks:
+        u: Set[Value] = set()
+        d: Set[Value] = set()
+        for inst in block.instructions:
+            if isinstance(inst, PhiNode):
+                # Phi operands are live at the end of the predecessor, not
+                # here; treat the phi result as a def at block entry.
+                d.add(inst)
+                continue
+            for op in inst.operands:
+                if isinstance(op, Instruction) and op not in d:
+                    u.add(op)
+            if inst.produces_value():
+                d.add(inst)
+        # Values feeding *successor* phis are live-out of this block.
+        use[block] = u
+        defs[block] = d
+
+    phi_uses: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+    for block in fn.blocks:
+        for phi in block.phis():
+            for value, pred in phi.incoming():
+                if isinstance(value, Instruction):
+                    phi_uses[pred].add(value)
+
+    live_in: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+    live_out: Dict[BasicBlock, Set[Value]] = {b: set() for b in fn.blocks}
+    order = postorder(fn)
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            out: Set[Value] = set(phi_uses[block])
+            for succ in block.successors():
+                out |= live_in[succ]
+            new_in = use[block] | (out - defs[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def distance_to_return(fn: Function) -> Dict[BasicBlock, int]:
+    """For every block, the minimum number of instructions executed from the
+    *end* of the block to (and including) the nearest ``ret``.
+
+    Computed as a shortest path on the reversed CFG with block instruction
+    counts as edge weights (Dijkstra; all weights non-negative).  Blocks that
+    cannot reach a return get a large sentinel distance.
+    """
+    INF = 10**9
+    dist: Dict[BasicBlock, int] = {b: INF for b in fn.blocks}
+    heap: List[Tuple[int, int, BasicBlock]] = []
+    counter = 0
+    for block in fn.blocks:
+        if isinstance(block.terminator, RetInst):
+            dist[block] = 0
+            heapq.heappush(heap, (0, counter, block))
+            counter += 1
+    preds = predecessor_map(fn)
+    while heap:
+        d, _, block = heapq.heappop(heap)
+        if d > dist[block]:
+            continue
+        for pred in preds[block]:
+            # From the end of `pred` we execute all of `block`'s instructions
+            # (then continue toward the return).
+            nd = d + len(block.instructions)
+            if nd < dist[pred]:
+                dist[pred] = nd
+                heapq.heappush(heap, (nd, counter, pred))
+                counter += 1
+    return dist
+
+
+def instructions_to_return(inst: Instruction) -> int:
+    """Feature 20: minimum instructions from ``inst`` to reach a return."""
+    block = inst.parent
+    if block is None or block.parent is None:
+        raise ValueError("instruction is not attached to a function")
+    fn = block.parent
+    dist = distance_to_return(fn)
+    remaining_in_block = len(block.instructions) - block.index_of(inst) - 1
+    if isinstance(block.terminator, RetInst):
+        return remaining_in_block
+    d = dist.get(block, 10**9)
+    if d >= 10**9:
+        return remaining_in_block  # no path to a return (infinite loop)
+    return remaining_in_block + d

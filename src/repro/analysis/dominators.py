@@ -1,0 +1,126 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" iterative algorithm
+("A Simple, Fast Dominance Algorithm") — the same algorithm LLVM's original
+dominator construction was based on.  Used by the verifier (SSA dominance),
+mem2reg (phi placement via dominance frontiers), and loop detection (back
+edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import postorder, predecessor_map
+
+
+class DominatorTree:
+    """Immediate-dominator tree for the reachable CFG of one function."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self._post = postorder(fn)
+        self._post_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self._post)
+        }
+        self.reachable_blocks: List[BasicBlock] = list(reversed(self._post))
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._compute()
+
+    # -- construction (Cooper-Harvey-Kennedy) -----------------------------------
+
+    def _compute(self) -> None:
+        if not self.reachable_blocks:
+            return
+        entry = self.reachable_blocks[0]
+        preds = predecessor_map(self.function)
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+        rpo = self.reachable_blocks
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo[1:]:
+                candidates = [
+                    p for p in preds[block] if p in idom and p in self._post_index
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = self._intersect(new_idom, p, idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None
+        self.idom = idom
+        self._children = {b: [] for b in self.reachable_blocks}
+        for block, parent in idom.items():
+            if parent is not None:
+                self._children[parent].append(block)
+
+    def _intersect(
+        self,
+        b1: BasicBlock,
+        b2: BasicBlock,
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+    ) -> BasicBlock:
+        index = self._post_index
+        f1, f2 = b1, b2
+        while f1 is not f2:
+            while index[f1] < index[f2]:
+                f1 = idom[f1]  # type: ignore[assignment]
+            while index[f2] < index[f1]:
+                f2 = idom[f2]  # type: ignore[assignment]
+        return f1
+
+    # -- queries ------------------------------------------------------------------
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(block)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self._children.get(block, []))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominance_frontiers(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """Dominance frontier of every reachable block (for phi placement)."""
+        frontiers: Dict[BasicBlock, Set[BasicBlock]] = {
+            b: set() for b in self.reachable_blocks
+        }
+        preds = predecessor_map(self.function)
+        for block in self.reachable_blocks:
+            block_preds = [p for p in preds[block] if p in self._post_index]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom.get(runner)
+        return frontiers
+
+    def dfs_preorder(self) -> List[BasicBlock]:
+        """Dominator-tree preorder (used by mem2reg's renaming walk)."""
+        if not self.reachable_blocks:
+            return []
+        order: List[BasicBlock] = []
+        stack = [self.reachable_blocks[0]]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self._children.get(block, [])))
+        return order

@@ -1,0 +1,87 @@
+"""Natural-loop detection (feature 17: "basic block is within a loop").
+
+A back edge is a CFG edge ``t -> h`` where ``h`` dominates ``t``; the natural
+loop of that edge is ``h`` plus every block that can reach ``t`` without
+passing through ``h``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import predecessor_map
+from .dominators import DominatorTree
+
+
+class Loop:
+    """One natural loop: header plus body blocks."""
+
+    __slots__ = ("header", "blocks", "back_edge_sources")
+
+    def __init__(self, header: BasicBlock, blocks: Set[BasicBlock], latches: Set[BasicBlock]):
+        self.header = header
+        self.blocks: FrozenSet[BasicBlock] = frozenset(blocks)
+        self.back_edge_sources: FrozenSet[BasicBlock] = frozenset(latches)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    @property
+    def depth_proxy(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)}>"
+
+
+class LoopInfo:
+    """All natural loops of one function, with a block->loops index."""
+
+    def __init__(self, fn: Function, dom: DominatorTree = None):
+        self.function = fn
+        dom = dom or DominatorTree(fn)
+        preds = predecessor_map(fn)
+        reachable = set(dom.reachable_blocks)
+
+        # Collect back edges and merge loops that share a header.
+        loops_by_header: Dict[BasicBlock, Dict[str, Set[BasicBlock]]] = {}
+        for block in dom.reachable_blocks:
+            for succ in block.successors():
+                if succ in reachable and dom.dominates(succ, block):
+                    entry = loops_by_header.setdefault(
+                        succ, {"blocks": {succ}, "latches": set()}
+                    )
+                    entry["latches"].add(block)
+                    # Walk backwards from the latch collecting the body.
+                    stack = [block]
+                    while stack:
+                        b = stack.pop()
+                        if b in entry["blocks"]:
+                            continue
+                        entry["blocks"].add(b)
+                        stack.extend(p for p in preds[b] if p in reachable)
+
+        self.loops: List[Loop] = [
+            Loop(header, parts["blocks"], parts["latches"])
+            for header, parts in loops_by_header.items()
+        ]
+        self._membership: Dict[BasicBlock, List[Loop]] = {}
+        for loop in self.loops:
+            for block in loop.blocks:
+                self._membership.setdefault(block, []).append(loop)
+
+    def loops_containing(self, block: BasicBlock) -> List[Loop]:
+        return list(self._membership.get(block, []))
+
+    def in_loop(self, block: BasicBlock) -> bool:
+        """Whether the block belongs to any natural loop (Table 1, feature 17)."""
+        return block in self._membership
+
+    def loop_nest_depth(self, block: BasicBlock) -> int:
+        """Number of distinct loops containing the block (a nesting proxy)."""
+        return len(self._membership.get(block, []))
+
+    def __len__(self) -> int:
+        return len(self.loops)

@@ -1,0 +1,145 @@
+"""Post-dominator tree and control dependence.
+
+Weiser's slicing algorithm includes *control dependence*: an instruction is
+in the slice when a tainted value decides whether it executes.  Control
+dependence is computed the classic way (Ferrante–Ottenstein–Warren): block B
+is control-dependent on branch block A when B lies on the post-dominator
+tree path from a successor of A up to (but excluding) A's immediate
+post-dominator.
+
+The post-dominator tree is the Cooper–Harvey–Kennedy iteration run on the
+reversed CFG, rooted at a *virtual exit* (represented as ``None``) that all
+``ret``/``unreachable`` blocks feed.  Blocks that cannot reach any exit
+(infinite loops) conservatively get the virtual exit as their immediate
+post-dominator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import predecessor_map, reachable_blocks
+
+_VIRTUAL_INDEX = 1 << 30  # the virtual exit orders above every real block
+
+
+class PostDominatorTree:
+    """Immediate post-dominators; ``None`` is the virtual exit (the root)."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self._blocks = reachable_blocks(fn)
+        self._exits = {b for b in self._blocks if not b.successors()}
+        self.ipdom: Dict[int, Optional[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        preds = predecessor_map(self.function)
+        # Postorder of the reverse CFG from the exits (reverse-CFG roots
+        # appear last, mirroring CHK's ordering requirement).
+        seen: Set[BasicBlock] = set(self._exits)
+        order: List[BasicBlock] = []
+        stack = [(b, 0) for b in self._exits]
+        while stack:
+            block, index = stack[-1]
+            nexts = preds[block]
+            if index < len(nexts):
+                stack[-1] = (block, index + 1)
+                nxt = nexts[index]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        self._post_index: Dict[int, int] = {id(b): i for i, b in enumerate(order)}
+
+        # Exits (and exit-unreachable blocks) hang directly off the root.
+        for block in self._blocks:
+            if block in self._exits or block not in seen:
+                self.ipdom[id(block)] = None
+        rpo = list(reversed(order))
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block in self._exits:
+                    continue
+                candidates = [
+                    s
+                    for s in block.successors()
+                    if id(s) in self.ipdom or s in self._exits
+                ]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for succ in candidates[1:]:
+                    new = self._intersect(new, succ)
+                if id(block) not in self.ipdom or self.ipdom[id(block)] is not new:
+                    self.ipdom[id(block)] = new
+                    changed = True
+
+    def _index(self, block: Optional[BasicBlock]) -> int:
+        if block is None:
+            return _VIRTUAL_INDEX
+        return self._post_index.get(id(block), _VIRTUAL_INDEX - 1)
+
+    def _parent(self, block: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        if block is None:
+            return None
+        return self.ipdom.get(id(block))
+
+    def _intersect(
+        self, b1: Optional[BasicBlock], b2: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        while b1 is not b2:
+            while self._index(b1) < self._index(b2):
+                b1 = self._parent(b1)
+            while self._index(b2) < self._index(b1):
+                b2 = self._parent(b2)
+        return b1
+
+    # -- queries -------------------------------------------------------------------
+
+    def immediate_post_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """The parent in the post-dominator tree; None = virtual exit."""
+        return self.ipdom.get(id(block))
+
+    def post_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when every path from ``b`` to the exit passes through ``a``
+        (reflexive)."""
+        node: Optional[BasicBlock] = b
+        for _ in range(len(self._blocks) + 1):
+            if node is a:
+                return True
+            if node is None:
+                return False
+            node = self._parent(node)
+        return False
+
+
+def control_dependence(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """controller block -> blocks control-dependent on its branch.
+
+    For each CFG edge (A -> C): every block on the post-dominator-tree path
+    from C up to, but excluding, ipdom(A) is control-dependent on A.
+    """
+    pdt = PostDominatorTree(fn)
+    result: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in fn.blocks}
+    for a in fn.blocks:
+        successors = a.successors()
+        if len(successors) < 2:
+            continue
+        stop = pdt.immediate_post_dominator(a)
+        for c in successors:
+            runner: Optional[BasicBlock] = c
+            guard = 0
+            while runner is not None and runner is not stop:
+                result[a].add(runner)
+                runner = pdt.immediate_post_dominator(runner)
+                guard += 1
+                if guard > len(fn.blocks) + 2:
+                    break
+    return result

@@ -1,0 +1,273 @@
+"""Program slicing (paper §4.2, features 25–31).
+
+IPAS characterises error propagation with the *forward slice* of an
+instruction: the set of instructions its value can influence, computed with
+Weiser's dataflow-closure algorithm.  Our implementation propagates taint
+through four channels:
+
+* **register dataflow** — def-use edges of the SSA graph;
+* **memory dataflow** — a tainted value stored to memory taints the
+  underlying object (alloca or global, found by chasing ``gep`` bases);
+  every load from a tainted object joins the slice.  This is a
+  flow-insensitive, object-granular approximation of Weiser's memory
+  treatment — sound for slice *features* (it can only over-approximate);
+* **interprocedural flow** — a tainted actual argument taints the callee's
+  formal; a tainted returned value taints every call site's result;
+* **control dependence** (optional, off by default for feature extraction) —
+  if a tainted value decides a branch, the instructions in blocks
+  control-dependent on that branch (Ferrante–Ottenstein–Warren, via the
+  post-dominator tree — see :mod:`repro.analysis.postdom`) join the slice.
+
+Backward slices (the dual closure over use-def edges) are provided for
+completeness and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    BranchInst,
+    CallInst,
+    GEPInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable, Value
+
+#: A memory "object": an alloca, a global, or a pointer argument.
+MemObject = Union[AllocaInst, GlobalVariable, Argument]
+
+
+def underlying_object(pointer: Value) -> Optional[MemObject]:
+    """Chase ``gep`` chains to the allocation site of a pointer, if static."""
+    seen = 0
+    while isinstance(pointer, GEPInst):
+        pointer = pointer.base
+        seen += 1
+        if seen > 1000:  # defensive: malformed cyclic IR
+            return None
+    if isinstance(pointer, (AllocaInst, GlobalVariable)):
+        return pointer
+    if isinstance(pointer, Argument) and pointer.type.is_pointer():
+        return pointer
+    return None
+
+
+class SliceContext:
+    """Precomputed module-level indexes shared across many slice queries.
+
+    Feature extraction computes a slice per instruction, so the per-module
+    indexes (loads by object, call sites by callee) are built once; the
+    per-function control-dependence maps are built lazily on first use.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.loads_by_object: Dict[int, List[LoadInst]] = {}
+        self.calls_by_callee: Dict[int, List[CallInst]] = {}
+        self._object_of: Dict[int, Optional[MemObject]] = {}
+        self._control_deps: Dict[int, Dict] = {}
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                if isinstance(inst, LoadInst):
+                    obj = underlying_object(inst.pointer)
+                    self._object_of[id(inst)] = obj
+                    if obj is not None:
+                        self.loads_by_object.setdefault(id(obj), []).append(inst)
+                elif isinstance(inst, CallInst):
+                    self.calls_by_callee.setdefault(id(inst.callee), []).append(inst)
+
+    def loads_of(self, obj: MemObject) -> List[LoadInst]:
+        return self.loads_by_object.get(id(obj), [])
+
+    def call_sites(self, fn: Function) -> List[CallInst]:
+        return self.calls_by_callee.get(id(fn), [])
+
+    def control_dependence_of(self, fn: Function) -> Dict:
+        cached = self._control_deps.get(id(fn))
+        if cached is None:
+            from .postdom import control_dependence
+
+            cached = control_dependence(fn)
+            self._control_deps[id(fn)] = cached
+        return cached
+
+
+def forward_slice(
+    inst: Instruction,
+    context: Optional[SliceContext] = None,
+    include_control: bool = False,
+    max_size: Optional[int] = None,
+) -> Set[Instruction]:
+    """Weiser-style forward slice of ``inst`` (excluding ``inst`` itself).
+
+    ``max_size`` bounds the closure for very hot feature-extraction loops;
+    ``None`` computes the full slice.
+    """
+    fn = inst.function
+    if fn is None:
+        raise ValueError("instruction is not attached to a function")
+    module = fn.parent
+    if context is None and module is not None:
+        context = SliceContext(module)
+
+    sliced: Set[Instruction] = set()
+    tainted_values: Set[int] = set()
+    tainted_objects: Set[int] = set()
+    worklist: List[Value] = []
+
+    def taint_value(value: Value) -> None:
+        if id(value) not in tainted_values:
+            tainted_values.add(id(value))
+            worklist.append(value)
+
+    def add_instruction(user: Instruction) -> None:
+        if user is not inst and user not in sliced:
+            sliced.add(user)
+
+    taint_value(inst)
+    while worklist:
+        if max_size is not None and len(sliced) >= max_size:
+            break
+        value = worklist.pop()
+        for user in value.users:
+            add_instruction(user)
+            if isinstance(user, StoreInst):
+                # Taint through memory only when the *stored value* or the
+                # *address* is tainted (a corrupt address corrupts some cell).
+                obj = underlying_object(user.pointer)
+                if obj is not None and id(obj) not in tainted_objects:
+                    tainted_objects.add(id(obj))
+                    if context is not None:
+                        for load in context.loads_of(obj):
+                            add_instruction(load)
+                            taint_value(load)
+                continue
+            if isinstance(user, CallInst) and context is not None:
+                callee = user.callee
+                if not callee.is_declaration:
+                    for idx, arg in enumerate(user.operands):
+                        if id(arg) in tainted_values:
+                            taint_value(callee.args[idx])
+                if user.produces_value():
+                    taint_value(user)
+                continue
+            if isinstance(user, RetInst) and context is not None:
+                for call in context.call_sites(user.function):
+                    if call.produces_value():
+                        add_instruction(call)
+                        taint_value(call)
+                continue
+            if isinstance(user, BranchInst):
+                if include_control:
+                    for controlled in _controlled_instructions(user, context):
+                        add_instruction(controlled)
+                        if controlled.produces_value():
+                            taint_value(controlled)
+                continue
+            if user.produces_value():
+                taint_value(user)
+    return sliced
+
+
+def _controlled_instructions(
+    branch: BranchInst, context: Optional[SliceContext]
+) -> List[Instruction]:
+    """Instructions control-dependent on ``branch``.
+
+    With a context, uses exact Ferrante–Ottenstein–Warren control dependence
+    (post-dominator based); without one, falls back to the branch's
+    immediate successor blocks.
+    """
+    fn = branch.function
+    if context is not None and fn is not None and branch.parent is not None:
+        deps = context.control_dependence_of(fn)
+        result: List[Instruction] = []
+        for block in deps.get(branch.parent, ()):
+            result.extend(block.instructions)
+        return result
+    result = []
+    for succ in branch.successors():
+        result.extend(succ.instructions)
+    return result
+
+
+def backward_slice(
+    inst: Instruction,
+    context: Optional[SliceContext] = None,
+    max_size: Optional[int] = None,
+) -> Set[Instruction]:
+    """Use-def closure: the instructions whose values can affect ``inst``."""
+    fn = inst.function
+    if fn is None:
+        raise ValueError("instruction is not attached to a function")
+    sliced: Set[Instruction] = set()
+    worklist: List[Instruction] = [inst]
+    seen: Set[int] = {id(inst)}
+    while worklist:
+        if max_size is not None and len(sliced) >= max_size:
+            break
+        current = worklist.pop()
+        for op in current.operands:
+            if isinstance(op, Instruction) and id(op) not in seen:
+                seen.add(id(op))
+                sliced.add(op)
+                worklist.append(op)
+            elif isinstance(op, (GlobalVariable,)):
+                continue
+        if isinstance(current, LoadInst):
+            obj = underlying_object(current.pointer)
+            if obj is not None and current.function is not None:
+                for other in current.function.instructions():
+                    if (
+                        isinstance(other, StoreInst)
+                        and underlying_object(other.pointer) is obj
+                        and id(other) not in seen
+                    ):
+                        seen.add(id(other))
+                        sliced.add(other)
+                        worklist.append(other)
+    return sliced
+
+
+class SliceStatistics:
+    """The Table-1 slice features (25–31) of one forward slice."""
+
+    __slots__ = (
+        "size",
+        "loads",
+        "stores",
+        "calls",
+        "binary_ops",
+        "allocas",
+        "geps",
+    )
+
+    def __init__(self, sliced: Set[Instruction]):
+        self.size = len(sliced)
+        self.loads = 0
+        self.stores = 0
+        self.calls = 0
+        self.binary_ops = 0
+        self.allocas = 0
+        self.geps = 0
+        for s in sliced:
+            if isinstance(s, LoadInst):
+                self.loads += 1
+            elif isinstance(s, StoreInst):
+                self.stores += 1
+            elif isinstance(s, CallInst):
+                self.calls += 1
+            elif s.is_binary_op():
+                self.binary_ops += 1
+            elif isinstance(s, AllocaInst):
+                self.allocas += 1
+            elif isinstance(s, GEPInst):
+                self.geps += 1

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how a user would adopt the library:
+
+* ``list``                     — the built-in workloads and their inputs;
+* ``compile FILE``             — compile a scil file and print the IR;
+* ``run WORKLOAD``             — one golden run, outputs + cycle count;
+* ``inject WORKLOAD``          — a fault-injection campaign, outcome mix;
+* ``protect WORKLOAD``         — the full IPAS pipeline, protection report;
+* ``evaluate WORKLOAD``        — unprotected vs full-dup vs IPAS vs baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "paper"],
+        default=None,
+        help="campaign-size preset (default: IPAS_SCALE env or 'default')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+
+
+def _resolve_scale(args):
+    from .core import ExperimentScale
+
+    if args.scale is not None:
+        return ExperimentScale.preset(args.scale)
+    return ExperimentScale.from_env()
+
+
+def cmd_list(args) -> int:
+    from .workloads import all_workloads
+
+    for workload in all_workloads():
+        print(f"{workload.name:>6}: {workload.description}")
+        for input_id in sorted(workload.inputs):
+            marker = " (training input)" if input_id == 1 else ""
+            print(f"         input {input_id}: {workload.input_labels[input_id]}{marker}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from . import compile_source
+    from .ir import print_module
+
+    with open(args.file) as fh:
+        source = fh.read()
+    module = compile_source(source, name=args.file, optimize=not args.no_opt)
+    print(print_module(module))
+    print(
+        f"; {module.static_instruction_count} static instructions, "
+        f"{len(module.defined_functions())} functions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    interp = workload.make_interpreter(args.input)
+    result = interp.run()
+    print(f"status: {result.status}")
+    print(f"cycles: {result.cycles}")
+    for gv in interp.module.output_globals():
+        value = interp.read_global(gv.name)
+        if isinstance(value, list) and len(value) > 8:
+            preview = ", ".join(f"{v:.6g}" for v in value[:8])
+            print(f"{gv.name}: [{preview}, ...] ({len(value)} cells)")
+        else:
+            print(f"{gv.name}: {value}")
+    return 0 if result.status == "ok" else 1
+
+
+def cmd_inject(args) -> int:
+    from .faults import Campaign, Outcome
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    interp = workload.make_interpreter(args.input)
+    campaign = Campaign(
+        interp, verifier=workload.verifier(), budget_factor=workload.budget_factor
+    )
+    result = campaign.run(args.trials, seed=args.seed)
+    print(f"{args.trials} single-bit faults injected into {workload.name}:")
+    for outcome in Outcome:
+        count = result.counts.counts[outcome]
+        print(f"  {outcome.value:>9}: {count:5d}  ({100*count/args.trials:5.1f}%)")
+    return 0
+
+
+def cmd_protect(args) -> int:
+    from .core import IpasPipeline
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    scale = _resolve_scale(args)
+    print(f"scale: {scale!r}", file=sys.stderr)
+    pipeline = IpasPipeline(workload, scale, seed=args.seed)
+    data = pipeline.collect_training_data()
+    print(f"training campaign: {data.campaign.counts}")
+    print(f"SOC-generating fraction: {data.positive_fraction:.1%}")
+    variants = pipeline.protect_all()
+    print(f"training time: {pipeline.training_seconds:.1f}s")
+    for i, variant in enumerate(variants):
+        report = variant.report
+        print(
+            f"cfg{i+1} {variant.config}: duplicated "
+            f"{report.duplicated}/{report.eligible} "
+            f"({report.duplicated_fraction:.1%}), {report.checks_inserted} checks, "
+            f"{variant.duplication_seconds:.2f}s"
+        )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .experiments import (
+        best_by_ideal_point,
+        format_table,
+        outcome_row,
+        run_full_evaluation,
+    )
+
+    scale = _resolve_scale(args)
+    result = run_full_evaluation(args.workload, scale, seed=args.seed)
+    headers = ["variant", "symptom", "detected", "masked", "SOC", "slowdown"]
+    rows = [
+        ["unprotected", *outcome_row(result["unprotected"]["counts"]), "1.00"],
+        [
+            "full dup.",
+            *outcome_row(result["full"]["counts"]),
+            f"{result['full']['slowdown']:.2f}",
+        ],
+    ]
+    for bucket, title in (("ipas", "IPAS"), ("baseline", "Baseline")):
+        for entry in result[bucket]:
+            rows.append(
+                [
+                    f"{title} {entry['label']}",
+                    *outcome_row(entry["counts"]),
+                    f"{entry['slowdown']:.2f}",
+                ]
+            )
+    print(format_table(headers, rows))
+    best = best_by_ideal_point(result["ipas"])
+    print(
+        f"\nbest IPAS config ({best['label']}): "
+        f"{best['soc_reduction']:.1f}% SOC reduction at {best['slowdown']:.2f}x"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IPAS (CGO 2016) reproduction: ML-guided selective "
+        "instruction duplication against silent output corruption",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in workloads")
+
+    p_compile = sub.add_parser("compile", help="compile a scil file, print IR")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--no-opt", action="store_true", help="skip passes")
+
+    p_run = sub.add_parser("run", help="one golden run of a workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
+
+    p_inject = sub.add_parser("inject", help="statistical fault injection")
+    p_inject.add_argument("workload")
+    p_inject.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
+    p_inject.add_argument("--trials", type=int, default=100)
+    p_inject.add_argument("--seed", type=int, default=0)
+
+    p_protect = sub.add_parser("protect", help="run the IPAS pipeline")
+    p_protect.add_argument("workload")
+    _add_scale_args(p_protect)
+
+    p_eval = sub.add_parser("evaluate", help="full technique comparison")
+    p_eval.add_argument("workload")
+    _add_scale_args(p_eval)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "compile": cmd_compile,
+    "run": cmd_run,
+    "inject": cmd_inject,
+    "protect": cmd_protect,
+    "evaluate": cmd_evaluate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""repro.core — the IPAS pipeline (paper Fig. 1) and its evaluation."""
+
+from .scale import ExperimentScale
+from .pipeline import (
+    CollectedData,
+    IpasPipeline,
+    LABEL_SOC,
+    LABEL_SYMPTOM,
+    ProtectedVariant,
+    TrainedConfig,
+    TrainingData,
+    collect_data,
+)
+from .evaluation import (
+    TechniqueEvaluation,
+    evaluate_unprotected,
+    evaluate_variant,
+    ideal_point_best,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "CollectedData", "collect_data",
+    "IpasPipeline", "LABEL_SOC", "LABEL_SYMPTOM", "ProtectedVariant",
+    "TrainedConfig", "TrainingData",
+    "TechniqueEvaluation", "evaluate_unprotected", "evaluate_variant",
+    "ideal_point_best",
+]

@@ -1,0 +1,136 @@
+"""Evaluation of protected programs (paper §6.2–§6.3).
+
+For each technique variant this module measures:
+
+* **coverage** — the outcome proportions of a statistical fault-injection
+  campaign (the Fig. 5 bars);
+* **slowdown** — fault-free protected cycles over fault-free unprotected
+  cycles (the Fig. 6 x-axis; deterministic on the cycle cost model);
+* **SOC reduction** — the drop in SOC fraction relative to the unprotected
+  campaign (the Fig. 6 y-axis);
+
+and selects best configurations by the paper's *ideal point* criterion
+(§6.3): the configuration closest, in the plotted units, to
+(slowdown = 1, SOC reduction = 100%).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..faults.campaign import Campaign
+from ..faults.outcomes import OutcomeCounts, soc_reduction_percent
+from ..interp.interpreter import Interpreter
+from ..ir.module import Module
+from ..workloads.base import Workload
+
+
+class TechniqueEvaluation:
+    """Coverage + performance of one protected (or unprotected) variant."""
+
+    def __init__(
+        self,
+        technique: str,
+        config_label: str,
+        counts: OutcomeCounts,
+        golden_cycles: int,
+        slowdown: float,
+        duplicated_fraction: float,
+        soc_reduction: float,
+    ):
+        self.technique = technique
+        self.config_label = config_label
+        self.counts = counts
+        self.golden_cycles = golden_cycles
+        self.slowdown = slowdown
+        self.duplicated_fraction = duplicated_fraction
+        self.soc_reduction = soc_reduction
+
+    @property
+    def soc_fraction(self) -> float:
+        return self.counts.soc_fraction
+
+    def distance_to_ideal(self) -> float:
+        """Euclidean distance to (slowdown=1, reduction=100) in plot units."""
+        return math.hypot(self.slowdown - 1.0, self.soc_reduction - 100.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TechniqueEvaluation {self.technique}/{self.config_label} "
+            f"soc={self.soc_fraction:.3f} slowdown={self.slowdown:.3f}>"
+        )
+
+
+def evaluate_variant(
+    module: Module,
+    workload: Workload,
+    unprotected_soc_fraction: float,
+    unprotected_cycles: int,
+    technique: str,
+    config_label: str,
+    trials: int,
+    seed: int,
+    duplicated_fraction: float = 0.0,
+    input_id: int = 1,
+) -> TechniqueEvaluation:
+    """Run the evaluation campaign for one module variant."""
+    interp = workload.make_interpreter(input_id=input_id, module=module)
+    campaign = Campaign(
+        interp,
+        verifier=workload.verifier(),
+        entry=workload.entry,
+        budget_factor=workload.budget_factor,
+    )
+    result = campaign.run(trials, seed=seed)
+    slowdown = (
+        campaign.golden_cycles / unprotected_cycles if unprotected_cycles else 1.0
+    )
+    reduction = soc_reduction_percent(
+        unprotected_soc_fraction, result.counts.soc_fraction
+    )
+    return TechniqueEvaluation(
+        technique,
+        config_label,
+        result.counts,
+        campaign.golden_cycles,
+        slowdown,
+        duplicated_fraction,
+        reduction,
+    )
+
+
+def evaluate_unprotected(
+    workload: Workload,
+    trials: int,
+    seed: int,
+    input_id: int = 1,
+) -> TechniqueEvaluation:
+    """The reference campaign on the clean module."""
+    module = workload.compile()
+    interp = workload.make_interpreter(input_id=input_id, module=module)
+    campaign = Campaign(
+        interp,
+        verifier=workload.verifier(),
+        entry=workload.entry,
+        budget_factor=workload.budget_factor,
+    )
+    result = campaign.run(trials, seed=seed)
+    return TechniqueEvaluation(
+        "unprotected",
+        "-",
+        result.counts,
+        campaign.golden_cycles,
+        1.0,
+        0.0,
+        0.0,
+    )
+
+
+def ideal_point_best(
+    evaluations: List[TechniqueEvaluation],
+) -> Optional[TechniqueEvaluation]:
+    """Paper §6.3: the configuration nearest (1, 100) in plot units."""
+    if not evaluations:
+        return None
+    return min(evaluations, key=lambda e: e.distance_to_ideal())

@@ -1,0 +1,105 @@
+"""Experiment scaling (paper-scale vs laptop-scale campaigns).
+
+The paper's campaign sizes — 2,500 training samples per code (§4.1), 500
+SVM configurations (§4.3.2), 1,024 evaluation injections per technique ×
+configuration (§5.4) — are sized for a cluster.  The same pipeline runs
+here at configurable scale; the presets:
+
+=========  ========================================================
+paper      the paper's numbers (2500 / 500 / 1024, top-5)
+default    laptop-scale: same shape, minutes instead of hours
+quick      CI-scale: smoke validation of the full pipeline
+=========  ========================================================
+
+Pick one with ``ExperimentScale.preset(name)`` or the ``IPAS_SCALE``
+environment variable (read by :func:`ExperimentScale.from_env`).
+Individual fields can be overridden with ``IPAS_TRAIN_SAMPLES``,
+``IPAS_GRID_CONFIGS``, ``IPAS_EVAL_TRIALS``, and ``IPAS_TOP_N``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+
+class ExperimentScale:
+    """Campaign sizes for one end-to-end IPAS experiment."""
+
+    PRESETS: Dict[str, Dict[str, int]] = {
+        "paper": {
+            "train_samples": 2500,
+            "grid_configs": 500,
+            "eval_trials": 1024,
+            "top_n": 5,
+        },
+        "default": {
+            "train_samples": 400,
+            "grid_configs": 48,
+            "eval_trials": 128,
+            "top_n": 5,
+        },
+        "quick": {
+            "train_samples": 150,
+            "grid_configs": 12,
+            "eval_trials": 48,
+            "top_n": 3,
+        },
+    }
+
+    def __init__(
+        self,
+        train_samples: int,
+        grid_configs: int,
+        eval_trials: int,
+        top_n: int,
+        name: str = "custom",
+    ):
+        if min(train_samples, grid_configs, eval_trials, top_n) < 1:
+            raise ValueError("all scale parameters must be >= 1")
+        self.train_samples = train_samples
+        self.grid_configs = grid_configs
+        self.eval_trials = eval_trials
+        self.top_n = top_n
+        self.name = name
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentScale":
+        try:
+            params = cls.PRESETS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale preset {name!r}; choose from {list(cls.PRESETS)}"
+            ) from None
+        return cls(name=name, **params)
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        scale = cls.preset(os.environ.get("IPAS_SCALE", "default"))
+        overrides = {
+            "train_samples": "IPAS_TRAIN_SAMPLES",
+            "grid_configs": "IPAS_GRID_CONFIGS",
+            "eval_trials": "IPAS_EVAL_TRIALS",
+            "top_n": "IPAS_TOP_N",
+        }
+        custom = False
+        for attr, env in overrides.items():
+            value = os.environ.get(env)
+            if value is not None:
+                setattr(scale, attr, max(int(value), 1))
+                custom = True
+        if custom:
+            scale.name = scale.name + "+env"
+        return scale
+
+    def cache_key(self) -> str:
+        return (
+            f"t{self.train_samples}-g{self.grid_configs}"
+            f"-e{self.eval_trials}-n{self.top_n}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExperimentScale {self.name}: train={self.train_samples} "
+            f"grid={self.grid_configs} eval={self.eval_trials} topN={self.top_n}>"
+        )

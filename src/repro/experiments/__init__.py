@@ -1,0 +1,31 @@
+"""repro.experiments — reusable drivers behind each paper table/figure.
+
+The benchmark files in ``benchmarks/`` are thin wrappers over these
+drivers; results are cached on disk (see :mod:`repro.experiments.cache`),
+so regenerating one figure after another over the same campaigns is cheap.
+"""
+
+from . import cache
+from .full_eval import best_by_ideal_point, run_full_evaluation
+from .scaling import DEFAULT_RANKS, run_scalability
+from .inputs import run_input_variation
+from .cross_workload import run_cross_workload, run_cross_workload_matrix
+from .ablations import (
+    run_classifier_ablation,
+    run_feature_ablation,
+    run_topn_ablation,
+    run_training_size_ablation,
+)
+from .reporting import banner, format_table, outcome_row, percent
+from .training import best_protected_variant, clear_memos, get_pipeline
+
+__all__ = [
+    "cache",
+    "best_by_ideal_point", "run_full_evaluation",
+    "DEFAULT_RANKS", "run_scalability", "run_input_variation",
+    "run_cross_workload", "run_cross_workload_matrix",
+    "run_classifier_ablation", "run_feature_ablation", "run_topn_ablation",
+    "run_training_size_ablation",
+    "banner", "format_table", "outcome_row", "percent",
+    "best_protected_variant", "clear_memos", "get_pipeline",
+]

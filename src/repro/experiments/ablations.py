@@ -1,0 +1,196 @@
+"""Ablation studies for the design choices the paper calls out.
+
+* **Classifier choice** (§4.3.1): SVM vs decision tree vs k-NN on the same
+  labeled fault-injection data, scored by held-out Eq.-1 F-score.
+* **Training-set size** (§4.1, §6.3): learning curve of the CV F-score as
+  the number of fault-injection samples grows.
+* **Feature categories** (Table 1): CV F-score with each category removed,
+  and with each category alone.
+* **Top-N configurations** (§6.1): how the ideal-point best changes when
+  only the top 3 instead of the top 5 configurations are considered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.scale import ExperimentScale
+from ..features.extract import FEATURE_CATEGORIES, NUM_FEATURES
+from ..ml.crossval import GridSearch, paper_grid, stratified_kfold
+from ..ml.dtree import DecisionTreeClassifier, KNeighborsClassifier
+from ..ml.metrics import fscore_eq1
+from ..ml.scaling import StandardScaler
+from ..ml.svm import SVC
+from . import cache
+from .full_eval import best_by_ideal_point, run_full_evaluation
+from .training import get_collection, get_pipeline
+
+
+def _labeled_data(workload_name: str, scale: ExperimentScale, seed: int):
+    pipeline = get_pipeline(workload_name, scale, seed, "soc")
+    data = pipeline.collect_training_data()
+    return data.X, data.y
+
+
+def _holdout_fscore(model_factory, X, y, seed: int = 0) -> float:
+    """Mean Eq.-1 F-score over stratified 5-fold held-out splits."""
+    scores = []
+    for train, test in stratified_kfold(y, k=5, seed=seed):
+        scaler = StandardScaler().fit(X[train])
+        model = model_factory()
+        model.fit(scaler.transform(X[train]), y[train])
+        pred = model.predict(scaler.transform(X[test]))
+        scores.append(fscore_eq1(y[test], pred))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def run_classifier_ablation(
+    workload_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """SVM vs decision tree vs k-NN on identical data (§4.3.1)."""
+    scale = scale or ExperimentScale.from_env()
+    key = f"abl-classifier-{workload_name}-{scale.cache_key()}-s{seed}"
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+    X, y = _labeled_data(workload_name, scale, seed)
+    # Give the SVM its tuned hyper-parameters, the comparators reasonable ones.
+    best = GridSearch(grid=paper_grid(min(scale.grid_configs, 30)), k=3).top_configs(
+        StandardScaler().fit_transform(X), y, n=1
+    )[0]
+    classifiers = {
+        "svm": lambda: SVC(C=best.C, gamma=best.gamma),
+        "decision_tree": lambda: DecisionTreeClassifier(max_depth=8),
+        "knn": lambda: KNeighborsClassifier(k=5),
+    }
+    result = {
+        "workload": workload_name,
+        "positive_fraction": float(np.mean(y)),
+        "scores": {
+            name: _holdout_fscore(factory, X, y, seed)
+            for name, factory in classifiers.items()
+        },
+    }
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def run_training_size_ablation(
+    workload_name: str,
+    sizes: tuple = (50, 100, 200, 400),
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """Learning curve over the number of fault-injection samples."""
+    scale = scale or ExperimentScale.from_env()
+    key = (
+        f"abl-trainsize-{workload_name}-{scale.cache_key()}-s{seed}-"
+        f"{'x'.join(map(str, sizes))}"
+    )
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+    X, y = _labeled_data(workload_name, scale, seed)
+    rng = np.random.RandomState(seed)
+    points: List[Dict] = []
+    for size in sizes:
+        size = min(size, len(y))
+        # Stratified subsample: keep the class ratio of the full set.
+        pos = np.nonzero(y == 1)[0]
+        neg = np.nonzero(y == 0)[0]
+        n_pos = max(int(round(size * len(pos) / len(y))), min(2, len(pos)))
+        n_neg = size - n_pos
+        idx = np.concatenate(
+            [
+                rng.choice(pos, size=min(n_pos, len(pos)), replace=False),
+                rng.choice(neg, size=min(n_neg, len(neg)), replace=False),
+            ]
+        )
+        Xs, ys = X[idx], y[idx]
+        if len(np.unique(ys)) < 2:
+            points.append({"size": int(size), "fscore": 0.0})
+            continue
+        best = GridSearch(grid=paper_grid(12), k=3).top_configs(
+            StandardScaler().fit_transform(Xs), ys, n=1
+        )[0]
+        score = _holdout_fscore(lambda: SVC(C=best.C, gamma=best.gamma), Xs, ys, seed)
+        points.append({"size": int(size), "fscore": score})
+    result = {"workload": workload_name, "points": points}
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def run_feature_ablation(
+    workload_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """CV F-score with each Table-1 category removed / used alone."""
+    scale = scale or ExperimentScale.from_env()
+    key = f"abl-features-{workload_name}-{scale.cache_key()}-s{seed}"
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+    X, y = _labeled_data(workload_name, scale, seed)
+
+    def score_with(columns: List[int]) -> float:
+        Xm = X[:, columns]
+        best = GridSearch(grid=paper_grid(12), k=3).top_configs(
+            StandardScaler().fit_transform(Xm), y, n=1
+        )[0]
+        return _holdout_fscore(lambda: SVC(C=best.C, gamma=best.gamma), Xm, y, seed)
+
+    all_columns = list(range(NUM_FEATURES))
+    result: Dict = {
+        "workload": workload_name,
+        "all_features": score_with(all_columns),
+        "without": {},
+        "only": {},
+    }
+    for category, columns in FEATURE_CATEGORIES.items():
+        remaining = [c for c in all_columns if c not in columns]
+        result["without"][category] = score_with(remaining)
+        result["only"][category] = score_with(list(columns))
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def run_topn_ablation(
+    workload_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """§6.1: does top-3 already contain the ideal-point best of top-5?"""
+    scale = scale or ExperimentScale.from_env()
+    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    entries = full["ipas"]
+    best5 = best_by_ideal_point(entries)
+    best3 = best_by_ideal_point(entries[: min(3, len(entries))])
+    return {
+        "workload": workload_name,
+        "top5_best": {
+            "label": best5.get("label"),
+            "soc_reduction": best5["soc_reduction"],
+            "slowdown": best5["slowdown"],
+        },
+        "top3_best": {
+            "label": best3.get("label"),
+            "soc_reduction": best3["soc_reduction"],
+            "slowdown": best3["slowdown"],
+        },
+        "same_choice": best5.get("label") == best3.get("label"),
+    }

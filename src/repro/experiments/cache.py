@@ -1,0 +1,66 @@
+"""JSON disk cache for experiment results.
+
+Full IPAS evaluations take minutes per workload; benchmarks and examples
+share results through this cache so re-running a bench (or regenerating a
+different figure over the same data) is instant.  Keys embed the experiment
+name, workload, scale, seed, and a schema version; bump
+:data:`SCHEMA_VERSION` when result shapes change.
+
+Set ``IPAS_CACHE_DIR`` to relocate the cache; ``IPAS_NO_CACHE=1`` disables
+reads (results are still written).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+SCHEMA_VERSION = 3
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("IPAS_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".ipas_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _path_for(key: str) -> Path:
+    safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in key)
+    return cache_dir() / f"v{SCHEMA_VERSION}-{safe}.json"
+
+
+def load(key: str) -> Optional[Dict]:
+    if os.environ.get("IPAS_NO_CACHE"):
+        return None
+    path = _path_for(key)
+    if not path.exists():
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def store(key: str, value: Dict) -> None:
+    path = _path_for(key)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(value, fh, indent=1)
+    tmp.replace(path)
+
+
+def cached(key: str, compute: Callable[[], Dict]) -> Dict:
+    """Return the cached value for ``key`` or compute-and-store it."""
+    hit = load(key)
+    if hit is not None:
+        return hit
+    value = compute()
+    store(key, value)
+    return value

@@ -1,0 +1,101 @@
+"""Cross-workload training (the paper's §8 SDCTune contrast).
+
+IPAS trains on fault injections of the *target* code; the related SDCTune
+approach trains on *different* codes and transfers the model.  Because the
+Table-1 features are program-independent, both policies run on this
+substrate — this driver quantifies what target-specific training buys by
+protecting workload B with a classifier trained on workload A, for any
+(A, B) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.evaluation import evaluate_unprotected, evaluate_variant
+from ..core.scale import ExperimentScale
+from ..protect.duplication import duplicate_instructions
+from ..protect.selectors import IpasSelector
+from ..workloads.registry import get_workload
+from . import cache
+from .full_eval import EVAL_SEED_OFFSET
+from .training import get_pipeline
+
+
+def run_cross_workload(
+    train_name: str,
+    test_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """Protect ``test_name`` with a classifier trained on ``train_name``."""
+    scale = scale or ExperimentScale.from_env()
+    key = f"cross-{train_name}-to-{test_name}-{scale.cache_key()}-s{seed}"
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+
+    pipeline = get_pipeline(train_name, scale, seed, "soc")
+    trained = pipeline.train()[0]
+
+    workload = get_workload(test_name)
+    module = workload.compile()
+    selector = IpasSelector(trained.model, trained.scaler)
+    report = duplicate_instructions(module, selector.select(module))
+
+    unprotected = evaluate_unprotected(
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET
+    )
+    evaluation = evaluate_variant(
+        module,
+        workload,
+        unprotected.soc_fraction,
+        unprotected.golden_cycles,
+        "cross",
+        f"{train_name}->{test_name}",
+        scale.eval_trials,
+        seed=seed + EVAL_SEED_OFFSET,
+        duplicated_fraction=report.duplicated_fraction,
+    )
+    result = {
+        "train": train_name,
+        "test": test_name,
+        "config": {"C": trained.config.C, "gamma": trained.config.gamma},
+        "duplicated_fraction": report.duplicated_fraction,
+        "unprotected_soc": unprotected.soc_fraction,
+        "protected_soc": evaluation.soc_fraction,
+        "soc_reduction": evaluation.soc_reduction,
+        "slowdown": evaluation.slowdown,
+    }
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def run_cross_workload_matrix(
+    names: Sequence[str],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """The full train×test SOC-reduction matrix over ``names``."""
+    matrix = {}
+    for train in names:
+        row = {}
+        for test in names:
+            row[test] = run_cross_workload(train, test, scale, seed, use_cache)
+        matrix[train] = row
+    diagonal = [matrix[n][n]["soc_reduction"] for n in names]
+    off_diagonal = [
+        matrix[a][b]["soc_reduction"] for a in names for b in names if a != b
+    ]
+    return {
+        "names": list(names),
+        "matrix": matrix,
+        "mean_self_trained": sum(diagonal) / len(diagonal) if diagonal else 0.0,
+        "mean_cross_trained": (
+            sum(off_diagonal) / len(off_diagonal) if off_diagonal else 0.0
+        ),
+    }

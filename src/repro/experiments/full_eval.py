@@ -1,0 +1,169 @@
+"""The per-workload full evaluation (paper §6.1–§6.3).
+
+One call produces everything Figs. 5–7 and Table 4 need for a workload:
+
+* unprotected campaign (reference SOC fraction and cycle baseline),
+* full duplication (SWIFT-style),
+* IPAS: top-N (C, γ) configurations, each protected and evaluated,
+* Baseline: the Shoestring-style symptom-trained selector, same top-N —
+  sharing the *same* training campaign (only the labels differ) and the
+  same evaluation seed, so comparisons are paired.
+
+Results are plain JSON-compatible dicts, cached on disk by
+(workload, scale, seed).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core.evaluation import evaluate_unprotected, evaluate_variant
+from ..core.pipeline import (
+    IpasPipeline,
+    LABEL_SOC,
+    LABEL_SYMPTOM,
+    ProtectedVariant,
+    collect_data,
+)
+from ..core.scale import ExperimentScale
+from ..faults.outcomes import margin_of_error
+from ..protect.duplication import duplicate_instructions
+from ..protect.selectors import FullDuplicationSelector
+from ..workloads.registry import get_workload
+from . import cache
+
+EVAL_SEED_OFFSET = 10_000
+
+
+def _counts_dict(evaluation) -> Dict:
+    return {
+        "counts": {k: v for k, v in evaluation.counts.as_dict().items()},
+        "soc_fraction": evaluation.soc_fraction,
+        "golden_cycles": evaluation.golden_cycles,
+        "slowdown": evaluation.slowdown,
+        "soc_reduction": evaluation.soc_reduction,
+        "duplicated_fraction": evaluation.duplicated_fraction,
+        "trials": evaluation.counts.total,
+    }
+
+
+def _evaluate_protected(
+    variant: ProtectedVariant,
+    workload,
+    unprotected,
+    scale: ExperimentScale,
+    seed: int,
+    label: str,
+) -> Dict:
+    evaluation = evaluate_variant(
+        variant.module,
+        workload,
+        unprotected.soc_fraction,
+        unprotected.golden_cycles,
+        variant.technique,
+        label,
+        scale.eval_trials,
+        seed=seed + EVAL_SEED_OFFSET,
+        duplicated_fraction=variant.report.duplicated_fraction,
+    )
+    record = _counts_dict(evaluation)
+    record["duplication_seconds"] = variant.duplication_seconds
+    if variant.config is not None:
+        record["config"] = {
+            "C": variant.config.C,
+            "gamma": variant.config.gamma,
+            "fscore": variant.config.fscore,
+        }
+    return record
+
+
+def run_full_evaluation(
+    workload_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """All techniques on one workload; returns (and caches) a result dict."""
+    scale = scale or ExperimentScale.from_env()
+    key = f"fulleval-{workload_name}-{scale.cache_key()}-s{seed}"
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+
+    workload = get_workload(workload_name)
+    started = time.perf_counter()
+
+    # Reference campaign.
+    unprotected = evaluate_unprotected(
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET
+    )
+
+    # Full duplication.
+    full_module = workload.compile()
+    t0 = time.perf_counter()
+    full_report = duplicate_instructions(
+        full_module, FullDuplicationSelector().select(full_module)
+    )
+    full_duplication_seconds = time.perf_counter() - t0
+    full_variant = ProtectedVariant(
+        full_module, full_report, "full", None, full_duplication_seconds
+    )
+    full_eval = _evaluate_protected(
+        full_variant, workload, unprotected, scale, seed, "full"
+    )
+
+    # Shared training campaign; IPAS and Baseline pipelines on top.
+    collection_start = time.perf_counter()
+    collected = collect_data(workload, scale.train_samples, seed=seed)
+    collection_seconds = time.perf_counter() - collection_start
+
+    result: Dict = {
+        "workload": workload_name,
+        "scale": scale.cache_key(),
+        "seed": seed,
+        "static_instructions": collected.module.static_instruction_count,
+        "lines_of_code": workload.lines_of_code,
+        "collection_seconds": collection_seconds,
+        "training_outcomes": collected.campaign.counts.as_dict(),
+        "unprotected": _counts_dict(unprotected),
+        "full": full_eval,
+        "margin_of_error_95": margin_of_error(
+            unprotected.soc_fraction, scale.eval_trials
+        ),
+    }
+
+    for labeling, bucket in ((LABEL_SOC, "ipas"), (LABEL_SYMPTOM, "baseline")):
+        pipeline = IpasPipeline(
+            workload, scale, labeling, seed=seed, collected=collected
+        )
+        variants = pipeline.protect_all()
+        entries: List[Dict] = []
+        for i, variant in enumerate(variants):
+            label = f"cfg{i + 1}"
+            entry = _evaluate_protected(
+                variant, workload, unprotected, scale, seed, label
+            )
+            entry["label"] = label
+            entries.append(entry)
+        result[bucket] = entries
+        result[f"{bucket}_training_seconds"] = pipeline.training_seconds
+        result[f"{bucket}_positive_fraction"] = (
+            pipeline.collect_training_data().positive_fraction
+        )
+
+    result["total_seconds"] = time.perf_counter() - started
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def best_by_ideal_point(entries: List[Dict]) -> Dict:
+    """Paper §6.3: the entry nearest (slowdown=1, SOC reduction=100)."""
+    import math
+
+    return min(
+        entries,
+        key=lambda e: math.hypot(e["slowdown"] - 1.0, e["soc_reduction"] - 100.0),
+    )

@@ -1,0 +1,86 @@
+"""Input-variation driver (paper Fig. 9 and §6.5, Table 5).
+
+IPAS is trained once, on input 1, and the protected binary is then tested
+on the larger inputs 2–4: for each input, an unprotected and a protected
+fault-injection campaign measure the SOC reduction the input-1-trained
+protection still delivers.  The paper's expectation — SOC reduction mostly
+transfers across inputs — is what the Fig. 9 bench reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.evaluation import evaluate_unprotected, evaluate_variant
+from ..core.scale import ExperimentScale
+from ..workloads.registry import get_workload
+from . import cache
+from .full_eval import EVAL_SEED_OFFSET, best_by_ideal_point, run_full_evaluation
+from .training import best_protected_variant
+
+
+def run_input_variation(
+    workload_name: str,
+    input_ids: tuple = (1, 2, 3, 4),
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """SOC reduction per input for the input-1-trained best configuration."""
+    scale = scale or ExperimentScale.from_env()
+    key = (
+        f"fig9-{workload_name}-{scale.cache_key()}-s{seed}-"
+        f"i{'x'.join(map(str, input_ids))}"
+    )
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+
+    workload = get_workload(workload_name)
+    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    best = best_by_ideal_point(full["ipas"])
+    variant = best_protected_variant(
+        workload_name, scale, seed, best_config=best.get("config")
+    )
+
+    points: List[Dict] = []
+    for input_id in input_ids:
+        unprotected = evaluate_unprotected(
+            workload,
+            scale.eval_trials,
+            seed=seed + EVAL_SEED_OFFSET + input_id,
+            input_id=input_id,
+        )
+        protected = evaluate_variant(
+            variant.module,
+            workload,
+            unprotected.soc_fraction,
+            unprotected.golden_cycles,
+            "ipas",
+            f"input{input_id}",
+            scale.eval_trials,
+            seed=seed + EVAL_SEED_OFFSET + input_id,
+            duplicated_fraction=variant.report.duplicated_fraction,
+            input_id=input_id,
+        )
+        points.append(
+            {
+                "input": input_id,
+                "label": workload.input_labels.get(input_id, str(input_id)),
+                "unprotected_soc": unprotected.soc_fraction,
+                "protected_soc": protected.soc_fraction,
+                "soc_reduction": protected.soc_reduction,
+                "slowdown": protected.slowdown,
+            }
+        )
+    reductions = [p["soc_reduction"] for p in points]
+    result = {
+        "workload": workload_name,
+        "config": best.get("config"),
+        "points": points,
+        "mean_reduction": sum(reductions) / len(reductions) if reductions else 0.0,
+    }
+    if use_cache:
+        cache.store(key, result)
+    return result

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal and in the captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([_cell(value) for value in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def outcome_row(counts: Dict[str, float]) -> List[str]:
+    """symptom / detected / masked / soc percentages from a counts dict."""
+    symptom = counts.get("crash", 0.0) + counts.get("hang", 0.0)
+    return [
+        percent(symptom),
+        percent(counts.get("detected", 0.0)),
+        percent(counts.get("masked", 0.0)),
+        percent(counts.get("soc", 0.0)),
+    ]
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"

@@ -1,0 +1,81 @@
+"""Strong-scaling slowdown driver (paper Fig. 8 and §6.4).
+
+For each workload: protect with the best IPAS configuration, then run the
+protected and unprotected modules fault-free under the simulated MPI
+runtime at increasing rank counts.  Slowdown is the ratio of job times
+(max-over-ranks cycle counts).  The paper's expectation — reproduced here —
+is that slowdown stays roughly constant with scale, because IPAS
+instruments computation only, never the communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.scale import ExperimentScale
+from ..parallel.mpi import MpiJob
+from ..workloads.registry import get_workload
+from . import cache
+from .full_eval import best_by_ideal_point, run_full_evaluation
+from .training import best_protected_variant
+
+DEFAULT_RANKS = (1, 2, 4, 8)
+
+
+def run_scalability(
+    workload_name: str,
+    ranks: tuple = DEFAULT_RANKS,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict:
+    """Slowdown vs rank count for one workload's best IPAS configuration."""
+    scale = scale or ExperimentScale.from_env()
+    key = (
+        f"fig8-{workload_name}-{scale.cache_key()}-s{seed}-"
+        f"r{'x'.join(map(str, ranks))}"
+    )
+    if use_cache:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+
+    workload = get_workload(workload_name)
+    # Pick the best configuration the full evaluation chose (Table 4).
+    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    best = best_by_ideal_point(full["ipas"])
+    variant = best_protected_variant(
+        workload_name, scale, seed, best_config=best.get("config")
+    )
+
+    clean_module = workload.compile()
+    points: List[Dict] = []
+    for n_ranks in ranks:
+        clean_job = MpiJob(clean_module, n_ranks, overrides=workload.inputs[1])
+        clean_result = clean_job.run(entry=workload.entry)
+        protected_job = MpiJob(
+            variant.module, n_ranks, overrides=workload.inputs[1]
+        )
+        protected_result = protected_job.run(entry=workload.entry)
+        if clean_result.status != "ok" or protected_result.status != "ok":
+            raise RuntimeError(
+                f"{workload_name} at {n_ranks} ranks: "
+                f"{clean_result.status}/{protected_result.status}"
+            )
+        points.append(
+            {
+                "ranks": n_ranks,
+                "clean_cycles": clean_result.job_cycles,
+                "protected_cycles": protected_result.job_cycles,
+                "slowdown": protected_result.job_cycles / clean_result.job_cycles,
+            }
+        )
+    result = {
+        "workload": workload_name,
+        "config": best.get("config"),
+        "duplicated_fraction": variant.report.duplicated_fraction,
+        "points": points,
+    }
+    if use_cache:
+        cache.store(key, result)
+    return result

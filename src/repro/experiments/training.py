@@ -1,0 +1,78 @@
+"""Shared, memoised training for the figure drivers.
+
+Figures 8 and 9 need a *protected module with the best configuration*; this
+helper trains once per (workload, scale, seed, labeling) per process and
+hands out protected variants, so the scalability and input-variation
+drivers don't repeat the campaign + grid search that the full evaluation
+already describes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pipeline import CollectedData, IpasPipeline, LABEL_SOC, collect_data
+from ..core.scale import ExperimentScale
+from ..workloads.base import Workload
+from ..workloads.registry import get_workload
+
+_PIPELINES: Dict[Tuple, IpasPipeline] = {}
+_COLLECTIONS: Dict[Tuple, CollectedData] = {}
+
+
+def get_collection(
+    workload_name: str, scale: ExperimentScale, seed: int
+) -> CollectedData:
+    key = (workload_name, scale.cache_key(), seed)
+    if key not in _COLLECTIONS:
+        workload = get_workload(workload_name)
+        _COLLECTIONS[key] = collect_data(workload, scale.train_samples, seed=seed)
+    return _COLLECTIONS[key]
+
+
+def get_pipeline(
+    workload_name: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    labeling: str = LABEL_SOC,
+) -> IpasPipeline:
+    key = (workload_name, scale.cache_key(), seed, labeling)
+    if key not in _PIPELINES:
+        workload = get_workload(workload_name)
+        collected = get_collection(workload_name, scale, seed)
+        pipeline = IpasPipeline(
+            workload, scale, labeling, seed=seed, collected=collected
+        )
+        pipeline.train()
+        _PIPELINES[key] = pipeline
+    return _PIPELINES[key]
+
+
+def best_protected_variant(
+    workload_name: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    labeling: str = LABEL_SOC,
+    best_config: Optional[Dict] = None,
+):
+    """Protect with the trained configuration matching ``best_config``
+    (a ``{"C": ..., "gamma": ...}`` dict, e.g. from a cached full
+    evaluation), or with the top-F-score configuration when not given."""
+    pipeline = get_pipeline(workload_name, scale, seed, labeling)
+    configs = pipeline.train()
+    chosen = configs[0]
+    if best_config is not None:
+        for tc in configs:
+            if math.isclose(tc.config.C, best_config["C"]) and math.isclose(
+                tc.config.gamma, best_config["gamma"]
+            ):
+                chosen = tc
+                break
+    return pipeline.protect(chosen)
+
+
+def clear_memos() -> None:
+    """Drop the in-process training memos (tests use this)."""
+    _PIPELINES.clear()
+    _COLLECTIONS.clear()

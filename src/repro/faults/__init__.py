@@ -1,0 +1,23 @@
+"""repro.faults — FlipIt-style statistical fault injection."""
+
+from .model import (
+    FaultSite,
+    injectable_instructions,
+    is_injectable,
+    result_bits,
+)
+from .outcomes import (
+    Outcome,
+    OutcomeCounts,
+    margin_of_error,
+    soc_reduction_percent,
+)
+from .campaign import Campaign, CampaignResult, OutputVerifier, TrialRecord
+from .mpi_campaign import MpiCampaign, MpiCampaignResult, MpiTrialRecord
+
+__all__ = [
+    "FaultSite", "injectable_instructions", "is_injectable", "result_bits",
+    "Outcome", "OutcomeCounts", "margin_of_error", "soc_reduction_percent",
+    "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",
+    "MpiCampaign", "MpiCampaignResult", "MpiTrialRecord",
+]

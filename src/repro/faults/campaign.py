@@ -1,0 +1,213 @@
+"""Statistical fault injection campaigns (paper §4.1 and §5.4).
+
+A :class:`Campaign` wraps one interpreter (one program + input) and drives
+many single-fault runs:
+
+1. a *golden* (fault-free) profiled run establishes per-instruction dynamic
+   execution counts, the cycle baseline, and the reference outputs;
+2. each trial samples a fault site uniformly over the *dynamic* stream of
+   injectable instruction executions (weighted by execution count, as FlipIt
+   does when injecting into random instruction instances), plus a uniform
+   random bit of the result;
+3. the run's outcome is classified per §5.5 using the interpreter status and
+   the workload's verification routine.
+
+Determinism: a campaign with the same seed replays identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import Interpreter, RunResult
+from .model import FaultSite, injectable_instructions, is_injectable, result_bits
+from .outcomes import Outcome, OutcomeCounts
+
+
+class OutputVerifier:
+    """Protocol for workload verification routines (paper Table 2).
+
+    ``capture`` snapshots whatever the routine needs from a golden run;
+    ``check`` decides whether a completed faulty run's output is acceptable.
+    The default implementation compares the module's ``output`` globals
+    exactly — workloads override with tolerance/energy/sortedness checks.
+    """
+
+    def capture(self, interp: Interpreter):
+        return {
+            g.name: interp.read_global(g.name) for g in interp.module.output_globals()
+        }
+
+    def check(self, interp: Interpreter, golden) -> bool:
+        for name, expected in golden.items():
+            if interp.read_global(name) != expected:
+                return False
+        return True
+
+
+class TrialRecord:
+    """One fault-injection run."""
+
+    __slots__ = ("site", "outcome", "status", "cycles")
+
+    def __init__(self, site: FaultSite, outcome: Outcome, status: str, cycles: int):
+        self.site = site
+        self.outcome = outcome
+        self.status = status
+        self.cycles = cycles
+
+    @property
+    def instruction(self):
+        return self.site.instruction
+
+    def __repr__(self) -> str:
+        return f"<TrialRecord {self.outcome.value} at {self.site!r}>"
+
+
+class CampaignResult:
+    """All trials of one campaign plus aggregate counts."""
+
+    def __init__(
+        self,
+        records: List[TrialRecord],
+        counts: OutcomeCounts,
+        golden_cycles: int,
+        seed: int,
+    ):
+        self.records = records
+        self.counts = counts
+        self.golden_cycles = golden_cycles
+        self.seed = seed
+
+    def records_with_outcome(self, outcome: Outcome) -> List[TrialRecord]:
+        return [r for r in self.records if r.outcome is outcome]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Campaign:
+    """Statistical fault injection against one interpreter instance."""
+
+    def __init__(
+        self,
+        interp: Interpreter,
+        verifier: Optional[OutputVerifier] = None,
+        entry: str = "main",
+        budget_factor: float = 20.0,
+    ):
+        self.interp = interp
+        self.verifier = verifier or OutputVerifier()
+        self.entry = entry
+        self.budget_factor = budget_factor
+        self._golden_cycles: Optional[int] = None
+        self._golden_capture = None
+        self._sites: List = []  # (instruction, dynamic_count)
+        self._cumulative: List[int] = []
+        self._total_weight = 0
+
+    # -- golden run --------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Run the golden profiled execution and index the fault space."""
+        if self._golden_cycles is not None:
+            return
+        result = self.interp.run(self.entry, profile=True)
+        if result.status != "ok":
+            raise RuntimeError(
+                f"golden run failed ({result.status}): {result.error}"
+            )
+        self._golden_cycles = result.cycles
+        self._golden_capture = self.verifier.capture(self.interp)
+        assert result.profile is not None
+        cm = self.interp.cm
+        cumulative: List[int] = []
+        total = 0
+        sites = []
+        for inst in injectable_instructions(self.interp.module):
+            gid = cm.block_gids.get(id(inst.parent))
+            if gid is None:
+                continue
+            count = result.profile[gid]
+            if count <= 0:
+                continue
+            sites.append((inst, count))
+            total += count
+            cumulative.append(total)
+        if not sites:
+            raise RuntimeError("program executed no injectable instructions")
+        self._sites = sites
+        self._cumulative = cumulative
+        self._total_weight = total
+
+    @property
+    def golden_cycles(self) -> int:
+        self.prepare()
+        assert self._golden_cycles is not None
+        return self._golden_cycles
+
+    @property
+    def golden_capture(self):
+        self.prepare()
+        return self._golden_capture
+
+    @property
+    def total_dynamic_injectable(self) -> int:
+        """Size of the dynamic fault population (for margin-of-error math)."""
+        self.prepare()
+        return self._total_weight
+
+    @property
+    def cycle_budget(self) -> int:
+        return int(self.budget_factor * self.golden_cycles) + 10_000
+
+    # -- sampling -------------------------------------------------------------------
+
+    def sample_site(self, rng: random.Random) -> FaultSite:
+        """One fault site, uniform over dynamic injectable executions."""
+        self.prepare()
+        pick = rng.randrange(self._total_weight)
+        index = bisect.bisect_right(self._cumulative, pick)
+        inst, count = self._sites[index]
+        occurrence = rng.randint(1, count)
+        bit = rng.randrange(result_bits(inst))
+        return FaultSite(inst, occurrence, bit)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run_site(self, site: FaultSite) -> TrialRecord:
+        """Execute one injection run and classify its outcome."""
+        self.prepare()
+        result = self.interp.run(
+            self.entry,
+            injection=site.as_injection(),
+            cycle_budget=self.cycle_budget,
+        )
+        outcome = self.classify(result)
+        return TrialRecord(site, outcome, result.status, result.cycles)
+
+    def classify(self, result: RunResult) -> Outcome:
+        if result.status in ("trap", "abort"):
+            return Outcome.CRASH
+        if result.status == "hang":
+            return Outcome.HANG
+        if result.status == "detected":
+            return Outcome.DETECTED
+        if self.verifier.check(self.interp, self._golden_capture):
+            return Outcome.MASKED
+        return Outcome.SOC
+
+    def run(self, n_trials: int, seed: int = 0) -> CampaignResult:
+        """The whole campaign: ``n_trials`` independent single-fault runs."""
+        self.prepare()
+        rng = random.Random(seed)
+        records: List[TrialRecord] = []
+        counts = OutcomeCounts()
+        for _ in range(n_trials):
+            site = self.sample_site(rng)
+            record = self.run_site(site)
+            records.append(record)
+            counts.record(record.outcome)
+        return CampaignResult(records, counts, self.golden_cycles, seed)

@@ -1,0 +1,155 @@
+"""Statistical fault injection into parallel (simulated MPI) jobs.
+
+The paper's campaigns inject into "random instances of an instruction, bits
+within a byte, and MPI ranks" (§4.1, FlipIt) but evaluate coverage on
+single-process runs (§6); this module closes that loop as an extension:
+single-bit faults land in a *random rank* of a multi-rank job, and the
+outcome taxonomy is applied at **job level** — one rank's detection or
+crash aborts the whole job (§4.4.1), so symptoms and detections propagate.
+
+Site sampling is exact per rank: a profiled job run records every rank's
+block-execution counts, so (rank, instruction, occurrence, bit) is sampled
+uniformly over the union of all ranks' dynamic injectable executions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Callable, List, Optional, Tuple
+
+from ..interp.interpreter import Interpreter
+from ..parallel.mpi import JobResult, MpiJob
+from .campaign import OutputVerifier
+from .model import FaultSite, injectable_instructions, result_bits
+from .outcomes import Outcome, OutcomeCounts
+
+
+class MpiTrialRecord:
+    """One parallel fault-injection run."""
+
+    __slots__ = ("site", "rank", "outcome", "job_status")
+
+    def __init__(self, site: FaultSite, rank: int, outcome: Outcome, job_status: str):
+        self.site = site
+        self.rank = rank
+        self.outcome = outcome
+        self.job_status = job_status
+
+    def __repr__(self) -> str:
+        return f"<MpiTrialRecord {self.outcome.value} rank={self.rank}>"
+
+
+class MpiCampaignResult:
+    def __init__(self, records: List[MpiTrialRecord], counts: OutcomeCounts, golden_cycles: int):
+        self.records = records
+        self.counts = counts
+        self.golden_cycles = golden_cycles
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class MpiCampaign:
+    """Fault injection against one MpiJob (module + input + rank count)."""
+
+    def __init__(
+        self,
+        job: MpiJob,
+        verifier: Optional[OutputVerifier] = None,
+        entry: str = "main",
+        budget_factor: float = 10.0,
+    ):
+        self.job = job
+        self.verifier = verifier or OutputVerifier()
+        self.entry = entry
+        self.budget_factor = budget_factor
+        self._golden_cycles: Optional[int] = None
+        self._golden_capture = None
+        # flattened dynamic population: (rank, instruction, count)
+        self._sites: List[Tuple[int, object, int]] = []
+        self._cumulative: List[int] = []
+        self._total_weight = 0
+
+    def prepare(self) -> None:
+        if self._golden_cycles is not None:
+            return
+        result = self.job.run(self.entry, profile=True)
+        if result.status != "ok":
+            raise RuntimeError(f"golden parallel run failed: {result.status}")
+        self._golden_cycles = result.job_cycles
+        self._golden_capture = self.verifier.capture(self.job.interpreters[0])
+        cm = self.job.cm
+        eligible = injectable_instructions(cm.module)
+        total = 0
+        for rank, rank_result in enumerate(result.rank_results):
+            assert rank_result is not None and rank_result.profile is not None
+            profile = rank_result.profile
+            for inst in eligible:
+                gid = cm.block_gids.get(id(inst.parent))
+                if gid is None:
+                    continue
+                count = profile[gid]
+                if count > 0:
+                    self._sites.append((rank, inst, count))
+                    total += count
+                    self._cumulative.append(total)
+        if not self._sites:
+            raise RuntimeError("no injectable dynamic instructions in any rank")
+        self._total_weight = total
+
+    @property
+    def golden_cycles(self) -> int:
+        self.prepare()
+        assert self._golden_cycles is not None
+        return self._golden_cycles
+
+    @property
+    def cycle_budget(self) -> int:
+        return int(self.budget_factor * self.golden_cycles) + 10_000
+
+    def sample(self, rng: random.Random) -> Tuple[FaultSite, int]:
+        """A (site, rank) pair uniform over all ranks' dynamic executions."""
+        self.prepare()
+        pick = rng.randrange(self._total_weight)
+        index = bisect.bisect_right(self._cumulative, pick)
+        rank, inst, count = self._sites[index]
+        occurrence = rng.randint(1, count)
+        bit = rng.randrange(result_bits(inst))
+        return FaultSite(inst, occurrence, bit), rank
+
+    def run_site(self, site: FaultSite, rank: int) -> MpiTrialRecord:
+        self.prepare()
+        result = self.job.run(
+            self.entry,
+            injection=(site.as_injection(), rank),
+            cycle_budget=self.cycle_budget,
+        )
+        outcome = self.classify(result)
+        return MpiTrialRecord(site, rank, outcome, result.status)
+
+    def classify(self, result: JobResult) -> Outcome:
+        if result.status == "detected":
+            return Outcome.DETECTED
+        if result.status in ("trap", "abort"):
+            return Outcome.CRASH
+        if result.status == "hang":
+            return Outcome.HANG
+        # Job completed: verify rank 0's outputs (all ranks agree in the
+        # zero-and-allreduce workload pattern; corrupted ranks diverge and
+        # the divergence lands in the assembled outputs).
+        if self.verifier.check(self.job.interpreters[0], self._golden_capture):
+            return Outcome.MASKED
+        return Outcome.SOC
+
+    def run(self, n_trials: int, seed: int = 0) -> MpiCampaignResult:
+        self.prepare()
+        rng = random.Random(seed)
+        records: List[MpiTrialRecord] = []
+        counts = OutcomeCounts()
+        for _ in range(n_trials):
+            site, rank = self.sample(rng)
+            record = self.run_site(site, rank)
+            records.append(record)
+            counts.record(record.outcome)
+        return MpiCampaignResult(records, counts, self.golden_cycles)

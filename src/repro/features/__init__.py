@@ -1,0 +1,10 @@
+"""repro.features — the 31 Table-1 instruction features."""
+
+from .extract import (
+    FEATURE_CATEGORIES,
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureExtractor,
+)
+
+__all__ = ["FEATURE_CATEGORIES", "FEATURE_NAMES", "NUM_FEATURES", "FeatureExtractor"]

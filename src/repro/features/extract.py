@@ -1,0 +1,209 @@
+"""The 31 instruction features of paper Table 1.
+
+Four categories, exactly as the paper defines them:
+
+* **instruction** (1–12): opcode-class booleans plus result byte size;
+* **basic block** (13–19): block size/shape and loop membership;
+* **function** (20–24): position relative to the return, function size,
+  future calls, and whether the function returns a value;
+* **slice** (25–31): statistics of the instruction's *forward* slice
+  (Weiser's algorithm — instructions the faulty value can influence).
+
+A :class:`FeatureExtractor` caches the per-function analyses (loop info,
+distance-to-return, reachability) and the module-wide slice context so that
+extracting features for every instruction of a module stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.dataflow import distance_to_return
+from ..analysis.loops import LoopInfo
+from ..analysis.slicing import SliceContext, SliceStatistics, forward_slice
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    RetInst,
+)
+from ..ir.module import Module
+
+#: Feature names in Table-1 order (index i = feature number i+1).
+FEATURE_NAMES: List[str] = [
+    "is_binary_op",                # 1
+    "is_add_sub",                  # 2
+    "is_mul_div",                  # 3
+    "is_remainder",                # 4
+    "is_logical",                  # 5
+    "is_call",                     # 6
+    "is_comparison",               # 7
+    "is_atomic",                   # 8
+    "is_get_pointer",              # 9
+    "is_stack_allocation",         # 10
+    "is_cast",                     # 11
+    "result_bytes",                # 12
+    "bb_remaining_instructions",   # 13
+    "bb_size",                     # 14
+    "bb_successor_count",          # 15
+    "bb_successor_sizes_sum",      # 16
+    "bb_in_loop",                  # 17
+    "bb_has_phi",                  # 18
+    "bb_ends_in_branch",           # 19
+    "fn_instructions_to_return",   # 20
+    "fn_instruction_count",        # 21
+    "fn_block_count",              # 22
+    "fn_future_calls",             # 23
+    "fn_returns_value",            # 24
+    "slice_size",                  # 25
+    "slice_loads",                 # 26
+    "slice_stores",                # 27
+    "slice_calls",                 # 28
+    "slice_binary_ops",            # 29
+    "slice_allocas",               # 30
+    "slice_geps",                  # 31
+]
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+#: Feature indices (0-based) grouped by Table-1 category, for ablations.
+FEATURE_CATEGORIES: Dict[str, List[int]] = {
+    "instruction": list(range(0, 12)),
+    "basic_block": list(range(12, 19)),
+    "function": list(range(19, 24)),
+    "slice": list(range(24, 31)),
+}
+
+
+class _FunctionCaches:
+    __slots__ = ("loop_info", "return_distance", "future_calls")
+
+    def __init__(self, fn: Function):
+        self.loop_info = LoopInfo(fn)
+        self.return_distance = distance_to_return(fn)
+        self.future_calls = _future_call_index(fn)
+
+
+def _future_call_index(fn: Function) -> Dict[int, int]:
+    """For each block, the number of call instructions in blocks reachable
+    from it (excluding the block itself — the remainder of the current block
+    is added per-instruction)."""
+    calls_in: Dict[int, int] = {
+        id(b): sum(1 for i in b.instructions if isinstance(i, CallInst))
+        for b in fn.blocks
+    }
+    result: Dict[int, int] = {}
+    for block in fn.blocks:
+        seen = set()
+        stack = list(block.successors())
+        total = 0
+        while stack:
+            b = stack.pop()
+            if id(b) in seen:
+                continue
+            seen.add(id(b))
+            total += calls_in[id(b)]
+            stack.extend(b.successors())
+        result[id(block)] = total
+    return result
+
+
+class FeatureExtractor:
+    """Extracts Table-1 feature vectors for instructions of one module."""
+
+    def __init__(self, module: Module, slice_cap: Optional[int] = 4000):
+        self.module = module
+        self.slice_context = SliceContext(module)
+        self.slice_cap = slice_cap
+        self._fn_caches: Dict[int, _FunctionCaches] = {}
+
+    def _caches_for(self, fn: Function) -> _FunctionCaches:
+        cached = self._fn_caches.get(id(fn))
+        if cached is None:
+            cached = _FunctionCaches(fn)
+            self._fn_caches[id(fn)] = cached
+        return cached
+
+    def extract(self, inst: Instruction) -> np.ndarray:
+        """The 31-element feature vector of one instruction."""
+        block = inst.parent
+        if block is None or block.parent is None:
+            raise ValueError(f"{inst!r} is not attached to a function")
+        fn = block.parent
+        caches = self._caches_for(fn)
+        v = np.zeros(NUM_FEATURES, dtype=np.float64)
+
+        # -- instruction category (1-12)
+        if isinstance(inst, BinaryOperator):
+            v[0] = 1.0
+            v[1] = 1.0 if inst.is_add_sub() else 0.0
+            v[2] = 1.0 if inst.is_mul_div() else 0.0
+            v[3] = 1.0 if inst.is_remainder() else 0.0
+            v[4] = 1.0 if inst.is_logical() else 0.0
+        v[5] = 1.0 if isinstance(inst, CallInst) else 0.0
+        v[6] = 1.0 if isinstance(inst, (ICmpInst, FCmpInst)) else 0.0
+        v[7] = 1.0 if isinstance(inst, AtomicRMWInst) else 0.0
+        v[8] = 1.0 if isinstance(inst, GEPInst) else 0.0
+        v[9] = 1.0 if isinstance(inst, AllocaInst) else 0.0
+        v[10] = 1.0 if isinstance(inst, CastInst) else 0.0
+        v[11] = float(inst.type.byte_size) if inst.produces_value() else 0.0
+
+        # -- basic-block category (13-19)
+        index = block.index_of(inst)
+        v[12] = float(len(block.instructions) - index - 1)
+        v[13] = float(len(block.instructions))
+        successors = block.successors()
+        v[14] = float(len(successors))
+        v[15] = float(sum(len(s.instructions) for s in successors))
+        v[16] = 1.0 if caches.loop_info.in_loop(block) else 0.0
+        v[17] = 1.0 if block.has_phi() else 0.0
+        v[18] = 1.0 if isinstance(block.terminator, BranchInst) else 0.0
+
+        # -- function category (20-24)
+        remaining_here = len(block.instructions) - index - 1
+        if isinstance(block.terminator, RetInst):
+            v[19] = float(remaining_here)
+        else:
+            d = caches.return_distance.get(block, 10**9)
+            v[19] = float(remaining_here + (d if d < 10**9 else 0))
+        v[20] = float(fn.instruction_count)
+        v[21] = float(fn.block_count)
+        future_calls = caches.future_calls[id(block)] + sum(
+            1
+            for later in block.instructions[index + 1 :]
+            if isinstance(later, CallInst)
+        )
+        v[22] = float(future_calls)
+        v[23] = 1.0 if fn.returns_value() else 0.0
+
+        # -- slice category (25-31)
+        sliced = forward_slice(
+            inst, context=self.slice_context, max_size=self.slice_cap
+        )
+        stats = SliceStatistics(sliced)
+        v[24] = float(stats.size)
+        v[25] = float(stats.loads)
+        v[26] = float(stats.stores)
+        v[27] = float(stats.calls)
+        v[28] = float(stats.binary_ops)
+        v[29] = float(stats.allocas)
+        v[30] = float(stats.geps)
+        return v
+
+    def extract_many(self, instructions) -> np.ndarray:
+        """Feature matrix with one row per instruction."""
+        rows = [self.extract(inst) for inst in instructions]
+        if not rows:
+            return np.zeros((0, NUM_FEATURES), dtype=np.float64)
+        return np.vstack(rows)

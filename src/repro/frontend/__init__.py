@@ -1,0 +1,68 @@
+"""repro.frontend — the scil language.
+
+scil ("SCIentific Language") is the small C-like language the five
+workloads are written in.  A whirlwind tour::
+
+    // Globals; `output` marks what the verification routines read.
+    int param_n = 64;
+    output double result[256];
+
+    double dot(double a[], double b[], int n) {
+        double s = 0.0;
+        for (int i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+        return s;
+    }
+
+    void main() {
+        int n = param_n;
+        double x[256];
+        for (int i = 0; i < n; i = i + 1) { x[i] = (double)i; }
+        result[0] = sqrt(dot(x, x, n));
+    }
+
+Features: ``int`` (i64), ``double`` (IEEE f64), ``bool``, 1-D arrays
+(globals, locals, and ``T name[]`` parameters), functions, ``if``/``while``/
+``for``/``break``/``continue``, short-circuit ``&&``/``||``, bitwise and
+shift operators on ``int``, implicit ``int -> double`` promotion, explicit
+``(int)``/``(double)`` casts, libm intrinsics, ``print``, and the ``mpi_*``
+collectives served by :mod:`repro.parallel`.
+
+Pipeline: :func:`tokenize` → :func:`parse` → :func:`analyze` →
+:func:`generate` → (optionally) the standard optimization pipeline.
+:func:`compile_to_ir` runs all of it.
+"""
+
+from ..ir.verifier import verify_module
+from .ast_nodes import Program
+from .codegen import generate
+from .errors import LexError, ParseError, ScilError, SemaError, SourceLocation
+from .lexer import Token, tokenize
+from .parser import parse
+from .sema import INTRINSICS, SemanticAnalyzer, analyze
+
+
+def compile_to_ir(source: str, name: str = "module", optimize: bool = True):
+    """Compile scil source text into a verified IR module.
+
+    With ``optimize=True`` (the default, and what the IPAS pipeline uses),
+    the standard pass pipeline — mem2reg, constant folding, CFG
+    simplification, DCE — runs to fixpoint, mirroring the paper's setup
+    where protection happens after user-level optimization (§3, step 4).
+    """
+    from ..passes import optimize_module
+
+    program = analyze(parse(source))
+    module = generate(program, name)
+    verify_module(module)
+    if optimize:
+        optimize_module(module)
+        verify_module(module)
+    return module
+
+
+__all__ = [
+    "INTRINSICS", "LexError", "ParseError", "Program", "ScilError",
+    "SemaError", "SemanticAnalyzer", "SourceLocation", "Token",
+    "analyze", "compile_to_ir", "generate", "parse", "tokenize",
+    "verify_module",
+]

@@ -1,0 +1,294 @@
+"""AST node definitions for scil.
+
+Every node carries a :class:`~repro.frontend.errors.SourceLocation`; the
+semantic analyzer annotates expression nodes with a resolved ``type`` (a
+string: ``"int" | "double" | "bool"`` plus the array forms) before codegen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .errors import SourceLocation
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: SourceLocation):
+        self.location = location
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, location: SourceLocation):
+        super().__init__(location)
+        self.type: Optional[str] = None  # filled by sema
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location: SourceLocation):
+        super().__init__(location)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, location: SourceLocation):
+        super().__init__(location)
+        self.value = value
+
+
+class BoolLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, location: SourceLocation):
+        super().__init__(location)
+        self.value = value
+
+
+class VarRef(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, location: SourceLocation):
+        super().__init__(location)
+        self.name = name
+        self.symbol = None  # filled by sema
+
+
+class IndexExpr(Expr):
+    """``base[index]`` where base names an array variable or array param."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: "VarRef", index: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+
+class UnaryExpr(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.op = op  # '-' | '!'
+        self.operand = operand
+
+
+class BinaryExpr(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CastExpr(Expr):
+    """Explicit ``(int)e`` or ``(double)e``."""
+
+    __slots__ = ("target", "operand")
+
+    def __init__(self, target: str, operand: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.target = target
+        self.operand = operand
+
+
+class CallExpr(Expr):
+    __slots__ = ("name", "args", "resolved")
+
+    def __init__(self, name: str, args: List[Expr], location: SourceLocation):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+        self.resolved = None  # filled by sema: FunctionSymbol or intrinsic
+
+
+# -- statements -------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List[Stmt], location: SourceLocation):
+        super().__init__(location)
+        self.statements = statements
+
+
+class VarDecl(Stmt):
+    """``type name [= init];`` or ``type name[N];``"""
+
+    __slots__ = ("type_name", "name", "array_size", "init", "symbol")
+
+    def __init__(
+        self,
+        type_name: str,
+        name: str,
+        array_size: Optional[int],
+        init: Optional[Expr],
+        location: SourceLocation,
+    ):
+        super().__init__(location)
+        self.type_name = type_name
+        self.name = name
+        self.array_size = array_size
+        self.init = init
+        self.symbol = None
+
+
+class Assign(Stmt):
+    """``lvalue op= expr;`` with op in {'', '+', '-', '*', '/', '%'}."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target: Expr, op: str, value: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.target = target  # VarRef or IndexExpr
+        self.op = op
+        self.value = value
+
+
+class If(Stmt):
+    __slots__ = ("condition", "then_body", "else_body")
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_body: Stmt,
+        else_body: Optional[Stmt],
+        location: SourceLocation,
+    ):
+        super().__init__(location)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition: Expr, body: Stmt, location: SourceLocation):
+        super().__init__(location)
+        self.condition = condition
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Stmt],
+        body: Stmt,
+        location: SourceLocation,
+    ):
+        super().__init__(location)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], location: SourceLocation):
+        super().__init__(location)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    """A bare call used for its effects."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, location: SourceLocation):
+        super().__init__(location)
+        self.expr = expr
+
+
+# -- top level ------------------------------------------------------------------------
+
+
+class Param(Node):
+    __slots__ = ("type_name", "name", "is_array", "symbol")
+
+    def __init__(self, type_name: str, name: str, is_array: bool, location: SourceLocation):
+        super().__init__(location)
+        self.type_name = type_name
+        self.name = name
+        self.is_array = is_array
+        self.symbol = None
+
+
+class FuncDef(Node):
+    __slots__ = ("return_type", "name", "params", "body")
+
+    def __init__(
+        self,
+        return_type: str,
+        name: str,
+        params: List[Param],
+        body: Block,
+        location: SourceLocation,
+    ):
+        super().__init__(location)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class GlobalDecl(Node):
+    __slots__ = ("type_name", "name", "array_size", "initializer", "is_output")
+
+    def __init__(
+        self,
+        type_name: str,
+        name: str,
+        array_size: Optional[int],
+        initializer,
+        is_output: bool,
+        location: SourceLocation,
+    ):
+        super().__init__(location)
+        self.type_name = type_name
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer  # None | number | list of numbers
+        self.is_output = is_output
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_: List[GlobalDecl], functions: List[FuncDef], location):
+        super().__init__(location)
+        self.globals = globals_
+        self.functions = functions

@@ -1,0 +1,411 @@
+"""IR code generation for scil.
+
+Lowers a sema-annotated AST to repro IR the way Clang lowers C at -O0:
+every local scalar becomes an ``alloca`` with loads/stores at each use, all
+allocas are grouped at the top of the entry block, and control flow becomes
+explicit basic blocks.  The mem2reg pass then rebuilds SSA form, which is
+required by the IPAS fault model (registers are unprotected, memory is
+ECC-protected — see :mod:`repro.passes.mem2reg`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import AllocaInst
+from ..ir.module import Module
+from ..ir.types import ArrayType, F64, I1, I64, PointerType, Type, VOID
+from ..ir.values import Value, const_bool, const_float, const_int
+from .ast_nodes import (
+    Assign,
+    BinaryExpr,
+    Block,
+    BoolLiteral,
+    Break,
+    CallExpr,
+    CastExpr,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FuncDef,
+    If,
+    IndexExpr,
+    IntLiteral,
+    Program,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .errors import SemaError
+from .sema import FuncSymbol, IntrinsicOverload, VarSymbol
+
+_SCALAR_IR = {"int": I64, "double": F64, "bool": I1}
+
+_ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+
+
+def ir_type(scil_type: str) -> Type:
+    if scil_type.endswith("[]"):
+        return PointerType(_SCALAR_IR[scil_type[:-2]])
+    if scil_type == "void":
+        return VOID
+    return _SCALAR_IR[scil_type]
+
+
+class CodeGenerator:
+    """Lowers one annotated Program to a fresh IR Module."""
+
+    def __init__(self, program: Program, module_name: str = "module"):
+        self.program = program
+        self.module = Module(module_name)
+        self.ir_functions: Dict[str, Function] = {}
+
+    def generate(self) -> Module:
+        for g in self.program.globals:
+            if g.array_size is not None:
+                vtype: Type = ArrayType(_SCALAR_IR[g.type_name], g.array_size)
+            else:
+                vtype = _SCALAR_IR[g.type_name]
+            self.module.add_global(g.name, vtype, g.initializer, g.is_output)
+        for f in self.program.functions:
+            params = []
+            names = []
+            for p in f.params:
+                params.append(ir_type(p.type_name + ("[]" if p.is_array else "")))
+                names.append(p.name)
+            self.ir_functions[f.name] = self.module.add_function(
+                f.name, ir_type(f.return_type), params, names
+            )
+        for f in self.program.functions:
+            _FunctionCodegen(self, f).generate()
+        return self.module
+
+
+class _LoopTargets:
+    __slots__ = ("break_block", "continue_block")
+
+    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class _FunctionCodegen:
+    def __init__(self, parent: CodeGenerator, fdef: FuncDef):
+        self.cg = parent
+        self.fdef = fdef
+        self.fn = parent.ir_functions[fdef.name]
+        self.builder = IRBuilder()
+        self.entry_block: Optional[BasicBlock] = None
+        self._alloca_count = 0
+        #: id(VarSymbol) -> address Value (alloca/global) or direct pointer
+        self.slots: Dict[int, Value] = {}
+        #: symbols holding their value directly (array params)
+        self.direct: Dict[int, Value] = {}
+        self.loops: List[_LoopTargets] = []
+        self._block_counter = 0
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def new_block(self, hint: str) -> BasicBlock:
+        self._block_counter += 1
+        return self.fn.add_block(f"{hint}{self._block_counter}")
+
+    def make_alloca(self, allocated_type: Type, name: str) -> Value:
+        """Insert an alloca at the top of the entry block (Clang style), so
+        loops never re-allocate and mem2reg sees a canonical shape."""
+        assert self.entry_block is not None
+        inst = AllocaInst(allocated_type, name)
+        inst.parent = self.entry_block
+        self.entry_block.instructions.insert(self._alloca_count, inst)
+        self._alloca_count += 1
+        return inst
+
+    # -- function body -----------------------------------------------------------------
+
+    def generate(self) -> None:
+        self.entry_block = self.fn.add_block("entry")
+        self.builder.position_at_end(self.entry_block)
+        for arg, p in zip(self.fn.args, self.fdef.params):
+            assert p.symbol is not None
+            if p.is_array:
+                self.direct[id(p.symbol)] = arg
+            else:
+                slot = self.make_alloca(arg.type, p.name)
+                self.builder.store(arg, slot)
+                self.slots[id(p.symbol)] = slot
+        self.gen_block(self.fdef.body)
+        current = self.builder.block
+        assert current is not None
+        if not current.is_terminated():
+            if self.fn.return_type.is_void():
+                self.builder.ret()
+            else:
+                # Falling off the end of a non-void function is a runtime
+                # trap, like UB in C compiled with -fsanitize=unreachable.
+                self.builder.unreachable()
+
+    # -- statements -------------------------------------------------------------------------
+
+    def gen_block(self, block: Block) -> None:
+        for stmt in block.statements:
+            self.gen_stmt(stmt)
+
+    def ensure_open_block(self) -> None:
+        """After a terminator (return/break), park codegen in a dead block."""
+        current = self.builder.block
+        if current is not None and current.is_terminated():
+            self.builder.position_at_end(self.new_block("dead"))
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        self.ensure_open_block()
+        if isinstance(stmt, Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, VarDecl):
+            self.gen_var_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self.builder.ret(self.gen_expr(stmt.value))
+            else:
+                self.builder.ret()
+        elif isinstance(stmt, Break):
+            self.builder.br(self.loops[-1].break_block)
+        elif isinstance(stmt, Continue):
+            self.builder.br(self.loops[-1].continue_block)
+        elif isinstance(stmt, ExprStmt):
+            self.gen_expr(stmt.expr, discard=True)
+        else:  # pragma: no cover
+            raise SemaError(f"codegen: unknown statement {stmt!r}", stmt.location)
+
+    def gen_var_decl(self, decl: VarDecl) -> None:
+        sym = decl.symbol
+        assert sym is not None
+        if decl.array_size is not None:
+            elem = _SCALAR_IR[decl.type_name]
+            slot = self.make_alloca(ArrayType(elem, decl.array_size), decl.name)
+            self.slots[id(sym)] = slot
+            return
+        slot = self.make_alloca(_SCALAR_IR[decl.type_name], decl.name)
+        self.slots[id(sym)] = slot
+        if decl.init is not None:
+            self.builder.store(self.gen_expr(decl.init), slot)
+
+    def gen_assign(self, stmt: Assign) -> None:
+        address = self.gen_address(stmt.target)
+        value = self.gen_expr(stmt.value)
+        if stmt.op:
+            old = self.builder.load(address)
+            value = self.gen_arith(stmt.op, old, value, stmt.target.type)
+        self.builder.store(value, address)
+
+    def gen_if(self, stmt: If) -> None:
+        cond = self.gen_expr(stmt.condition)
+        then_block = self.new_block("if.then")
+        merge_block = self.new_block("if.end")
+        else_block = self.new_block("if.else") if stmt.else_body is not None else merge_block
+        self.builder.cond_br(cond, then_block, else_block)
+        self.builder.position_at_end(then_block)
+        self.gen_stmt(stmt.then_body)
+        if not self.builder.block.is_terminated():
+            self.builder.br(merge_block)
+        if stmt.else_body is not None:
+            self.builder.position_at_end(else_block)
+            self.gen_stmt(stmt.else_body)
+            if not self.builder.block.is_terminated():
+                self.builder.br(merge_block)
+        self.builder.position_at_end(merge_block)
+
+    def gen_while(self, stmt: While) -> None:
+        cond_block = self.new_block("while.cond")
+        body_block = self.new_block("while.body")
+        exit_block = self.new_block("while.end")
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self.gen_expr(stmt.condition)
+        self.builder.cond_br(cond, body_block, exit_block)
+        self.builder.position_at_end(body_block)
+        self.loops.append(_LoopTargets(exit_block, cond_block))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self.builder.block.is_terminated():
+            self.builder.br(cond_block)
+        self.builder.position_at_end(exit_block)
+
+    def gen_for(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        cond_block = self.new_block("for.cond")
+        body_block = self.new_block("for.body")
+        step_block = self.new_block("for.step")
+        exit_block = self.new_block("for.end")
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        if stmt.condition is not None:
+            cond = self.gen_expr(stmt.condition)
+            self.builder.cond_br(cond, body_block, exit_block)
+        else:
+            self.builder.br(body_block)
+        self.builder.position_at_end(body_block)
+        self.loops.append(_LoopTargets(exit_block, step_block))
+        self.gen_stmt(stmt.body)
+        self.loops.pop()
+        if not self.builder.block.is_terminated():
+            self.builder.br(step_block)
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.builder.br(cond_block)
+        self.builder.position_at_end(exit_block)
+
+    # -- addresses ----------------------------------------------------------------------------
+
+    def gen_address(self, target: Expr) -> Value:
+        if isinstance(target, VarRef):
+            sym = target.symbol
+            assert sym is not None
+            if sym.is_global:
+                return self.cg.module.get_global(sym.name)
+            return self.slots[id(sym)]
+        if isinstance(target, IndexExpr):
+            base = self.gen_array_pointer(target.base)
+            index = self.gen_expr(target.index)
+            return self.builder.gep(base, index)
+        raise SemaError("invalid assignment target", target.location)
+
+    def gen_array_pointer(self, ref: VarRef) -> Value:
+        sym = ref.symbol
+        assert sym is not None and sym.is_array
+        if sym.is_global:
+            return self.cg.module.get_global(sym.name)
+        direct = self.direct.get(id(sym))
+        if direct is not None:
+            return direct
+        return self.slots[id(sym)]
+
+    # -- expressions ----------------------------------------------------------------------------
+
+    def gen_expr(self, expr: Expr, discard: bool = False) -> Optional[Value]:
+        if isinstance(expr, IntLiteral):
+            return const_int(expr.value)
+        if isinstance(expr, FloatLiteral):
+            return const_float(expr.value)
+        if isinstance(expr, BoolLiteral):
+            return const_bool(expr.value)
+        if isinstance(expr, VarRef):
+            sym = expr.symbol
+            assert sym is not None
+            if sym.is_array:
+                return self.gen_array_pointer(expr)
+            if sym.is_global:
+                return self.builder.load(self.cg.module.get_global(sym.name), sym.name)
+            return self.builder.load(self.slots[id(sym)], sym.name)
+        if isinstance(expr, IndexExpr):
+            base = self.gen_array_pointer(expr.base)
+            index = self.gen_expr(expr.index)
+            return self.builder.load(self.builder.gep(base, index))
+        if isinstance(expr, UnaryExpr):
+            operand = self.gen_expr(expr.operand)
+            if expr.op == "-":
+                if expr.type == "double":
+                    return self.builder.fsub(const_float(0.0), operand)
+                return self.builder.sub(const_int(0), operand)
+            return self.builder.xor(operand, const_bool(True))
+        if isinstance(expr, CastExpr):
+            return self.gen_cast(expr)
+        if isinstance(expr, BinaryExpr):
+            return self.gen_binary(expr)
+        if isinstance(expr, CallExpr):
+            return self.gen_call(expr, discard)
+        raise SemaError(f"codegen: unknown expression {expr!r}", expr.location)
+
+    def gen_cast(self, expr: CastExpr) -> Value:
+        operand = self.gen_expr(expr.operand)
+        src = expr.operand.type
+        dst = expr.target
+        if src == dst:
+            return operand
+        if src == "int" and dst == "double":
+            return self.builder.sitofp(operand)
+        if src == "double" and dst == "int":
+            return self.builder.fptosi(operand)
+        if src == "bool" and dst == "int":
+            return self.builder.zext(operand, I64)
+        if src == "bool" and dst == "double":
+            as_int = self.builder.zext(operand, I64)
+            return self.builder.sitofp(as_int)
+        raise SemaError(f"codegen: cannot cast {src} to {dst}", expr.location)
+
+    def gen_binary(self, expr: BinaryExpr) -> Value:
+        if expr.op in ("&&", "||"):
+            return self.gen_short_circuit(expr)
+        lhs = self.gen_expr(expr.lhs)
+        rhs = self.gen_expr(expr.rhs)
+        if expr.type == "bool":  # comparison
+            operand_type = expr.lhs.type
+            if operand_type == "double":
+                return self.builder.fcmp(_FCMP[expr.op], lhs, rhs)
+            return self.builder.icmp(_ICMP[expr.op], lhs, rhs)
+        return self.gen_arith(expr.op, lhs, rhs, expr.type)
+
+    def gen_arith(self, op: str, lhs: Value, rhs: Value, result_type: str) -> Value:
+        if result_type == "double":
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv", "%": "frem"}[op]
+            return self.builder.binop(opcode, lhs, rhs)
+        opcode = {
+            "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+        }[op]
+        return self.builder.binop(opcode, lhs, rhs)
+
+    def gen_short_circuit(self, expr: BinaryExpr) -> Value:
+        lhs = self.gen_expr(expr.lhs)
+        lhs_block = self.builder.block
+        assert lhs_block is not None
+        rhs_block = self.new_block("sc.rhs")
+        merge_block = self.new_block("sc.end")
+        if expr.op == "&&":
+            self.builder.cond_br(lhs, rhs_block, merge_block)
+            short_value = const_bool(False)
+        else:
+            self.builder.cond_br(lhs, merge_block, rhs_block)
+            short_value = const_bool(True)
+        self.builder.position_at_end(rhs_block)
+        rhs = self.gen_expr(expr.rhs)
+        rhs_end = self.builder.block
+        assert rhs_end is not None
+        self.builder.br(merge_block)
+        self.builder.position_at_end(merge_block)
+        phi = self.builder.phi(I1, "sc")
+        phi.add_incoming(short_value, lhs_block)
+        phi.add_incoming(rhs, rhs_end)
+        return phi
+
+    def gen_call(self, expr: CallExpr, discard: bool) -> Optional[Value]:
+        args = [self.gen_expr(a) for a in expr.args]
+        resolved = expr.resolved
+        if isinstance(resolved, IntrinsicOverload):
+            return self.builder.call_intrinsic(resolved.ir_name, args)
+        assert isinstance(resolved, FuncSymbol)
+        callee = self.cg.ir_functions[resolved.name]
+        return self.builder.call(callee, args)
+
+
+def generate(program: Program, module_name: str = "module") -> Module:
+    """Lower an analyzed Program to IR (unoptimized, unverified)."""
+    return CodeGenerator(program, module_name).generate()

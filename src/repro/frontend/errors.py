@@ -1,0 +1,50 @@
+"""Diagnostics for the scil frontend."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """1-based line/column position in a source file."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.line}, {self.column})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and other.line == self.line
+            and other.column == self.column
+        )
+
+
+class ScilError(Exception):
+    """A frontend diagnostic with a source position."""
+
+    def __init__(self, message: str, location: SourceLocation = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(ScilError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(ScilError):
+    """Syntax error."""
+
+
+class SemaError(ScilError):
+    """Type or name-resolution error."""

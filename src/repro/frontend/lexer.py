@@ -1,0 +1,170 @@
+"""Lexer for scil, the small C-like language the workloads are written in.
+
+Token kinds: keywords, identifiers, integer and floating literals, operators,
+and punctuation.  ``//`` line comments and ``/* */`` block comments are
+skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .errors import LexError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "double",
+        "bool",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "output",
+    }
+)
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "location")
+
+    def __init__(self, kind: str, text: str, location: SourceLocation, value=None):
+        #: 'keyword' | 'ident' | 'int' | 'float' | 'op' | 'eof'
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.location = location
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, @{self.location})"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            c = self._peek()
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == ".":
+            is_float = True
+            self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        if is_float:
+            return Token("float", text, loc, float(text))
+        return Token("int", text, loc, int(text))
+
+    def _lex_word(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            return Token("keyword", text, loc)
+        return Token("ident", text, loc)
+
+    def _lex_operator(self) -> Token:
+        loc = self._loc()
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, loc)
+        raise LexError(f"unexpected character {self._peek()!r}", loc)
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token("eof", "", self._loc())
+                return
+            c = self._peek()
+            if c.isdigit() or (c == "." and self._peek(1).isdigit()):
+                yield self._lex_number()
+            elif c.isalpha() or c == "_":
+                yield self._lex_word()
+            else:
+                yield self._lex_operator()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize scil source, including the trailing EOF token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,426 @@
+"""Recursive-descent parser for scil.
+
+Grammar (EBNF; see the package docstring for the informal language tour)::
+
+    program     := (global_decl | func_def)*
+    global_decl := ["output"] type IDENT ["[" INT "]"] ["=" ginit] ";"
+    ginit       := number | "-" number | "{" number ("," number)* "}"
+    func_def    := type IDENT "(" [params] ")" block
+    params      := param ("," param)*
+    param       := type IDENT ["[" "]"]
+    block       := "{" stmt* "}"
+    stmt        := var_decl | simple ";" | if | while | for | return
+                 | "break" ";" | "continue" ";" | block
+    var_decl    := type IDENT ("[" INT "]" | ["=" expr]) ";"
+    simple      := assign | expr
+    assign      := lvalue ("=" | "+=" | "-=" | "*=" | "/=" | "%=") expr
+    if          := "if" "(" expr ")" stmt ["else" stmt]
+    while       := "while" "(" expr ")" stmt
+    for         := "for" "(" [var_decl_nosemi | simple] ";" [expr] ";" [simple] ")" stmt
+    return      := "return" [expr] ";"
+
+Expression precedence, low to high::
+
+    ||  &&  |  ^  &  == !=  < <= > >=  << >>  + -  * / %  unary- !  postfix
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    Assign,
+    BinaryExpr,
+    Block,
+    BoolLiteral,
+    Break,
+    CallExpr,
+    CastExpr,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    IndexExpr,
+    IntLiteral,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .errors import ParseError, SourceLocation
+from .lexer import Token, tokenize
+
+TYPE_KEYWORDS = ("int", "double", "bool", "void")
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text!r}",
+                self.current.location,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise ParseError(
+                f"expected identifier, found {self.current.text!r}",
+                self.current.location,
+            )
+        return self.advance()
+
+    def at_type(self) -> bool:
+        return self.current.kind == "keyword" and self.current.text in TYPE_KEYWORDS
+
+    def expect_type(self) -> str:
+        if not self.at_type():
+            raise ParseError(
+                f"expected a type, found {self.current.text!r}",
+                self.current.location,
+            )
+        return self.advance().text
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        loc = self.current.location
+        globals_: List[GlobalDecl] = []
+        functions: List[FuncDef] = []
+        while self.current.kind != "eof":
+            if self.current.is_keyword("output"):
+                globals_.append(self.parse_global())
+                continue
+            if not self.at_type():
+                raise ParseError(
+                    f"expected a declaration, found {self.current.text!r}",
+                    self.current.location,
+                )
+            # type IDENT '(' -> function; otherwise global variable.
+            if self.peek(2).is_op("("):
+                functions.append(self.parse_function())
+            else:
+                globals_.append(self.parse_global())
+        return Program(globals_, functions, loc)
+
+    def parse_global(self) -> GlobalDecl:
+        loc = self.current.location
+        is_output = False
+        if self.current.is_keyword("output"):
+            is_output = True
+            self.advance()
+        type_name = self.expect_type()
+        if type_name == "void":
+            raise ParseError("globals cannot be void", loc)
+        name = self.expect_ident().text
+        array_size: Optional[int] = None
+        if self.current.is_op("["):
+            self.advance()
+            size_tok = self.advance()
+            if size_tok.kind != "int":
+                raise ParseError("array size must be an integer literal", size_tok.location)
+            array_size = size_tok.value
+            self.expect_op("]")
+        initializer = None
+        if self.current.is_op("="):
+            self.advance()
+            initializer = self.parse_global_init(array_size is not None)
+        self.expect_op(";")
+        return GlobalDecl(type_name, name, array_size, initializer, is_output, loc)
+
+    def parse_global_init(self, is_array: bool):
+        if self.current.is_op("{"):
+            if not is_array:
+                raise ParseError("brace initializer on a scalar global", self.current.location)
+            self.advance()
+            values = [self.parse_const_number()]
+            while self.current.is_op(","):
+                self.advance()
+                values.append(self.parse_const_number())
+            self.expect_op("}")
+            return values
+        return self.parse_const_number()
+
+    def parse_const_number(self):
+        negative = False
+        if self.current.is_op("-"):
+            negative = True
+            self.advance()
+        tok = self.advance()
+        if tok.kind not in ("int", "float"):
+            raise ParseError("expected a numeric constant", tok.location)
+        return -tok.value if negative else tok.value
+
+    def parse_function(self) -> FuncDef:
+        loc = self.current.location
+        return_type = self.expect_type()
+        name = self.expect_ident().text
+        self.expect_op("(")
+        params: List[Param] = []
+        if not self.current.is_op(")"):
+            params.append(self.parse_param())
+            while self.current.is_op(","):
+                self.advance()
+                params.append(self.parse_param())
+        self.expect_op(")")
+        body = self.parse_block()
+        return FuncDef(return_type, name, params, body, loc)
+
+    def parse_param(self) -> Param:
+        loc = self.current.location
+        type_name = self.expect_type()
+        if type_name == "void":
+            raise ParseError("parameters cannot be void", loc)
+        name = self.expect_ident().text
+        is_array = False
+        if self.current.is_op("["):
+            self.advance()
+            self.expect_op("]")
+            is_array = True
+        return Param(type_name, name, is_array, loc)
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_block(self) -> Block:
+        loc = self.current.location
+        self.expect_op("{")
+        statements: List[Stmt] = []
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", loc)
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return Block(statements, loc)
+
+    def parse_statement(self) -> Stmt:
+        tok = self.current
+        if tok.is_op("{"):
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_var_decl()
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.current.is_op(";"):
+                value = self.parse_expression()
+            self.expect_op(";")
+            return Return(value, tok.location)
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return Break(tok.location)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return Continue(tok.location)
+        stmt = self.parse_simple()
+        self.expect_op(";")
+        return stmt
+
+    def parse_var_decl(self) -> VarDecl:
+        loc = self.current.location
+        type_name = self.expect_type()
+        if type_name == "void":
+            raise ParseError("variables cannot be void", loc)
+        name = self.expect_ident().text
+        array_size: Optional[int] = None
+        init: Optional[Expr] = None
+        if self.current.is_op("["):
+            self.advance()
+            size_tok = self.advance()
+            if size_tok.kind != "int":
+                raise ParseError("array size must be an integer literal", size_tok.location)
+            array_size = size_tok.value
+            self.expect_op("]")
+        elif self.current.is_op("="):
+            self.advance()
+            init = self.parse_expression()
+        self.expect_op(";")
+        return VarDecl(type_name, name, array_size, init, loc)
+
+    def parse_simple(self) -> Stmt:
+        """An assignment or a bare expression (call) — no semicolon."""
+        loc = self.current.location
+        expr = self.parse_expression()
+        if self.current.kind == "op" and self.current.text in ASSIGN_OPS:
+            op_tok = self.advance()
+            if not isinstance(expr, (VarRef, IndexExpr)):
+                raise ParseError("left side of assignment is not assignable", loc)
+            value = self.parse_expression()
+            return Assign(expr, ASSIGN_OPS[op_tok.text], value, loc)
+        return ExprStmt(expr, loc)
+
+    def parse_if(self) -> If:
+        loc = self.advance().location
+        self.expect_op("(")
+        condition = self.parse_expression()
+        self.expect_op(")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.current.is_keyword("else"):
+            self.advance()
+            else_body = self.parse_statement()
+        return If(condition, then_body, else_body, loc)
+
+    def parse_while(self) -> While:
+        loc = self.advance().location
+        self.expect_op("(")
+        condition = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return While(condition, body, loc)
+
+    def parse_for(self) -> For:
+        loc = self.advance().location
+        self.expect_op("(")
+        init: Optional[Stmt] = None
+        if not self.current.is_op(";"):
+            if self.at_type():
+                # Variable declaration consumes its own semicolon.
+                init = self.parse_var_decl()
+            else:
+                init = self.parse_simple()
+                self.expect_op(";")
+        else:
+            self.advance()
+        condition: Optional[Expr] = None
+        if not self.current.is_op(";"):
+            condition = self.parse_expression()
+        self.expect_op(";")
+        step: Optional[Stmt] = None
+        if not self.current.is_op(")"):
+            step = self.parse_simple()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return For(init, condition, step, body, loc)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        lhs = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.current.kind == "op" and self.current.text in ops:
+            op_tok = self.advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = BinaryExpr(op_tok.text, lhs, rhs, op_tok.location)
+        return lhs
+
+    def parse_unary(self) -> Expr:
+        tok = self.current
+        if tok.is_op("-"):
+            self.advance()
+            return UnaryExpr("-", self.parse_unary(), tok.location)
+        if tok.is_op("!"):
+            self.advance()
+            return UnaryExpr("!", self.parse_unary(), tok.location)
+        # Cast: '(' type ')' unary
+        if (
+            tok.is_op("(")
+            and self.peek().kind == "keyword"
+            and self.peek().text in ("int", "double", "bool")
+            and self.peek(2).is_op(")")
+        ):
+            self.advance()
+            target = self.advance().text
+            self.expect_op(")")
+            return CastExpr(target, self.parse_unary(), tok.location)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        tok = self.current
+        if tok.is_op("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_op(")")
+            return inner
+        if tok.kind == "int":
+            self.advance()
+            return IntLiteral(tok.value, tok.location)
+        if tok.kind == "float":
+            self.advance()
+            return FloatLiteral(tok.value, tok.location)
+        if tok.is_keyword("true"):
+            self.advance()
+            return BoolLiteral(True, tok.location)
+        if tok.is_keyword("false"):
+            self.advance()
+            return BoolLiteral(False, tok.location)
+        if tok.kind == "ident":
+            self.advance()
+            if self.current.is_op("("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self.current.is_op(","):
+                        self.advance()
+                        args.append(self.parse_expression())
+                self.expect_op(")")
+                return CallExpr(tok.text, args, tok.location)
+            ref = VarRef(tok.text, tok.location)
+            if self.current.is_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                return IndexExpr(ref, index, tok.location)
+            return ref
+        raise ParseError(f"unexpected token {tok.text!r}", tok.location)
+
+
+def parse(source: str) -> Program:
+    """Parse scil source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

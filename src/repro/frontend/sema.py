@@ -1,0 +1,461 @@
+"""Semantic analysis for scil: name resolution and type checking.
+
+Annotates the AST in place:
+
+* every :class:`~repro.frontend.ast_nodes.Expr` gets a ``type`` string
+  (``"int"``, ``"double"``, ``"bool"``, ``"int[]"``, ``"double[]"``),
+* ``VarRef.symbol`` points to the declaring :class:`VarSymbol`,
+* ``CallExpr.resolved`` points to a :class:`FuncSymbol` or
+  :class:`IntrinsicOverload`,
+* implicit ``int -> double`` promotions are materialised as explicit
+  :class:`~repro.frontend.ast_nodes.CastExpr` nodes so codegen never has to
+  reason about coercions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ast_nodes import (
+    Assign,
+    BinaryExpr,
+    Block,
+    BoolLiteral,
+    Break,
+    CallExpr,
+    CastExpr,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    IndexExpr,
+    IntLiteral,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .errors import SemaError
+
+SCALAR_TYPES = ("int", "double", "bool")
+ARITH_OPS = ("+", "-", "*", "/")
+INT_ONLY_OPS = ("%", "<<", ">>", "&", "|", "^")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+LOGIC_OPS = ("&&", "||")
+
+
+class VarSymbol:
+    __slots__ = ("name", "type", "is_global", "array_size", "node")
+
+    def __init__(self, name: str, type_: str, is_global: bool, array_size=None, node=None):
+        self.name = name
+        self.type = type_  # 'int' | 'double' | 'bool' | 'int[]' | 'double[]'
+        self.is_global = is_global
+        self.array_size = array_size
+        self.node = node
+
+    @property
+    def is_array(self) -> bool:
+        return self.type.endswith("[]")
+
+    @property
+    def element_type(self) -> str:
+        return self.type[:-2] if self.is_array else self.type
+
+
+class FuncSymbol:
+    __slots__ = ("name", "return_type", "param_types", "node")
+
+    def __init__(self, name: str, return_type: str, param_types: List[str], node=None):
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+        self.node = node
+
+
+class IntrinsicOverload:
+    __slots__ = ("scil_name", "ir_name", "param_types", "return_type")
+
+    def __init__(self, scil_name: str, ir_name: str, param_types: Tuple[str, ...], return_type: str):
+        self.scil_name = scil_name
+        self.ir_name = ir_name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+
+
+def _ov(scil, ir, params, ret) -> IntrinsicOverload:
+    return IntrinsicOverload(scil, ir, params, ret)
+
+
+#: scil-level intrinsics; overloads resolve to typed IR intrinsics.
+INTRINSICS: Dict[str, List[IntrinsicOverload]] = {
+    "sqrt": [_ov("sqrt", "sqrt", ("double",), "double")],
+    "fabs": [_ov("fabs", "fabs", ("double",), "double")],
+    "sin": [_ov("sin", "sin", ("double",), "double")],
+    "cos": [_ov("cos", "cos", ("double",), "double")],
+    "exp": [_ov("exp", "exp", ("double",), "double")],
+    "log": [_ov("log", "log", ("double",), "double")],
+    "pow": [_ov("pow", "pow", ("double", "double"), "double")],
+    "floor": [_ov("floor", "floor", ("double",), "double")],
+    "fmin": [_ov("fmin", "fmin", ("double", "double"), "double")],
+    "fmax": [_ov("fmax", "fmax", ("double", "double"), "double")],
+    "print": [
+        _ov("print", "print_i64", ("int",), "void"),
+        _ov("print", "print_f64", ("double",), "void"),
+    ],
+    "mpi_rank": [_ov("mpi_rank", "mpi_rank", (), "int")],
+    "mpi_size": [_ov("mpi_size", "mpi_size", (), "int")],
+    "mpi_barrier": [_ov("mpi_barrier", "mpi_barrier", (), "void")],
+    "mpi_allreduce_sum": [
+        _ov("mpi_allreduce_sum", "mpi_allreduce_sum_i64", ("int",), "int"),
+        _ov("mpi_allreduce_sum", "mpi_allreduce_sum_f64", ("double",), "double"),
+    ],
+    "mpi_allreduce_min": [
+        _ov("mpi_allreduce_min", "mpi_allreduce_min_f64", ("double",), "double"),
+    ],
+    "mpi_allreduce_max": [
+        _ov("mpi_allreduce_max", "mpi_allreduce_max_i64", ("int",), "int"),
+        _ov("mpi_allreduce_max", "mpi_allreduce_max_f64", ("double",), "double"),
+    ],
+    "mpi_bcast": [
+        _ov("mpi_bcast", "mpi_bcast_i64", ("int", "int"), "int"),
+        _ov("mpi_bcast", "mpi_bcast_f64", ("double", "int"), "double"),
+    ],
+    "mpi_allreduce_sum_array": [
+        _ov("mpi_allreduce_sum_array", "mpi_allreduce_sum_i64_array", ("int[]", "int"), "void"),
+        _ov("mpi_allreduce_sum_array", "mpi_allreduce_sum_f64_array", ("double[]", "int"), "void"),
+    ],
+    "mpi_sendrecv": [
+        _ov("mpi_sendrecv", "mpi_sendrecv_f64", ("double[]", "double[]", "int", "int"), "void"),
+    ],
+}
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, VarSymbol] = {}
+
+    def declare(self, symbol: VarSymbol, location) -> None:
+        if symbol.name in self.symbols:
+            raise SemaError(f"redeclaration of {symbol.name!r}", location)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            sym = scope.symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Checks and annotates one :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.globals = Scope()
+        self.functions: Dict[str, FuncSymbol] = {}
+        self._current_fn: Optional[FuncDef] = None
+        self._loop_depth = 0
+
+    # -- entry point -------------------------------------------------------------
+
+    def analyze(self) -> Program:
+        for g in self.program.globals:
+            self._declare_global(g)
+        for f in self.program.functions:
+            self._declare_function(f)
+        for f in self.program.functions:
+            self._check_function(f)
+        return self.program
+
+    # -- declarations ---------------------------------------------------------------
+
+    def _declare_global(self, g: GlobalDecl) -> None:
+        type_ = g.type_name + ("[]" if g.array_size is not None else "")
+        if g.type_name == "bool":
+            raise SemaError("bool globals are not supported", g.location)
+        if g.array_size is not None and g.array_size <= 0:
+            raise SemaError("array size must be positive", g.location)
+        if g.initializer is not None and g.array_size is not None:
+            if isinstance(g.initializer, list) and len(g.initializer) > g.array_size:
+                raise SemaError("too many initializer elements", g.location)
+        sym = VarSymbol(g.name, type_, True, g.array_size, g)
+        self.globals.declare(sym, g.location)
+
+    def _declare_function(self, f: FuncDef) -> None:
+        if f.name in self.functions:
+            raise SemaError(f"redefinition of function {f.name!r}", f.location)
+        if f.name in INTRINSICS:
+            raise SemaError(f"{f.name!r} shadows a builtin", f.location)
+        param_types = []
+        for p in f.params:
+            if p.type_name == "bool" and p.is_array:
+                raise SemaError("bool arrays are not supported", p.location)
+            param_types.append(p.type_name + ("[]" if p.is_array else ""))
+        self.functions[f.name] = FuncSymbol(f.name, f.return_type, param_types, f)
+
+    # -- function bodies --------------------------------------------------------------
+
+    def _check_function(self, f: FuncDef) -> None:
+        self._current_fn = f
+        scope = Scope(self.globals)
+        for p in f.params:
+            type_ = p.type_name + ("[]" if p.is_array else "")
+            p.symbol = VarSymbol(p.name, type_, False, None, p)
+            scope.declare(p.symbol, p.location)
+        self._check_block(f.body, scope)
+        self._current_fn = None
+
+    def _check_block(self, block: Block, parent_scope: Scope) -> None:
+        scope = Scope(parent_scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: Stmt, scope: Scope) -> None:
+        if isinstance(stmt, Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, VarDecl):
+            self._check_var_decl(stmt, scope)
+        elif isinstance(stmt, Assign):
+            self._check_assign(stmt, scope)
+        elif isinstance(stmt, If):
+            self._check_condition(stmt.condition, scope)
+            self._check_stmt(stmt.then_body, Scope(scope))
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, Scope(scope))
+        elif isinstance(stmt, While):
+            self._check_condition(stmt.condition, scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.condition is not None:
+                self._check_condition(stmt.condition, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, Scope(inner))
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                kind = "break" if isinstance(stmt, Break) else "continue"
+                raise SemaError(f"{kind} outside of a loop", stmt.location)
+        elif isinstance(stmt, ExprStmt):
+            type_ = self._check_expr(stmt.expr, scope)
+            if not isinstance(stmt.expr, CallExpr):
+                raise SemaError("expression statement must be a call", stmt.location)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemaError(f"unknown statement {stmt!r}", stmt.location)
+
+    def _check_var_decl(self, decl: VarDecl, scope: Scope) -> None:
+        if decl.array_size is not None:
+            if decl.array_size <= 0:
+                raise SemaError("array size must be positive", decl.location)
+            if decl.type_name == "bool":
+                raise SemaError("bool arrays are not supported", decl.location)
+            type_ = decl.type_name + "[]"
+        else:
+            type_ = decl.type_name
+        if decl.init is not None:
+            init_type = self._check_expr(decl.init, scope)
+            decl.init = self._coerce(decl.init, init_type, type_, decl.location)
+        decl.symbol = VarSymbol(decl.name, type_, False, decl.array_size, decl)
+        scope.declare(decl.symbol, decl.location)
+
+    def _check_assign(self, stmt: Assign, scope: Scope) -> None:
+        target_type = self._check_expr(stmt.target, scope)
+        if target_type.endswith("[]"):
+            raise SemaError("cannot assign to an array", stmt.location)
+        value_type = self._check_expr(stmt.value, scope)
+        if stmt.op:
+            # `x op= v` behaves like `x = x op v`; validate the operator.
+            if stmt.op in INT_ONLY_OPS and (target_type != "int" or value_type != "int"):
+                raise SemaError(f"operator {stmt.op}= requires int operands", stmt.location)
+            if target_type == "bool":
+                raise SemaError("compound assignment on bool", stmt.location)
+        stmt.value = self._coerce(stmt.value, value_type, target_type, stmt.location)
+
+    def _check_return(self, stmt: Return, scope: Scope) -> None:
+        assert self._current_fn is not None
+        expected = self._current_fn.return_type
+        if expected == "void":
+            if stmt.value is not None:
+                raise SemaError("void function returns a value", stmt.location)
+            return
+        if stmt.value is None:
+            raise SemaError(f"non-void function must return a {expected}", stmt.location)
+        actual = self._check_expr(stmt.value, scope)
+        stmt.value = self._coerce(stmt.value, actual, expected, stmt.location)
+
+    def _check_condition(self, expr: Expr, scope: Scope) -> None:
+        type_ = self._check_expr(expr, scope)
+        if type_ != "bool":
+            raise SemaError(f"condition must be bool, got {type_}", expr.location)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _check_expr(self, expr: Expr, scope: Scope) -> str:
+        type_ = self._infer(expr, scope)
+        expr.type = type_
+        return type_
+
+    def _infer(self, expr: Expr, scope: Scope) -> str:
+        if isinstance(expr, IntLiteral):
+            return "int"
+        if isinstance(expr, FloatLiteral):
+            return "double"
+        if isinstance(expr, BoolLiteral):
+            return "bool"
+        if isinstance(expr, VarRef):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise SemaError(f"undeclared identifier {expr.name!r}", expr.location)
+            expr.symbol = sym
+            return sym.type
+        if isinstance(expr, IndexExpr):
+            base_type = self._check_expr(expr.base, scope)
+            if not base_type.endswith("[]"):
+                raise SemaError(f"indexing a non-array ({base_type})", expr.location)
+            index_type = self._check_expr(expr.index, scope)
+            if index_type != "int":
+                raise SemaError(f"array index must be int, got {index_type}", expr.location)
+            return base_type[:-2]
+        if isinstance(expr, UnaryExpr):
+            operand_type = self._check_expr(expr.operand, scope)
+            if expr.op == "-":
+                if operand_type not in ("int", "double"):
+                    raise SemaError(f"unary - on {operand_type}", expr.location)
+                return operand_type
+            if operand_type != "bool":
+                raise SemaError(f"! requires bool, got {operand_type}", expr.location)
+            return "bool"
+        if isinstance(expr, CastExpr):
+            operand_type = self._check_expr(expr.operand, scope)
+            if operand_type.endswith("[]"):
+                raise SemaError("cannot cast an array", expr.location)
+            if expr.target == "bool" and operand_type != "bool":
+                raise SemaError("cannot cast to bool", expr.location)
+            return expr.target
+        if isinstance(expr, BinaryExpr):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, CallExpr):
+            return self._infer_call(expr, scope)
+        raise SemaError(f"unknown expression {expr!r}", expr.location)
+
+    def _infer_binary(self, expr: BinaryExpr, scope: Scope) -> str:
+        lt = self._check_expr(expr.lhs, scope)
+        rt = self._check_expr(expr.rhs, scope)
+        op = expr.op
+        if op in LOGIC_OPS:
+            if lt != "bool" or rt != "bool":
+                raise SemaError(f"{op} requires bool operands", expr.location)
+            return "bool"
+        if lt.endswith("[]") or rt.endswith("[]"):
+            raise SemaError(f"operator {op} on array values", expr.location)
+        if op in INT_ONLY_OPS:
+            if lt != "int" or rt != "int":
+                raise SemaError(f"operator {op} requires int operands", expr.location)
+            return "int"
+        if op in CMP_OPS:
+            if lt == "bool" and rt == "bool":
+                if op in ("==", "!="):
+                    return "bool"
+                raise SemaError(f"ordering comparison on bool", expr.location)
+            common = self._numeric_common(lt, rt, expr.location, op)
+            expr.lhs = self._coerce(expr.lhs, lt, common, expr.location)
+            expr.rhs = self._coerce(expr.rhs, rt, common, expr.location)
+            return "bool"
+        if op in ARITH_OPS:
+            common = self._numeric_common(lt, rt, expr.location, op)
+            expr.lhs = self._coerce(expr.lhs, lt, common, expr.location)
+            expr.rhs = self._coerce(expr.rhs, rt, common, expr.location)
+            return common
+        raise SemaError(f"unknown operator {op}", expr.location)
+
+    def _numeric_common(self, lt: str, rt: str, location, op: str) -> str:
+        for t in (lt, rt):
+            if t not in ("int", "double"):
+                raise SemaError(f"operator {op} on non-numeric {t}", location)
+        return "double" if "double" in (lt, rt) else "int"
+
+    def _infer_call(self, expr: CallExpr, scope: Scope) -> str:
+        arg_types = [self._check_expr(a, scope) for a in expr.args]
+        overloads = INTRINSICS.get(expr.name)
+        if overloads is not None:
+            chosen = self._resolve_overload(overloads, arg_types)
+            if chosen is None:
+                raise SemaError(
+                    f"no matching overload for {expr.name}({', '.join(arg_types)})",
+                    expr.location,
+                )
+            for i, (arg, want) in enumerate(zip(expr.args, chosen.param_types)):
+                expr.args[i] = self._coerce(arg, arg_types[i], want, expr.location)
+            expr.resolved = chosen
+            return chosen.return_type
+        fn = self.functions.get(expr.name)
+        if fn is None:
+            raise SemaError(f"call to undeclared function {expr.name!r}", expr.location)
+        if len(arg_types) != len(fn.param_types):
+            raise SemaError(
+                f"{expr.name} expects {len(fn.param_types)} arguments, got {len(arg_types)}",
+                expr.location,
+            )
+        for i, (arg, want) in enumerate(zip(expr.args, fn.param_types)):
+            expr.args[i] = self._coerce(arg, arg_types[i], want, expr.location)
+        expr.resolved = fn
+        return fn.return_type
+
+    def _resolve_overload(
+        self, overloads: List[IntrinsicOverload], arg_types: List[str]
+    ) -> Optional[IntrinsicOverload]:
+        # Exact match first, then int->double promotion.
+        for ov in overloads:
+            if ov.param_types == arg_types:
+                return ov
+        for ov in overloads:
+            if len(ov.param_types) != len(arg_types):
+                continue
+            ok = True
+            for want, have in zip(ov.param_types, arg_types):
+                if want == have:
+                    continue
+                if want == "double" and have == "int":
+                    continue
+                ok = False
+                break
+            if ok:
+                return ov
+        return None
+
+    # -- coercions -------------------------------------------------------------------------
+
+    def _coerce(self, expr: Expr, have: str, want: str, location) -> Expr:
+        if have == want:
+            return expr
+        if want == "double" and have == "int":
+            cast = CastExpr("double", expr, location)
+            cast.type = "double"
+            return cast
+        raise SemaError(f"cannot convert {have} to {want}", location)
+
+
+def analyze(program: Program) -> Program:
+    """Run semantic analysis, annotating the AST in place."""
+    return SemanticAnalyzer(program).analyze()

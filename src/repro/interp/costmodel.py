@@ -1,0 +1,70 @@
+"""Deterministic cycle cost model.
+
+The paper measures *slowdown*: execution time with duplication divided by
+execution time without.  On our simulated substrate the equivalent metric is
+the ratio of accumulated cycle costs, which is deterministic, noise-free,
+and — because duplicated instructions and their checks are ordinary
+instructions with ordinary costs — preserves the property that overhead is
+proportional to how much of the dynamic instruction stream was duplicated.
+
+Costs are charged per basic block: the static cost of a block is the sum of
+its instructions' opcode costs, and the interpreter adds it once per block
+execution.  This keeps the interpreter's fast path cheap while remaining
+exact (a block's instructions always execute together; traps abort the whole
+run, so partial-block charging would not change any reported ratio
+materially).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import CallInst, DEFAULT_OPCODE_COSTS, Instruction
+from ..ir.module import Module
+
+
+class CostModel:
+    """Maps opcodes (and intrinsic calls) to cycle costs."""
+
+    #: cost charged for an intrinsic call body (libm etc.), on top of the
+    #: call overhead itself.
+    DEFAULT_INTRINSIC_COST = 20
+    #: cheap environment intrinsics (rank/size queries).
+    CHEAP_INTRINSICS = frozenset({"mpi_rank", "mpi_size"})
+    #: collectives: charged a latency that the parallel runtime may scale.
+    COLLECTIVE_COST = 200
+
+    def __init__(self, opcode_costs: Optional[Mapping[str, int]] = None):
+        self.opcode_costs: Dict[str, int] = dict(DEFAULT_OPCODE_COSTS)
+        if opcode_costs:
+            self.opcode_costs.update(opcode_costs)
+
+    def instruction_cost(self, inst: Instruction) -> int:
+        if isinstance(inst, CallInst):
+            base = self.opcode_costs["call"]
+            callee = inst.callee
+            if callee.is_declaration:
+                name = callee.name
+                if name.startswith("ipas.check"):
+                    return self.opcode_costs["ipas.check"]
+                if name in self.CHEAP_INTRINSICS:
+                    return base
+                if name.startswith("mpi_"):
+                    return base + self.COLLECTIVE_COST
+                return base + self.DEFAULT_INTRINSIC_COST
+            return base
+        try:
+            return self.opcode_costs[inst.opcode]
+        except KeyError:
+            raise KeyError(f"no cost for opcode {inst.opcode!r}") from None
+
+    def block_cost(self, block: BasicBlock) -> int:
+        return sum(self.instruction_cost(i) for i in block.instructions)
+
+    def function_static_cost(self, fn: Function) -> int:
+        return sum(self.block_cost(b) for b in fn.blocks)
+
+    def module_static_cost(self, module: Module) -> int:
+        return sum(self.function_static_cost(f) for f in module.defined_functions())

@@ -1,0 +1,61 @@
+"""Run-time events of the IR interpreter.
+
+The exception taxonomy mirrors the paper's outcome categories (§5.5):
+*symptoms* (traps, hangs — recoverable by checkpoint/restart in a real HPC
+system), and *detections* (an IPAS duplication check fired).  Masked runs and
+SOC runs terminate normally and are told apart by the workload's
+verification routine.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionError(Exception):
+    """Base class for everything the interpreter can raise while running."""
+
+
+class Trap(ExecutionError):
+    """An architecture-level symptom: the program crashed observably."""
+
+
+class MemoryFault(Trap):
+    """Out-of-bounds, unmapped, or negative address access."""
+
+
+class ArithmeticFault(Trap):
+    """Integer division/remainder by zero, or float-to-int of NaN/Inf."""
+
+
+class StackOverflow(Trap):
+    """The simulated stack region or call depth was exhausted."""
+
+
+class UnreachableExecuted(Trap):
+    """Control reached an ``unreachable`` instruction."""
+
+
+class HangDetected(ExecutionError):
+    """The run exceeded its cycle budget.
+
+    The paper treats "substantially longer execution time" as an observable
+    symptom; the interpreter realises that with a configurable budget,
+    normally a multiple of the fault-free run's cycle count.
+    """
+
+
+class DetectedByDuplication(ExecutionError):
+    """An ``ipas.check.*`` intrinsic observed a divergence between an
+    original instruction and its duplicate — the fault was caught."""
+
+    def __init__(self, message: str = "", check_name: str = ""):
+        super().__init__(message or "duplication check fired")
+        self.check_name = check_name
+
+
+class MpiAbort(ExecutionError):
+    """Another rank failed; the whole (simulated) MPI job aborts, which is
+    an observable system-level symptom (paper §4.4.1)."""
+
+
+class InterpreterBug(ExecutionError):
+    """An internal inconsistency — never expected on valid IR."""

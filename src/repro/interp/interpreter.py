@@ -1,0 +1,385 @@
+"""The IR interpreter (virtual machine).
+
+Drives the block functions produced by :mod:`repro.interp.compiler`.  One
+``Interpreter`` wraps one compiled module and is reused — ``run()`` resets
+all mutable state, so statistical fault-injection campaigns pay module
+compilation once and then execute thousands of runs at full speed.
+
+Executions are fully deterministic: identical inputs (globals) produce
+identical outputs, cycle counts, and block profiles — the foundation for
+golden-run comparison, duplicate-and-compare checking, and reproducible
+campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from .compiler import CompiledModule
+from .costmodel import CostModel
+from .errors import (
+    ArithmeticFault,
+    DetectedByDuplication,
+    ExecutionError,
+    HangDetected,
+    MemoryFault,
+    MpiAbort,
+    StackOverflow,
+    Trap,
+    UnreachableExecuted,
+)
+
+
+class SerialMpi:
+    """Single-rank MPI semantics (identity collectives)."""
+
+    rank = 0
+    size = 1
+
+    def barrier(self, interp: "Interpreter") -> None:
+        pass
+
+    def allreduce_sum(self, interp: "Interpreter", value):
+        return value
+
+    def allreduce_min(self, interp: "Interpreter", value):
+        return value
+
+    def allreduce_max(self, interp: "Interpreter", value):
+        return value
+
+    def bcast(self, interp: "Interpreter", value, root: int):
+        return value
+
+    def allreduce_array(self, interp: "Interpreter", addr: int, count: int) -> None:
+        # Touch the cells so bounds violations trap even at one rank.
+        for i in range(count):
+            interp.checked_load(addr + i)
+
+    def sendrecv(
+        self, interp: "Interpreter", send_addr: int, recv_addr: int, count: int, peer: int
+    ) -> None:
+        # With one rank the only valid peer is ourselves: a local copy.
+        for i in range(count):
+            interp.checked_store(recv_addr + i, interp.checked_load(send_addr + i))
+
+
+class RunResult:
+    """Outcome of one interpreted execution."""
+
+    __slots__ = ("status", "cycles", "value", "error", "injection_hit", "profile")
+
+    def __init__(
+        self,
+        status: str,
+        cycles: int,
+        value=None,
+        error: str = "",
+        injection_hit: bool = False,
+        profile: Optional[List[int]] = None,
+    ):
+        #: 'ok' | 'trap' | 'hang' | 'detected' | 'abort'
+        self.status = status
+        self.cycles = cycles
+        self.value = value
+        self.error = error
+        self.injection_hit = injection_hit
+        self.profile = profile
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+    def __repr__(self) -> str:
+        return f"<RunResult {self.status} cycles={self.cycles}>"
+
+
+class Interpreter:
+    """Executes a compiled module; reusable across many runs."""
+
+    DEFAULT_STACK_CELLS = 1 << 16
+    DEFAULT_MAX_DEPTH = 2000
+    NO_BUDGET = 1 << 62
+
+    def __init__(
+        self,
+        module_or_compiled: Union[Module, CompiledModule],
+        cost_model: Optional[CostModel] = None,
+        stack_cells: int = DEFAULT_STACK_CELLS,
+        mpi=None,
+        collect_output: bool = True,
+    ):
+        if isinstance(module_or_compiled, CompiledModule):
+            self.cm = module_or_compiled
+        else:
+            self.cm = CompiledModule(module_or_compiled, cost_model)
+        self.module = self.cm.module
+        self.cfuncs = self.cm.cfuncs
+        self.stack_cells = stack_cells
+        self.mpi = mpi if mpi is not None else SerialMpi()
+        self.collect_output = collect_output
+        self.global_overrides: Dict[str, Sequence] = {}
+
+        # mutable run state (initialised by reset)
+        self.cells: List = []
+        self.sp = 0
+        self.cycles = 0
+        self.budget = self.NO_BUDGET
+        self.ret = None
+        self.depth = 0
+        self.prof: Optional[List[int]] = None
+        self.output_log: List = []
+        self.inj_cfi = -1
+        self.inj_fns: Optional[List[Callable]] = None
+        self.inj_seen = 0
+        self.inj_occ = 0
+        self.inj_bit = 0
+        self.inj_hit = False
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_global_override(self, name: str, value) -> None:
+        """Persistently override a global's initial contents (program input).
+
+        ``value`` is a scalar or a sequence no longer than the global's cell
+        count.  Applied on every subsequent ``run()``.
+        """
+        gv = self.module.get_global(name)
+        if isinstance(value, (list, tuple)):
+            if len(value) > gv.cell_count:
+                raise ValueError(
+                    f"override for {name} has {len(value)} cells, "
+                    f"global has {gv.cell_count}"
+                )
+        self.global_overrides[name] = value
+
+    def clear_global_overrides(self) -> None:
+        self.global_overrides.clear()
+
+    # -- state management ----------------------------------------------------------
+
+    def reset(self) -> None:
+        self.cells = list(self.cm.global_template)
+        self.cells.extend([0] * self.stack_cells)
+        self.sp = self.cm.stack_base
+        self.cycles = 0
+        self.ret = None
+        self.depth = 0
+        self.prof = None
+        self.output_log = []
+        self.inj_cfi = -1
+        self.inj_fns = None
+        self.inj_seen = 0
+        self.inj_occ = 0
+        self.inj_bit = 0
+        self.inj_hit = False
+        for name, value in self.global_overrides.items():
+            base = self.cm.global_addr[name]
+            if isinstance(value, (list, tuple)):
+                self.cells[base : base + len(value)] = list(value)
+            else:
+                self.cells[base] = value
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Sequence = (),
+        injection: Optional[Tuple[Instruction, int, int]] = None,
+        profile: bool = False,
+        cycle_budget: Optional[int] = None,
+    ) -> RunResult:
+        """Execute ``entry`` from a fresh state.
+
+        ``injection`` is an optional ``(instruction, occurrence, bit)``
+        triple: after the ``occurrence``-th dynamic execution of
+        ``instruction``, flip ``bit`` in its result value.
+
+        ``cycle_budget`` bounds execution (hang detection); ``None`` means
+        effectively unlimited.
+        """
+        self.reset()
+        self.budget = cycle_budget if cycle_budget is not None else self.NO_BUDGET
+        if profile:
+            self.prof = [0] * self.cm.total_blocks
+        if injection is not None:
+            inst, occurrence, bit = injection
+            if occurrence < 1:
+                raise ValueError("occurrence is 1-based")
+            cfi, bi, fn = self.cm.injected_block_fn(inst)
+            fns = list(self.cfuncs[cfi].block_fns)
+            fns[bi] = fn
+            self.inj_cfi = cfi
+            self.inj_fns = fns
+            self.inj_occ = occurrence
+            self.inj_bit = bit
+
+        entry_index = self.cm.get_function_index(entry)
+        status, error, value = "ok", "", None
+        try:
+            value = self.call(entry_index, tuple(args))
+        except DetectedByDuplication as exc:
+            status, error = "detected", str(exc)
+        except HangDetected as exc:
+            status, error = "hang", str(exc) or "cycle budget exceeded"
+        except MpiAbort as exc:
+            status, error = "abort", str(exc)
+        except Trap as exc:
+            status, error = "trap", f"{type(exc).__name__}: {exc}"
+        except RecursionError:
+            status, error = "trap", "StackOverflow: host recursion limit"
+        except (ZeroDivisionError, OverflowError, ValueError) as exc:
+            # Defensive: guarded codegen should prevent these, but a fault
+            # can push values into odd corners; treat as a crash symptom.
+            status, error = "trap", f"host-level {type(exc).__name__}: {exc}"
+        return RunResult(
+            status,
+            self.cycles,
+            value=value,
+            error=error,
+            injection_hit=self.inj_hit,
+            profile=self.prof,
+        )
+
+    def call(self, cfi: int, args: Tuple) -> object:
+        """Invoke compiled function ``cfi`` (used by generated call steps)."""
+        self.depth += 1
+        if self.depth > self.DEFAULT_MAX_DEPTH:
+            self.depth -= 1
+            raise StackOverflow("call depth limit exceeded")
+        sp0 = self.sp
+        cf = self.cfuncs[cfi]
+        frame: List = [None] * cf.nslots
+        if args:
+            frame[: len(args)] = args
+        fns = self.inj_fns if cfi == self.inj_cfi else cf.block_fns
+        assert fns is not None
+        bi = 0
+        while bi >= 0:
+            bi = fns[bi](frame, self)
+        self.depth -= 1
+        self.sp = sp0
+        return self.ret
+
+    # -- memory helpers (runtime-internal accesses use the same trap rules) -------
+
+    def alloc(self, count: int) -> int:
+        addr = self.sp
+        new_sp = addr + count
+        if new_sp > len(self.cells):
+            raise StackOverflow(f"stack exhausted allocating {count} cells")
+        self.sp = new_sp
+        return addr
+
+    def checked_load(self, addr: int):
+        if addr < 0:
+            self.trap_mem(addr)
+        try:
+            v = self.cells[addr]
+        except IndexError:
+            self.trap_mem(addr)
+        if v is None:
+            self.trap_mem(addr)
+        return v
+
+    def checked_store(self, addr: int, value) -> None:
+        if addr < 0:
+            self.trap_mem(addr)
+        try:
+            old = self.cells[addr]
+        except IndexError:
+            self.trap_mem(addr)
+        if old is None:
+            self.trap_mem(addr)
+        self.cells[addr] = value
+
+    def read_global(self, name: str):
+        """Read a global's current contents (scalar, or list for arrays)."""
+        gv = self.module.get_global(name)
+        base = self.cm.global_addr[name]
+        if gv.value_type.is_array():
+            return list(self.cells[base : base + gv.cell_count])
+        return self.cells[base]
+
+    # -- trap raisers (called from generated code) -----------------------------------
+
+    def trap_mem(self, addr) -> None:
+        raise MemoryFault(f"invalid address {addr}")
+
+    def trap_div(self) -> None:
+        raise ArithmeticFault("integer division by zero")
+
+    def trap_fptosi(self) -> None:
+        raise ArithmeticFault("float-to-int conversion out of range")
+
+    def trap_unreachable(self) -> None:
+        raise UnreachableExecuted("executed 'unreachable'")
+
+    def hang(self) -> None:
+        raise HangDetected(f"exceeded cycle budget {self.budget}")
+
+    def check_failed(self) -> None:
+        raise DetectedByDuplication()
+
+    # -- I/O and MPI bindings (called from generated code) ------------------------------
+
+    def io_print(self, value) -> None:
+        if self.collect_output:
+            self.output_log.append(value)
+
+    def mpi_rank(self) -> int:
+        return self.mpi.rank
+
+    def mpi_size(self) -> int:
+        return self.mpi.size
+
+    def mpi_barrier(self) -> None:
+        self.mpi.barrier(self)
+
+    def mpi_allreduce_sum_f64(self, value):
+        return self.mpi.allreduce_sum(self, value)
+
+    def mpi_allreduce_sum_i64(self, value):
+        return self.mpi.allreduce_sum(self, value)
+
+    def mpi_allreduce_min_f64(self, value):
+        return self.mpi.allreduce_min(self, value)
+
+    def mpi_allreduce_max_f64(self, value):
+        return self.mpi.allreduce_max(self, value)
+
+    def mpi_allreduce_max_i64(self, value):
+        return self.mpi.allreduce_max(self, value)
+
+    def mpi_bcast_f64(self, value, root):
+        return self.mpi.bcast(self, value, root)
+
+    def mpi_bcast_i64(self, value, root):
+        return self.mpi.bcast(self, value, root)
+
+    def mpi_allreduce_sum_f64_array(self, addr, count) -> None:
+        self.mpi.allreduce_array(self, addr, count)
+
+    def mpi_allreduce_sum_i64_array(self, addr, count) -> None:
+        self.mpi.allreduce_array(self, addr, count)
+
+    def mpi_sendrecv_f64(self, send_addr, recv_addr, count, peer) -> None:
+        self.mpi.sendrecv(self, send_addr, recv_addr, count, peer)
+
+
+def run_module(
+    module: Module,
+    entry: str = "main",
+    overrides: Optional[Dict[str, object]] = None,
+    cycle_budget: Optional[int] = None,
+) -> Tuple[RunResult, Interpreter]:
+    """One-shot convenience: compile, run, and return (result, interpreter)."""
+    interp = Interpreter(module)
+    if overrides:
+        for name, value in overrides.items():
+            interp.set_global_override(name, value)
+    result = interp.run(entry, cycle_budget=cycle_budget)
+    return result, interp

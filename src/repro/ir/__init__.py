@@ -1,0 +1,76 @@
+"""repro.ir — a from-scratch typed SSA IR (the LLVM substitute).
+
+This package is the compiler substrate everything else builds on: the
+frontend lowers scil programs to it, the analyses and passes transform it,
+the interpreter executes it, and the IPAS protector rewrites it.
+"""
+
+from .types import (
+    ArrayType,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    VoidType,
+    pointer_to,
+)
+from .values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    UndefValue,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    DEFAULT_OPCODE_COSTS,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder
+from .intrinsics import INTRINSIC_SIGNATURES, declare_intrinsic, is_check_intrinsic
+from .printer import print_function, print_module
+from .parser import IRParseError, parse_module, parse_type
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayType", "F64", "FloatType", "FunctionType", "I1", "I8", "I32", "I64",
+    "IntType", "PointerType", "Type", "VOID", "VoidType", "pointer_to",
+    "Argument", "Constant", "GlobalVariable", "UndefValue", "Value",
+    "const_bool", "const_float", "const_int",
+    "AllocaInst", "AtomicRMWInst", "BinaryOperator", "BranchInst", "CallInst",
+    "CastInst", "DEFAULT_OPCODE_COSTS", "FCmpInst", "GEPInst", "ICmpInst",
+    "Instruction", "LoadInst", "PhiNode", "RetInst", "SelectInst", "StoreInst",
+    "UnreachableInst",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "INTRINSIC_SIGNATURES", "declare_intrinsic", "is_check_intrinsic",
+    "print_function", "print_module",
+    "IRParseError", "parse_module", "parse_type",
+    "VerificationError", "verify_function", "verify_module",
+]

@@ -1,0 +1,110 @@
+"""Basic blocks of the repro SSA IR."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from .instructions import BranchInst, Instruction, PhiNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator.
+
+    Basic-block properties are the second feature category of the paper's
+    Table 1: block size (14), successor count (15), successor sizes (16),
+    loop membership (17), phi presence (18), and branch terminator (19).
+    """
+
+    __slots__ = ("name", "parent", "instructions")
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- structural queries ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()  # type: ignore[attr-defined]
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def phis(self) -> List[PhiNode]:
+        result = []
+        for inst in self.instructions:
+            if isinstance(inst, PhiNode):
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, PhiNode)]
+
+    def has_phi(self) -> bool:
+        return bool(self.instructions) and isinstance(self.instructions[0], PhiNode)
+
+    def ends_in_branch(self) -> bool:
+        return isinstance(self.terminator, BranchInst)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated():
+            raise RuntimeError(f"block {self.name} is already terminated")
+        if isinstance(inst, PhiNode) and self.non_phi_instructions():
+            raise RuntimeError("phi nodes must be grouped at the top of a block")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_after(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        index = self.instructions.index(anchor)
+        return self.insert(index + 1, inst)
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        index = self.instructions.index(anchor)
+        return self.insert(index, inst)
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def index_of(self, inst: Instruction) -> int:
+        return self.instructions.index(inst)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name}: {len(self.instructions)} insts>"

@@ -1,0 +1,208 @@
+"""IRBuilder: a convenience layer for emitting instructions.
+
+Mirrors LLVM's ``IRBuilder``: it holds an insertion point (a basic block) and
+exposes one method per instruction kind, with constant folding left to the
+optimizer (:mod:`repro.passes.constant_folding`) so that builders stay
+predictable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .intrinsics import declare_intrinsic
+from .module import Module
+from .types import F64, I64, Type
+from .values import Constant, Value, const_float, const_int
+
+
+class IRBuilder:
+    """Emits instructions at the end of a chosen basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise RuntimeError("builder has no insertion point")
+        return self.block.parent
+
+    @property
+    def module(self) -> Module:
+        mod = self.function.parent
+        if mod is None:
+            raise RuntimeError("function is not attached to a module")
+        return mod
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        self.block.append(inst)
+        return inst
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(BinaryOperator(opcode, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs, rhs, name=""):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=""):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def frem(self, lhs, rhs, name=""):
+        return self.binop("frem", lhs, rhs, name)
+
+    # -- comparisons, selects -----------------------------------------------------
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(ICmpInst(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(FCmpInst(predicate, lhs, rhs, name))
+
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: str = "") -> Value:
+        return self._emit(SelectInst(cond, if_true, if_false, name))
+
+    # -- casts ---------------------------------------------------------------------
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Value:
+        return self._emit(CastInst(opcode, value, to_type, name))
+
+    def sitofp(self, value: Value, to_type: Type = F64, name: str = "") -> Value:
+        return self.cast("sitofp", value, to_type, name)
+
+    def fptosi(self, value: Value, to_type: Type = I64, name: str = "") -> Value:
+        return self.cast("fptosi", value, to_type, name)
+
+    def zext(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("zext", value, to_type, name)
+
+    def sext(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("sext", value, to_type, name)
+
+    def trunc(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("trunc", value, to_type, name)
+
+    # -- memory ----------------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, name: str = "") -> Value:
+        return self._emit(AllocaInst(allocated_type, name))
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        return self._emit(LoadInst(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Value:
+        return self._emit(StoreInst(value, pointer))
+
+    def gep(self, base: Value, index: Value, name: str = "") -> Value:
+        return self._emit(GEPInst(base, index, name))
+
+    def atomic_add(self, pointer: Value, value: Value, name: str = "") -> Value:
+        return self._emit(AtomicRMWInst("add", pointer, value, name))
+
+    # -- control flow -------------------------------------------------------------------
+
+    def br(self, dest: BasicBlock) -> Value:
+        return self._emit(BranchInst(None, dest))
+
+    def cond_br(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> Value:
+        return self._emit(BranchInst(cond, then_block, else_block))
+
+    def ret(self, value: Optional[Value] = None) -> Value:
+        return self._emit(RetInst(value))
+
+    def unreachable(self) -> Value:
+        return self._emit(UnreachableInst())
+
+    def phi(self, type: Type, name: str = "") -> PhiNode:
+        """Phis are inserted at the top of the block, after existing phis."""
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        node = PhiNode(type, name)
+        index = len(self.block.phis())
+        self.block.insert(index, node)
+        return node
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def call(self, callee: Function, args: Sequence[Value] = (), name: str = "") -> Value:
+        return self._emit(CallInst(callee, list(args), name))
+
+    def call_intrinsic(self, name: str, args: Sequence[Value] = (), result_name: str = "") -> Value:
+        fn = declare_intrinsic(self.module, name)
+        return self.call(fn, args, result_name)
+
+    # -- constants (module-independent helpers) ------------------------------------------------
+
+    @staticmethod
+    def i64(value: int) -> Constant:
+        return const_int(value, I64)
+
+    @staticmethod
+    def f64(value: float) -> Constant:
+        return const_float(value)

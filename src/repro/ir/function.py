@@ -1,0 +1,115 @@
+"""Functions of the repro SSA IR."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from .block import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+
+
+class Function(Value):
+    """A function: a named list of basic blocks plus formal arguments.
+
+    A function with no blocks is a *declaration* — either an external
+    intrinsic handled by the interpreter's runtime (``sqrt``, ``mpi_rank``,
+    ``ipas.check.f64``, ...) or a forward declaration awaiting a body.
+
+    Function-level properties are the third feature category of Table 1:
+    instruction count (21), block count (22), future calls (23), and whether
+    the function returns a value (24).
+    """
+
+    __slots__ = ("ftype", "args", "blocks", "parent", "is_intrinsic")
+
+    def __init__(
+        self,
+        name: str,
+        ftype: FunctionType,
+        arg_names: Optional[Sequence[str]] = None,
+        parent: Optional["Module"] = None,
+        is_intrinsic: bool = False,
+    ):
+        super().__init__(ftype, name)
+        self.ftype = ftype
+        names = list(arg_names) if arg_names is not None else [
+            f"arg{i}" for i in range(len(ftype.param_types))
+        ]
+        if len(names) != len(ftype.param_types):
+            raise ValueError("argument name count does not match parameter count")
+        self.args: List[Argument] = [
+            Argument(pty, nm, self, i)
+            for i, (pty, nm) in enumerate(zip(ftype.param_types, names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self.parent = parent
+        self.is_intrinsic = is_intrinsic
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def return_type(self) -> Type:
+        return self.ftype.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise RuntimeError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def add_block(self, name: str, after: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self._unique_block_name(name), self)
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def _unique_block_name(self, base: str) -> str:
+        existing = {b.name for b in self.blocks}
+        if base not in existing:
+            return base
+        i = 1
+        while f"{base}.{i}" in existing:
+            i += 1
+        return f"{base}.{i}"
+
+    # -- traversal ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def returns_value(self) -> bool:
+        return not self.return_type.is_void()
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} {self.name}: {self.ftype}>"

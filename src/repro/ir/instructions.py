@@ -1,0 +1,513 @@
+"""Instruction classes of the repro SSA IR.
+
+The instruction taxonomy deliberately mirrors the categories that the IPAS
+feature set (paper Table 1) distinguishes:
+
+* binary operations, split into add/sub, mul/div, remainder, and logical
+  groups (features 1-5),
+* calls (feature 6), comparisons (feature 7), atomic read-modify-write
+  (feature 8), ``gep`` pointer arithmetic (feature 9), ``alloca`` stack
+  allocation (feature 10), and casts (feature 11),
+* loads/stores (excluded from duplication per paper §4.4 — memory is assumed
+  ECC-protected), phis, selects, and the control-flow terminators.
+
+Every instruction is a :class:`~repro.ir.values.Value`; instructions with
+``void`` type (stores, branches, ``ret void``) produce no value.  Operands are
+managed through :meth:`Instruction.set_operand` so that use-lists stay
+consistent — the duplication pass and the slicer depend on them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .types import F64, I1, PointerType, Type, VOID
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import BasicBlock
+    from .function import Function
+
+
+# Opcode groups ---------------------------------------------------------------
+
+INT_ARITH_OPS = ("add", "sub", "mul", "sdiv", "srem")
+INT_LOGIC_OPS = ("and", "or", "xor", "shl", "lshr", "ashr")
+FP_ARITH_OPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+BINARY_OPS = INT_ARITH_OPS + INT_LOGIC_OPS + FP_ARITH_OPS
+
+ADD_SUB_OPS = frozenset({"add", "sub", "fadd", "fsub"})
+MUL_DIV_OPS = frozenset({"mul", "sdiv", "fmul", "fdiv"})
+REM_OPS = frozenset({"srem", "frem"})
+LOGIC_OPS = frozenset(INT_LOGIC_OPS)
+
+CAST_OPS = ("sitofp", "fptosi", "zext", "sext", "trunc", "bitcast")
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+#: Per-opcode cycle costs for the deterministic cost model.  The absolute
+#: values follow typical latencies of a modern out-of-order core (divides are
+#: expensive, simple ALU ops are cheap); only the *ratios* matter for the
+#: paper's slowdown metric.
+DEFAULT_OPCODE_COSTS = {
+    "add": 1, "sub": 1, "mul": 3, "sdiv": 20, "srem": 20,
+    "and": 1, "or": 1, "xor": 1, "shl": 1, "lshr": 1, "ashr": 1,
+    "fadd": 3, "fsub": 3, "fmul": 4, "fdiv": 20, "frem": 25,
+    "icmp": 1, "fcmp": 2, "select": 1,
+    "sitofp": 4, "fptosi": 4, "zext": 1, "sext": 1, "trunc": 1, "bitcast": 0,
+    "gep": 1, "alloca": 1, "load": 4, "store": 1, "atomicrmw": 8,
+    "phi": 0, "br": 1, "ret": 1, "call": 2, "unreachable": 0,
+    # A duplication check lowers to a compare plus a (predicted) branch.
+    "ipas.check": 2,
+}
+
+
+class Instruction(Value):
+    """Base class of all IR instructions."""
+
+    __slots__ = ("opcode", "operands", "parent")
+
+    def __init__(self, opcode: str, type: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type, name)
+        self.opcode = opcode
+        self.operands: List[Value] = []
+        self.parent: Optional["BasicBlock"] = None
+        for op in operands:
+            self._append_operand(op)
+
+    # -- operand management ---------------------------------------------------
+
+    def _append_operand(self, value: Value) -> None:
+        index = len(self.operands)
+        self.operands.append(value)
+        value.add_use(self, index)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        if old is value:
+            return
+        old.remove_use(self, index)
+        self.operands[index] = value
+        value.add_use(self, index)
+
+    def drop_operands(self) -> None:
+        """Detach all operands (used when deleting the instruction)."""
+        for index, op in enumerate(self.operands):
+            op.remove_use(self, index)
+        self.operands = []
+
+    # -- classification queries (mirroring Table 1 feature groups) ------------
+
+    def is_terminator(self) -> bool:
+        return isinstance(self, (BranchInst, RetInst, UnreachableInst))
+
+    def is_binary_op(self) -> bool:
+        return isinstance(self, BinaryOperator)
+
+    def is_phi(self) -> bool:
+        return isinstance(self, PhiNode)
+
+    def is_call(self) -> bool:
+        return isinstance(self, CallInst)
+
+    def is_cmp(self) -> bool:
+        return isinstance(self, (ICmpInst, FCmpInst))
+
+    def is_memory_access(self) -> bool:
+        return isinstance(self, (LoadInst, StoreInst, AtomicRMWInst))
+
+    def produces_value(self) -> bool:
+        return not self.type.is_void()
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def erase(self) -> None:
+        """Remove the instruction from its block and drop its operands."""
+        if self.is_used():
+            raise RuntimeError(f"cannot erase {self!r}: it still has uses")
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_operands()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.opcode} {self.ref()}>"
+
+
+class BinaryOperator(Instruction):
+    """An arithmetic or logical operation on two scalar operands."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPS:
+            raise ValueError(f"unknown binary opcode: {opcode}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"{opcode}: operand types differ ({lhs.type} vs {rhs.type})")
+        if opcode in FP_ARITH_OPS and not lhs.type.is_float():
+            raise TypeError(f"{opcode} requires float operands, got {lhs.type}")
+        if opcode not in FP_ARITH_OPS and not lhs.type.is_integer():
+            raise TypeError(f"{opcode} requires integer operands, got {lhs.type}")
+        super().__init__(opcode, lhs.type, (lhs, rhs), name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def is_add_sub(self) -> bool:
+        return self.opcode in ADD_SUB_OPS
+
+    def is_mul_div(self) -> bool:
+        return self.opcode in MUL_DIV_OPS
+
+    def is_remainder(self) -> bool:
+        return self.opcode in REM_OPS
+
+    def is_logical(self) -> bool:
+        return self.opcode in LOGIC_OPS
+
+
+class ICmpInst(Instruction):
+    """Signed integer / pointer comparison producing an ``i1``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate: {predicate}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp: operand types differ ({lhs.type} vs {rhs.type})")
+        if not (lhs.type.is_integer() or lhs.type.is_pointer()):
+            raise TypeError(f"icmp requires integer or pointer operands, got {lhs.type}")
+        super().__init__("icmp", I1, (lhs, rhs), name)
+        self.predicate = predicate
+
+
+class FCmpInst(Instruction):
+    """Ordered floating-point comparison producing an ``i1``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate: {predicate}")
+        if lhs.type != rhs.type or not lhs.type.is_float():
+            raise TypeError("fcmp requires two float operands of the same type")
+        super().__init__("fcmp", I1, (lhs, rhs), name)
+        self.predicate = predicate
+
+
+class CastInst(Instruction):
+    """A value conversion (``sitofp``, ``fptosi``, ``zext``, ``sext``,
+    ``trunc``, or ``bitcast``)."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, value: Value, to_type: Type, name: str = ""):
+        if opcode not in CAST_OPS:
+            raise ValueError(f"unknown cast opcode: {opcode}")
+        src = value.type
+        if opcode == "sitofp" and not (src.is_integer() and to_type.is_float()):
+            raise TypeError("sitofp converts int -> float")
+        if opcode == "fptosi" and not (src.is_float() and to_type.is_integer()):
+            raise TypeError("fptosi converts float -> int")
+        if opcode in ("zext", "sext") and not (
+            src.is_integer() and to_type.is_integer() and to_type.bits > src.bits
+        ):
+            raise TypeError(f"{opcode} widens an integer type")
+        if opcode == "trunc" and not (
+            src.is_integer() and to_type.is_integer() and to_type.bits < src.bits
+        ):
+            raise TypeError("trunc narrows an integer type")
+        if opcode == "bitcast" and src.byte_size != to_type.byte_size:
+            raise TypeError("bitcast requires same-size types")
+        super().__init__(opcode, to_type, (value,), name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class SelectInst(Instruction):
+    """``select cond, a, b`` — branch-free conditional move."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, if_true: Value, if_false: Value, name: str = ""):
+        if cond.type != I1:
+            raise TypeError("select condition must be i1")
+        if if_true.type != if_false.type:
+            raise TypeError("select arms must have the same type")
+        super().__init__("select", if_true.type, (cond, if_true, if_false), name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+
+class PhiNode(Instruction):
+    """An SSA phi node.
+
+    Incoming blocks are stored alongside the operand list; operand ``i``
+    corresponds to ``incoming_blocks[i]``.  Phis are *not* eligible for fault
+    injection or duplication (they are a compiler artifact, not a hardware
+    instruction — paper §3's fault model targets hardware instruction
+    results), but feature 18 records their presence in a basic block.
+    """
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type: Type, name: str = ""):
+        super().__init__("phi", type, (), name)
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type != self.type:
+            raise TypeError(
+                f"phi incoming type {value.type} != phi type {self.type}"
+            )
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for_block(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incoming():
+            if pred is block:
+                return value
+        raise KeyError(f"phi has no incoming value for block {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        """Drop the incoming entry for ``block`` (used by CFG simplification)."""
+        index = self.incoming_blocks.index(block)
+        # Rebuild operand list to keep use indices consistent.
+        pairs = [(v, b) for v, b in self.incoming() if b is not block]
+        self.drop_operands()
+        self.incoming_blocks = []
+        for value, pred in pairs:
+            self._append_operand(value)
+            self.incoming_blocks.append(pred)
+
+
+class CallInst(Instruction):
+    """A direct call to a :class:`~repro.ir.function.Function`.
+
+    The callee is *not* an operand (it is not a dataflow value in this IR);
+    only the arguments are.  Faults may corrupt the *returned value* of a call
+    (paper §3), so non-void calls are injection-eligible, but the call itself
+    is never duplicated (duplicating calls would re-execute side effects).
+    """
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee: "Function", args: Sequence[Value], name: str = ""):
+        ftype = callee.ftype
+        if len(args) != len(ftype.param_types):
+            raise TypeError(
+                f"call to {callee.name}: expected {len(ftype.param_types)} args, "
+                f"got {len(args)}"
+            )
+        for arg, pty in zip(args, ftype.param_types):
+            if arg.type != pty:
+                raise TypeError(
+                    f"call to {callee.name}: argument type {arg.type} != {pty}"
+                )
+        super().__init__("call", ftype.return_type, args, name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.operands)
+
+
+class AllocaInst(Instruction):
+    """Stack allocation of a scalar or a fixed-size array of scalars."""
+
+    __slots__ = ("allocated_type",)
+
+    def __init__(self, allocated_type: Type, name: str = ""):
+        if allocated_type.is_array():
+            pointee = allocated_type.element  # type: ignore[attr-defined]
+        elif allocated_type.is_scalar():
+            pointee = allocated_type
+        else:
+            raise TypeError(f"cannot alloca type {allocated_type}")
+        super().__init__("alloca", PointerType(pointee), (), name)
+        self.allocated_type = allocated_type
+
+    @property
+    def cell_count(self) -> int:
+        if self.allocated_type.is_array():
+            return self.allocated_type.count  # type: ignore[attr-defined]
+        return 1
+
+
+class LoadInst(Instruction):
+    """Load one scalar from memory.  Loads are ECC-protected (paper §3):
+    their result is never a fault-injection target and they are never
+    duplicated."""
+
+    __slots__ = ()
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer():
+            raise TypeError(f"load requires a pointer operand, got {pointer.type}")
+        super().__init__("load", pointer.type.pointee, (pointer,), name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class StoreInst(Instruction):
+    """Store one scalar to memory (void-typed)."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer():
+            raise TypeError(f"store requires a pointer operand, got {pointer.type}")
+        if value.type != pointer.type.pointee:
+            raise TypeError(
+                f"store of {value.type} through pointer to {pointer.type.pointee}"
+            )
+        super().__init__("store", VOID, (value, pointer))
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class AtomicRMWInst(Instruction):
+    """Atomic read-modify-write (feature 8).
+
+    Supported operations: ``add`` (integer or float fetch-and-add).  Returns
+    the *old* value, as LLVM's ``atomicrmw`` does.  Present mainly so the
+    feature space matches Table 1; the serial interpreter executes it
+    non-atomically, and the simulated-MPI runtime has no shared memory.
+    """
+
+    __slots__ = ("operation",)
+
+    def __init__(self, operation: str, pointer: Value, value: Value, name: str = ""):
+        if operation != "add":
+            raise ValueError(f"unsupported atomicrmw operation: {operation}")
+        if not pointer.type.is_pointer() or value.type != pointer.type.pointee:
+            raise TypeError("atomicrmw operand types are inconsistent")
+        super().__init__("atomicrmw", value.type, (pointer, value), name)
+        self.operation = operation
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+
+class GEPInst(Instruction):
+    """Pointer arithmetic: ``gep base, index`` computes ``base + index`` in
+    memory cells (the "get-pointer" instruction of Table 1, feature 9).
+
+    Address computations are a prime source of *symptoms*: a bit flip in a
+    gep result typically produces a wild address and an access trap, which
+    the Shoestring-style baseline exploits.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        if not base.type.is_pointer():
+            raise TypeError(f"gep base must be a pointer, got {base.type}")
+        if not index.type.is_integer():
+            raise TypeError(f"gep index must be an integer, got {index.type}")
+        super().__init__("gep", base.type, (base, index), name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class BranchInst(Instruction):
+    """Unconditional (``br dest``) or conditional (``br cond, then, else``)
+    branch.  Control-flow faults are out of scope (paper §3: handled by
+    control-flow checking), so branches are never injection targets."""
+
+    __slots__ = ("targets",)
+
+    def __init__(
+        self,
+        cond: Optional[Value],
+        then_block: "BasicBlock",
+        else_block: Optional["BasicBlock"] = None,
+    ):
+        if cond is None:
+            if else_block is not None:
+                raise ValueError("unconditional branch takes one target")
+            super().__init__("br", VOID, ())
+            self.targets: List["BasicBlock"] = [then_block]
+        else:
+            if cond.type != I1:
+                raise TypeError("branch condition must be i1")
+            if else_block is None:
+                raise ValueError("conditional branch takes two targets")
+            super().__init__("br", VOID, (cond,))
+            self.targets = [then_block, else_block]
+
+    @property
+    def is_conditional(self) -> bool:
+        return bool(self.operands)
+
+    @property
+    def condition(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> List["BasicBlock"]:
+        return list(self.targets)
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.targets = [new if t is old else t for t in self.targets]
+
+
+class RetInst(Instruction):
+    """Function return, with or without a value."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__("ret", VOID, (value,) if value is not None else ())
+
+    @property
+    def return_value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+
+class UnreachableInst(Instruction):
+    """Marks a point that must never execute (reaching it traps)."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("unreachable", VOID, ())
+
+    def successors(self) -> List["BasicBlock"]:
+        return []

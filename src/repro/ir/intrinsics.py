@@ -1,0 +1,85 @@
+"""Runtime intrinsics known to the interpreter.
+
+Three families:
+
+* **libm** — elementary math on ``f64`` (the scientific workloads use these
+  exactly where their C originals call ``libm``).  Per the paper §5.1,
+  library code itself is outside the protection domain; intrinsic *results*
+  are still injection-eligible because the fault model covers values returned
+  from calls (§3).
+* **I/O** — ``print_*`` debug output (disabled by default in campaigns).
+* **MPI** — the subset of MPI the workloads need, served by
+  :mod:`repro.parallel` when a program runs under the simulated SPMD runtime
+  (rank 0 semantics when run serially).
+
+The IPAS check intrinsics (``ipas.check.*``) are *not* listed here: they are
+created on demand by the duplication pass with type-mangled names (see
+:mod:`repro.protect.duplication`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .function import Function
+from .module import Module
+from .types import F64, I64, PointerType, Type, VOID
+
+F64P = PointerType(F64)
+I64P = PointerType(I64)
+
+#: name -> (return type, parameter types)
+INTRINSIC_SIGNATURES: Dict[str, Tuple[Type, Tuple[Type, ...]]] = {
+    # libm
+    "sqrt": (F64, (F64,)),
+    "fabs": (F64, (F64,)),
+    "sin": (F64, (F64,)),
+    "cos": (F64, (F64,)),
+    "exp": (F64, (F64,)),
+    "log": (F64, (F64,)),
+    "pow": (F64, (F64, F64)),
+    "floor": (F64, (F64,)),
+    "fmin": (F64, (F64, F64)),
+    "fmax": (F64, (F64, F64)),
+    # I/O
+    "print_f64": (VOID, (F64,)),
+    "print_i64": (VOID, (I64,)),
+    # MPI (simulated SPMD runtime; identity/rank-0 semantics when serial)
+    "mpi_rank": (I64, ()),
+    "mpi_size": (I64, ()),
+    "mpi_barrier": (VOID, ()),
+    "mpi_allreduce_sum_f64": (F64, (F64,)),
+    "mpi_allreduce_min_f64": (F64, (F64,)),
+    "mpi_allreduce_max_f64": (F64, (F64,)),
+    "mpi_allreduce_sum_i64": (I64, (I64,)),
+    "mpi_allreduce_max_i64": (I64, (I64,)),
+    "mpi_bcast_f64": (F64, (F64, I64)),
+    "mpi_bcast_i64": (I64, (I64, I64)),
+    # In-place allreduce over an array of n elements.
+    "mpi_allreduce_sum_f64_array": (VOID, (F64P, I64)),
+    "mpi_allreduce_sum_i64_array": (VOID, (I64P, I64)),
+    # Exchange: send `count` cells from sendbuf to `peer`, receive into recvbuf.
+    "mpi_sendrecv_f64": (VOID, (F64P, F64P, I64, I64)),
+}
+
+#: Intrinsics whose returned value is data-dependent and therefore
+#: injection-eligible per the paper's fault model (values returned from
+#: function-call instructions).  Environment queries (rank/size) are treated
+#: as configuration, not computation.
+VALUE_RETURNING_MATH = frozenset(
+    {"sqrt", "fabs", "sin", "cos", "exp", "log", "pow", "floor", "fmin", "fmax"}
+)
+
+
+def declare_intrinsic(module: Module, name: str) -> Function:
+    """Get-or-declare the named intrinsic in ``module``."""
+    try:
+        ret, params = INTRINSIC_SIGNATURES[name]
+    except KeyError:
+        raise KeyError(f"unknown intrinsic: {name}") from None
+    return module.declare_function(name, ret, params, is_intrinsic=True)
+
+
+def is_check_intrinsic(fn: Function) -> bool:
+    """True for the duplication-check intrinsics inserted by the protector."""
+    return fn.name.startswith("ipas.check")

@@ -1,0 +1,116 @@
+"""Modules (translation units) of the repro SSA IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .function import Function
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: global variables plus functions.
+
+    The protected programs that IPAS produces (paper step 4) are modules; the
+    whole pipeline — feature extraction, fault injection, duplication —
+    operates at module granularity, matching the paper's use of LLVM bitcode
+    modules.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    # -- functions -------------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        return_type: Type,
+        param_types: Sequence[Type] = (),
+        arg_names: Optional[Sequence[str]] = None,
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"function {name} already exists in module")
+        fn = Function(name, FunctionType(return_type, tuple(param_types)), arg_names, self)
+        self.functions[name] = fn
+        return fn
+
+    def declare_function(
+        self,
+        name: str,
+        return_type: Type,
+        param_types: Sequence[Type] = (),
+        is_intrinsic: bool = True,
+    ) -> Function:
+        """Get or create a body-less declaration (used for intrinsics)."""
+        existing = self.functions.get(name)
+        if existing is not None:
+            want = FunctionType(return_type, tuple(param_types))
+            if existing.ftype != want:
+                raise ValueError(
+                    f"redeclaration of {name} with different type "
+                    f"({existing.ftype} vs {want})"
+                )
+            return existing
+        fn = Function(
+            name,
+            FunctionType(return_type, tuple(param_types)),
+            parent=self,
+            is_intrinsic=is_intrinsic,
+        )
+        self.functions[name] = fn
+        return fn
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name} in module {self.name}") from None
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    # -- globals ----------------------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        value_type: Type,
+        initializer=None,
+        is_output: bool = False,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"global {name} already exists in module")
+        gv = GlobalVariable(name, value_type, initializer, is_output)
+        self.globals[name] = gv
+        return gv
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(f"no global named {name} in module {self.name}") from None
+
+    def output_globals(self) -> List[GlobalVariable]:
+        return [g for g in self.globals.values() if g.is_output]
+
+    # -- traversal ----------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for fn in self.defined_functions():
+            yield from fn.instructions()
+
+    @property
+    def static_instruction_count(self) -> int:
+        """Static instruction count (paper Table 3)."""
+        return sum(f.instruction_count for f in self.defined_functions())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.defined_functions())} functions, "
+            f"{self.static_instruction_count} instructions>"
+        )

@@ -1,0 +1,473 @@
+"""Parser for the textual IR (the inverse of :mod:`repro.ir.printer`).
+
+Round-trips the printer's output: ``parse_module(print_module(m))`` yields
+a structurally identical module.  Useful for golden tests, for crafting
+regression cases by hand, and for inspecting/editing protected modules.
+
+Grammar (one construct per line)::
+
+    ; comment
+    @name = global <type> [init <python-literal>] [output]
+    declare <type> @name(<type>, ...)
+    define <type> @name(<type> %arg, ...) {
+    label:
+      %x = add i64 %a, %b
+      ...
+    }
+
+Instruction syntax follows the printer exactly; forward references to
+blocks and to values defined later in the function are resolved in a second
+pass, so phis and loops parse naturally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    BinaryOperator,
+    BINARY_OPS,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CAST_OPS,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import ArrayType, F64, FloatType, I1, I8, I32, I64, IntType, PointerType, Type, VOID
+from .values import Constant, UndefValue, Value
+
+
+class IRParseError(Exception):
+    """Malformed textual IR."""
+
+    def __init__(self, message: str, line_number: int = 0):
+        super().__init__(
+            f"line {line_number}: {message}" if line_number else message
+        )
+        self.line_number = line_number
+
+
+_SCALARS: Dict[str, Type] = {
+    "void": VOID,
+    "i1": I1,
+    "i8": I8,
+    "i32": I32,
+    "i64": I64,
+    "f64": F64,
+    "f32": FloatType(32),
+}
+
+
+def parse_type(text: str) -> Type:
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text.startswith("["):
+        match = re.fullmatch(r"\[\s*(\d+)\s*x\s*(.+?)\s*\]", text)
+        if not match:
+            raise IRParseError(f"bad array type {text!r}")
+        return ArrayType(parse_type(match.group(2)), int(match.group(1)))
+    scalar = _SCALARS.get(text)
+    if scalar is None:
+        raise IRParseError(f"unknown type {text!r}")
+    return scalar
+
+
+class _Deferred(Value):
+    """Placeholder for a %name used before its definition."""
+
+    __slots__ = ()
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, fn: Function, line_number: int):
+        self.module = module
+        self.fn = fn
+        self.start_line = line_number
+        self.values: Dict[str, Value] = {a.name: a for a in fn.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (instruction, operand index, name) fixups for forward value refs
+        self.value_fixups: List[Tuple[Instruction, int, str, int]] = []
+        #: (phi, value-name-or-literal, block name, line) fixups
+        self.phi_fixups: List[Tuple[PhiNode, str, str, str, int]] = []
+
+    # -- operand handling ------------------------------------------------------
+
+    def operand(self, type_: Type, token: str, line_number: int) -> Value:
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:]
+            existing = self.values.get(name)
+            if existing is not None:
+                return existing
+            placeholder = _Deferred(type_, name)
+            return placeholder
+        if token.startswith("@"):
+            name = token[1:]
+            if name in self.module.globals:
+                return self.module.get_global(name)
+            raise IRParseError(f"unknown global @{name}", line_number)
+        if token == "undef":
+            return UndefValue(type_)
+        if type_.is_pointer():
+            # Pointer-typed literal (addresses are plain ints here).
+            raise IRParseError(f"bad pointer operand {token!r}", line_number)
+        try:
+            if type_.is_float():
+                return Constant(type_, float(token))
+            return Constant(type_, int(token))
+        except ValueError:
+            raise IRParseError(f"bad literal {token!r}", line_number) from None
+
+    def block(self, name: str) -> BasicBlock:
+        existing = self.blocks.get(name)
+        if existing is not None:
+            return existing
+        block = BasicBlock(name, self.fn)
+        self.blocks[name] = block
+        return block
+
+    def define(self, name: str, value: Value, line_number: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}", line_number)
+        value.name = name
+        self.values[name] = value
+
+    def resolve_deferred(self) -> None:
+        for fn_block in self.fn.blocks:
+            for inst in fn_block.instructions:
+                for index, op in enumerate(inst.operands):
+                    if isinstance(op, _Deferred):
+                        real = self.values.get(op.name)
+                        if real is None:
+                            raise IRParseError(
+                                f"undefined value %{op.name} in {self.fn.name}"
+                            )
+                        inst.set_operand(index, real)
+
+
+_TYPED_OPERAND = re.compile(r"^\s*(\S+(?:\s*\*)?)\s+(\S+)\s*$")
+
+
+def _split_typed(token: str, line_number: int) -> Tuple[Type, str]:
+    """Parse '<type> <operand>'."""
+    parts = token.strip().rsplit(" ", 1)
+    if len(parts) != 2:
+        raise IRParseError(f"expected '<type> <value>', got {token!r}", line_number)
+    return parse_type(parts[0]), parts[1]
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class IRTextParser:
+    """Parses the printer's textual module syntax."""
+
+    def __init__(self, source: str):
+        self.lines = source.splitlines()
+        self.pos = 0
+        self.module = Module("parsed")
+
+    # -- line plumbing ------------------------------------------------------------
+
+    def _next_line(self) -> Optional[Tuple[int, str]]:
+        while self.pos < len(self.lines):
+            raw = self.lines[self.pos]
+            self.pos += 1
+            text = raw.split(";", 1)[0].rstrip()
+            if text.strip():
+                return self.pos, text
+        return None
+
+    def _peek_line(self) -> Optional[Tuple[int, str]]:
+        saved = self.pos
+        result = self._next_line()
+        self.pos = saved
+        return result
+
+    # -- top level ---------------------------------------------------------------------
+
+    def parse(self) -> Module:
+        while True:
+            item = self._next_line()
+            if item is None:
+                break
+            line_number, text = item
+            stripped = text.strip()
+            try:
+                if stripped.startswith("@"):
+                    self._parse_global(stripped, line_number)
+                elif stripped.startswith("declare"):
+                    self._parse_declare(stripped, line_number)
+                elif stripped.startswith("define"):
+                    self._parse_define(stripped, line_number)
+                else:
+                    raise IRParseError(f"unexpected line {stripped!r}", line_number)
+            except IRParseError:
+                raise
+            except (IndexError, KeyError, ValueError, TypeError) as exc:
+                # Constructor-level rejections (duplicate names, zero-length
+                # arrays, bad initializers) become parse diagnostics.
+                raise IRParseError(
+                    f"invalid construct {stripped!r}: {exc}", line_number
+                ) from exc
+        return self.module
+
+    def _parse_global(self, text: str, line_number: int) -> None:
+        match = re.fullmatch(
+            r"@([\w.]+)\s*=\s*global\s+(.+?)(\s+init\s+(.+?))?(\s+output)?",
+            text,
+        )
+        if not match:
+            raise IRParseError(f"bad global: {text!r}", line_number)
+        name, type_text, _, init_text, output = match.groups()
+        initializer = None
+        if init_text is not None:
+            try:
+                initializer = ast.literal_eval(init_text.strip())
+            except (ValueError, SyntaxError):
+                raise IRParseError(
+                    f"bad initializer {init_text!r}", line_number
+                ) from None
+        self.module.add_global(
+            name, parse_type(type_text), initializer, is_output=bool(output)
+        )
+
+    def _parse_declare(self, text: str, line_number: int) -> None:
+        match = re.fullmatch(r"declare\s+(\S+)\s+@([\w.]+)\((.*)\)", text)
+        if not match:
+            raise IRParseError(f"bad declare: {text!r}", line_number)
+        ret_text, name, params_text = match.groups()
+        params = [parse_type(p) for p in _split_args(params_text)]
+        self.module.declare_function(name, parse_type(ret_text), params)
+
+    def _parse_define(self, text: str, line_number: int) -> None:
+        match = re.fullmatch(r"define\s+(\S+)\s+@([\w.]+)\((.*)\)\s*\{", text)
+        if not match:
+            raise IRParseError(f"bad define: {text!r}", line_number)
+        ret_text, name, params_text = match.groups()
+        param_types: List[Type] = []
+        param_names: List[str] = []
+        for chunk in _split_args(params_text):
+            ptype, pname = _split_typed(chunk, line_number)
+            if not pname.startswith("%"):
+                raise IRParseError(f"bad parameter {chunk!r}", line_number)
+            param_types.append(ptype)
+            param_names.append(pname[1:])
+        fn = self.module.add_function(
+            name, parse_type(ret_text), param_types, param_names
+        )
+        parser = _FunctionParser(self.module, fn, line_number)
+        current: Optional[BasicBlock] = None
+        while True:
+            item = self._next_line()
+            if item is None:
+                raise IRParseError(f"unterminated function @{name}", line_number)
+            ln, body_text = item
+            stripped = body_text.strip()
+            if stripped == "}":
+                break
+            if re.fullmatch(r"[\w.]+:", stripped):
+                block = parser.block(stripped[:-1])
+                if block in fn.blocks:
+                    raise IRParseError(f"duplicate block {stripped!r}", ln)
+                fn.blocks.append(block)
+                current = block
+                continue
+            if current is None:
+                raise IRParseError("instruction before first block label", ln)
+            self._parse_instruction(parser, current, stripped, ln)
+        parser.resolve_deferred()
+        self._resolve_phis(parser)
+
+    # -- instructions -----------------------------------------------------------------------
+
+    def _parse_instruction(
+        self, p: _FunctionParser, block: BasicBlock, text: str, ln: int
+    ) -> None:
+        dest: Optional[str] = None
+        body = text
+        match = re.match(r"^%([\w.]+)\s*=\s*(.+)$", text)
+        if match:
+            dest, body = match.group(1), match.group(2)
+        try:
+            inst = self._build(p, block, body.strip(), ln)
+        except IRParseError:
+            raise
+        except (IndexError, KeyError, ValueError, TypeError) as exc:
+            # Malformed operand lists or type mismatches surface from the
+            # instruction constructors; report them as parse diagnostics.
+            raise IRParseError(f"malformed instruction {body!r}: {exc}", ln) from exc
+        inst.parent = block
+        block.instructions.append(inst)
+        if dest is not None:
+            if not inst.produces_value():
+                raise IRParseError("void instruction cannot be named", ln)
+            p.define(dest, inst, ln)
+
+    def _build(
+        self, p: _FunctionParser, block: BasicBlock, body: str, ln: int
+    ) -> Instruction:
+        opcode, _, rest = body.partition(" ")
+        rest = rest.strip()
+        if opcode in BINARY_OPS:
+            type_text, _, ops_text = rest.partition(" ")
+            type_ = parse_type(type_text)
+            tokens = _split_args(ops_text)
+            if len(tokens) != 2:
+                raise IRParseError(f"binary op needs 2 operands: {body!r}", ln)
+            return BinaryOperator(
+                opcode,
+                p.operand(type_, tokens[0], ln),
+                p.operand(type_, tokens[1], ln),
+            )
+        if opcode in ("icmp", "fcmp"):
+            pred, _, rest2 = rest.partition(" ")
+            tokens = _split_args(rest2)
+            type_, first = _split_typed(tokens[0], ln)
+            lhs = p.operand(type_, first, ln)
+            rhs = p.operand(type_, tokens[1], ln)
+            cls = ICmpInst if opcode == "icmp" else FCmpInst
+            return cls(pred, lhs, rhs)
+        if opcode in CAST_OPS:
+            match = re.fullmatch(r"(.+)\s+to\s+(\S+)", rest)
+            if not match:
+                raise IRParseError(f"bad cast: {body!r}", ln)
+            src_type, token = _split_typed(match.group(1), ln)
+            return CastInst(opcode, p.operand(src_type, token, ln), parse_type(match.group(2)))
+        if opcode == "select":
+            tokens = _split_args(rest)
+            parsed = [_split_typed(t, ln) for t in tokens]
+            values = [p.operand(ty, tok, ln) for ty, tok in parsed]
+            return SelectInst(*values)
+        if opcode == "phi":
+            type_text, _, incomings = rest.partition(" ")
+            type_ = parse_type(type_text)
+            phi = PhiNode(type_)
+            for chunk in re.findall(r"\[\s*([^\],]+)\s*,\s*%([\w.]+)\s*\]", incomings):
+                value_token, block_name = chunk
+                p.phi_fixups.append((phi, value_token.strip(), block_name, type_text, ln))
+            return phi
+        if opcode == "call":
+            match = re.fullmatch(r"(\S+)\s+@([\w.]+)\((.*)\)", rest)
+            if not match:
+                raise IRParseError(f"bad call: {body!r}", ln)
+            _ret_text, callee_name, args_text = match.groups()
+            try:
+                callee = self.module.get_function(callee_name)
+            except KeyError:
+                raise IRParseError(f"unknown callee @{callee_name}", ln) from None
+            args = []
+            for chunk in _split_args(args_text):
+                atype, token = _split_typed(chunk, ln)
+                args.append(p.operand(atype, token, ln))
+            return CallInst(callee, args)
+        if opcode == "alloca":
+            return AllocaInst(parse_type(rest))
+        if opcode == "load":
+            tokens = _split_args(rest)
+            ptype, token = _split_typed(tokens[1], ln)
+            return LoadInst(p.operand(ptype, token, ln))
+        if opcode == "store":
+            tokens = _split_args(rest)
+            vtype, vtoken = _split_typed(tokens[0], ln)
+            ptype, ptoken = _split_typed(tokens[1], ln)
+            return StoreInst(p.operand(vtype, vtoken, ln), p.operand(ptype, ptoken, ln))
+        if opcode == "gep":
+            tokens = _split_args(rest)
+            btype, btoken = _split_typed(tokens[0], ln)
+            itype, itoken = _split_typed(tokens[1], ln)
+            return GEPInst(p.operand(btype, btoken, ln), p.operand(itype, itoken, ln))
+        if opcode == "atomicrmw":
+            operation, _, rest2 = rest.partition(" ")
+            tokens = _split_args(rest2)
+            ptype, ptoken = _split_typed(tokens[0], ln)
+            vtype, vtoken = _split_typed(tokens[1], ln)
+            return AtomicRMWInst(
+                operation, p.operand(ptype, ptoken, ln), p.operand(vtype, vtoken, ln)
+            )
+        if opcode == "br":
+            cond_match = re.fullmatch(
+                r"i1\s+(\S+)\s*,\s*label\s+%([\w.]+)\s*,\s*label\s+%([\w.]+)", rest
+            )
+            if cond_match:
+                cond = p.operand(I1, cond_match.group(1), ln)
+                return BranchInst(
+                    cond, p.block(cond_match.group(2)), p.block(cond_match.group(3))
+                )
+            uncond_match = re.fullmatch(r"label\s+%([\w.]+)", rest)
+            if uncond_match:
+                return BranchInst(None, p.block(uncond_match.group(1)))
+            raise IRParseError(f"bad branch: {body!r}", ln)
+        if opcode == "ret":
+            if rest == "void":
+                return RetInst()
+            rtype, token = _split_typed(rest, ln)
+            return RetInst(p.operand(rtype, token, ln))
+        if opcode == "unreachable" or body == "unreachable":
+            return UnreachableInst()
+        raise IRParseError(f"unknown instruction {body!r}", ln)
+
+    def _resolve_phis(self, p: _FunctionParser) -> None:
+        for phi, value_token, block_name, type_text, ln in p.phi_fixups:
+            block = p.blocks.get(block_name)
+            if block is None or block not in p.fn.blocks:
+                raise IRParseError(f"phi references unknown block %{block_name}", ln)
+            value = p.operand(parse_type(type_text), value_token, ln)
+            if isinstance(value, _Deferred):
+                real = p.values.get(value.name)
+                if real is None:
+                    raise IRParseError(f"undefined value %{value.name}", ln)
+                value = real
+            phi.add_incoming(value, block)
+
+
+def parse_module(source: str, name: Optional[str] = None) -> Module:
+    """Parse textual IR into a module (not verified — call verify_module).
+
+    The module name comes from an explicit ``name`` argument, else from a
+    leading ``; module <name>`` header (which the printer emits), else
+    defaults to "parsed".
+    """
+    parser = IRTextParser(source)
+    module = parser.parse()
+    if name is not None:
+        module.name = name
+    else:
+        header = re.search(r"^\s*;\s*module\s+(\S+)", source, re.MULTILINE)
+        module.name = header.group(1) if header else "parsed"
+    return module

@@ -1,0 +1,166 @@
+"""Textual printer for the repro IR (LLVM-flavoured assembly).
+
+Intended for debugging, golden tests, and documentation; there is no parser
+for this syntax (programs are built with the :class:`~repro.ir.builder.IRBuilder`
+or compiled from scil source by :mod:`repro.frontend`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    UnreachableInst,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class _Namer:
+    """Assigns stable, unique local names (%0, %1, ...) within one function.
+
+    Explicit value names are kept but uniquified (`%i`, `%i.1`, ...), so the
+    printed text is unambiguous and :func:`repro.ir.parser.parse_module` can
+    round-trip it.
+    """
+
+    def __init__(self, fn: Function):
+        self._names: Dict[int, str] = {}
+        used: set = set()
+        counter = 0
+
+        def assign(value: Value) -> None:
+            nonlocal counter
+            base = value.name or str(counter)
+            counter += 1
+            name = base
+            suffix = 0
+            while name in used:
+                suffix += 1
+                name = f"{base}.{suffix}"
+            used.add(name)
+            self._names[id(value)] = name
+
+        for arg in fn.args:
+            assign(arg)
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if inst.produces_value():
+                    assign(inst)
+
+    def ref(self, value: Value) -> str:
+        if isinstance(value, (Constant, UndefValue, GlobalVariable)):
+            return value.ref()
+        if isinstance(value, Function):
+            return value.ref()
+        name = self._names.get(id(value))
+        if name is None:
+            return "%<dangling>"
+        return f"%{name}"
+
+
+def _format_instruction(inst: Instruction, namer: _Namer) -> str:
+    def r(v: Value) -> str:
+        return namer.ref(v)
+
+    def typed(v: Value) -> str:
+        return f"{v.type} {r(v)}"
+
+    lhs = f"{r(inst)} = " if inst.produces_value() else ""
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            cond = inst.condition
+            assert cond is not None
+            return (
+                f"br i1 {r(cond)}, label %{inst.targets[0].name}, "
+                f"label %{inst.targets[1].name}"
+            )
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, RetInst):
+        if inst.return_value is None:
+            return "ret void"
+        return f"ret {typed(inst.return_value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    if isinstance(inst, PhiNode):
+        incoming = ", ".join(
+            f"[ {r(v)}, %{b.name} ]" for v, b in inst.incoming()
+        )
+        return f"{lhs}phi {inst.type} {incoming}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(typed(a) for a in inst.operands)
+        return f"{lhs}call {inst.type} @{inst.callee.name}({args})"
+    if isinstance(inst, ICmpInst):
+        return f"{lhs}icmp {inst.predicate} {typed(inst.operands[0])}, {r(inst.operands[1])}"
+    if isinstance(inst, FCmpInst):
+        return f"{lhs}fcmp {inst.predicate} {typed(inst.operands[0])}, {r(inst.operands[1])}"
+    if isinstance(inst, CastInst):
+        return f"{lhs}{inst.opcode} {typed(inst.operands[0])} to {inst.type}"
+    if isinstance(inst, SelectInst):
+        ops = ", ".join(typed(o) for o in inst.operands)
+        return f"{lhs}select {ops}"
+    if isinstance(inst, AllocaInst):
+        return f"{lhs}alloca {inst.allocated_type}"
+    if isinstance(inst, GEPInst):
+        return f"{lhs}gep {typed(inst.base)}, {typed(inst.index)}"
+    if isinstance(inst, AtomicRMWInst):
+        return f"{lhs}atomicrmw add {typed(inst.pointer)}, {typed(inst.value)}"
+    if inst.opcode == "load":
+        return f"{lhs}load {inst.type}, {typed(inst.operands[0])}"
+    if inst.opcode == "store":
+        return f"store {typed(inst.operands[0])}, {typed(inst.operands[1])}"
+    # Binary operators and anything else with plain operand lists.
+    ops = ", ".join(r(o) for o in inst.operands)
+    first = inst.operands[0].type if inst.operands else inst.type
+    return f"{lhs}{inst.opcode} {first} {ops}"
+
+
+def print_function(fn: Function) -> str:
+    if fn.is_declaration:
+        params = ", ".join(str(t) for t in fn.ftype.param_types)
+        return f"declare {fn.return_type} @{fn.name}({params})"
+    namer = _Namer(fn)
+    params = ", ".join(
+        f"{a.type} {namer.ref(a)}" for a in fn.args
+    )
+    lines = [f"define {fn.return_type} @{fn.name}({params}) {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {_format_instruction(inst, namer)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(gv: GlobalVariable) -> str:
+    init = "" if gv.initializer is None else f" init {gv.initializer!r}"
+    out = " output" if gv.is_output else ""
+    return f"@{gv.name} = global {gv.value_type}{init}{out}"
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        parts.append(print_global(gv))
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            parts.append(print_function(fn))
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            parts.append("")
+            parts.append(print_function(fn))
+    return "\n".join(parts) + "\n"

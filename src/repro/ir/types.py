@@ -1,0 +1,233 @@
+"""Type system for the repro SSA IR.
+
+The IR models the subset of LLVM's type system that the IPAS paper's
+instruction taxonomy (Table 1) needs:
+
+* integer types of a few fixed widths (``i1`` for booleans, ``i32``, ``i64``),
+* a 64-bit IEEE-754 floating point type (``f64``),
+* pointers (typed, word-addressed — see :mod:`repro.interp.memory`),
+* flat array types (used only for the size of allocas and globals),
+* ``void`` for instructions and functions that produce no value,
+* function types.
+
+Types are immutable and compared structurally; the common scalar types are
+exposed as module-level singletons (:data:`I1`, :data:`I32`, :data:`I64`,
+:data:`F64`, :data:`VOID`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_scalar(self) -> bool:
+        """True for values that fit in one virtual register."""
+        return self.is_integer() or self.is_float() or self.is_pointer()
+
+    @property
+    def byte_size(self) -> int:
+        """Size of a value of this type in bytes (feature 12 of Table 1)."""
+        raise TypeError(f"type {self} has no byte size")
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width.
+
+    Arithmetic wraps modulo ``2**bits`` with two's-complement signedness,
+    matching LLVM's ``iN`` semantics for the operations the IR supports.
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def byte_size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """An IEEE-754 binary floating point type (only 64-bit is used)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int = 64):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    @property
+    def byte_size(self) -> int:
+        return self.bits // 8
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("float", self.bits))
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(Type):
+    """A typed pointer.
+
+    The interpreter's memory is word-addressed (one scalar per 8-byte cell),
+    so pointer arithmetic (``gep``) advances in whole cells regardless of the
+    pointee type; the pointee type is still tracked for type checking and for
+    load/store result types.
+    """
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        if pointee.is_void():
+            raise ValueError("pointer to void is not supported")
+        self.pointee = pointee
+
+    @property
+    def byte_size(self) -> int:
+        return 8
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A flat, fixed-length array; used to size allocas and globals."""
+
+    __slots__ = ("element", "count")
+
+    def __init__(self, element: Type, count: int):
+        if not element.is_scalar():
+            raise ValueError("only arrays of scalars are supported")
+        if count <= 0:
+            raise ValueError("array count must be positive")
+        self.element = element
+        self.count = count
+
+    @property
+    def byte_size(self) -> int:
+        # One memory cell (8 bytes) per element; see PointerType.
+        return 8 * self.count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    __slots__ = ("return_type", "param_types")
+
+    def __init__(self, return_type: Type, param_types: Tuple[Type, ...]):
+        for p in param_types:
+            if not p.is_scalar():
+                raise ValueError(f"function parameters must be scalar, got {p}")
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.return_type, self.param_types))
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        return f"{self.return_type} ({params})"
+
+
+#: Singleton instances of the common scalar types.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+F64 = FloatType(64)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Convenience constructor mirroring LLVM's ``T*`` notation."""
+    return PointerType(pointee)

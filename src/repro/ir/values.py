@@ -1,0 +1,226 @@
+"""Core value classes of the repro SSA IR.
+
+Every operand in the IR is a :class:`Value`: constants, function arguments,
+global variables, functions, and instructions (which are defined in
+:mod:`repro.ir.instructions`).  Values track their *uses* — the ``(user,
+operand_index)`` pairs that reference them — which gives the def-use chains
+that the IPAS duplication pass (paper §4.4) and Weiser slicing (paper §4.2)
+are built on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple, TYPE_CHECKING
+
+from .types import F64, I1, I64, IntType, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from .instructions import Instruction
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    __slots__ = ("type", "name", "uses")
+
+    def __init__(self, type: Type, name: str = ""):
+        self.type = type
+        self.name = name
+        #: list of (user instruction, operand index) pairs
+        self.uses: List[Tuple["Instruction", int]] = []
+
+    # -- use-list maintenance -------------------------------------------------
+
+    def add_use(self, user: "Instruction", index: int) -> None:
+        self.uses.append((user, index))
+
+    def remove_use(self, user: "Instruction", index: int) -> None:
+        self.uses.remove((user, index))
+
+    @property
+    def users(self) -> List["Instruction"]:
+        """The distinct instructions that use this value, in use order."""
+        seen = []
+        for user, _ in self.uses:
+            if user not in seen:
+                seen.append(user)
+        return seen
+
+    def is_used(self) -> bool:
+        return bool(self.uses)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every use of ``self`` to refer to ``new`` instead."""
+        if new is self:
+            return
+        for user, index in list(self.uses):
+            user.set_operand(index, new)
+
+    # -- display --------------------------------------------------------------
+
+    def ref(self) -> str:
+        """Short printable reference (used by the textual printer)."""
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """An immediate constant of integer, boolean, or float type."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: Type, value):
+        super().__init__(type, "")
+        if type.is_integer():
+            bits = type.bits  # type: ignore[attr-defined]
+            value = int(value)
+            lo = -(1 << (bits - 1)) if bits > 1 else 0
+            hi = (1 << bits) - 1
+            if not (lo <= value <= hi):
+                raise ValueError(f"constant {value} out of range for {type}")
+            # Canonicalize to the signed representative.
+            if bits > 1 and value > (1 << (bits - 1)) - 1:
+                value -= 1 << bits
+        elif type.is_float():
+            value = float(value)
+        else:
+            raise ValueError(f"constants must be int or float typed, got {type}")
+        self.value = value
+
+    def ref(self) -> str:
+        if self.type.is_float():
+            if math.isnan(self.value):
+                return "nan"
+            return repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and (
+                other.value == self.value
+                or (
+                    self.type.is_float()
+                    and math.isnan(self.value)
+                    and math.isnan(other.value)
+                )
+            )
+        )
+
+    def __hash__(self) -> int:
+        if self.type.is_float() and math.isnan(self.value):
+            return hash((self.type, "nan"))
+        return hash((self.type, self.value))
+
+
+def const_int(value: int, type: IntType = I64) -> Constant:
+    return Constant(type, value)
+
+
+def const_bool(value: bool) -> Constant:
+    return Constant(I1, 1 if value else 0)
+
+
+def const_float(value: float) -> Constant:
+    return Constant(F64, value)
+
+
+class UndefValue(Value):
+    """An undefined value (reads of it yield zero in the interpreter)."""
+
+    __slots__ = ()
+
+    def __init__(self, type: Type):
+        super().__init__(type, "")
+
+    def ref(self) -> str:
+        return "undef"
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`~repro.ir.function.Function`."""
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, type: Type, name: str, parent, index: int):
+        super().__init__(type, name)
+        self.parent = parent
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    The value's *type* is a pointer to the variable's ``value_type`` (as in
+    LLVM, referencing a global yields its address).  ``initializer`` is either
+    ``None`` (zero-initialised), a scalar Python number, or a list of numbers
+    for array globals.
+    """
+
+    __slots__ = ("value_type", "initializer", "is_output")
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer=None,
+        is_output: bool = False,
+    ):
+        from .types import PointerType
+
+        if value_type.is_array():
+            pointee = value_type.element  # type: ignore[attr-defined]
+        elif value_type.is_scalar():
+            pointee = value_type
+        else:
+            raise ValueError(f"global of type {value_type} is not supported")
+        super().__init__(PointerType(pointee), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        #: marks globals that hold the program's scientific output; the
+        #: verification routines (paper Table 2) read these after a run.
+        self.is_output = is_output
+
+    @property
+    def cell_count(self) -> int:
+        """Number of 8-byte memory cells the global occupies."""
+        if self.value_type.is_array():
+            return self.value_type.count  # type: ignore[attr-defined]
+        return 1
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def initial_cells(self) -> List:
+        """The initial contents of the global's memory cells."""
+        elem = (
+            self.value_type.element  # type: ignore[attr-defined]
+            if self.value_type.is_array()
+            else self.value_type
+        )
+        zero = 0.0 if elem.is_float() else 0
+        if self.initializer is None:
+            return [zero] * self.cell_count
+        if isinstance(self.initializer, (list, tuple)):
+            cells = list(self.initializer)
+            if len(cells) > self.cell_count:
+                raise ValueError(f"initializer too long for {self.name}")
+            cells += [zero] * (self.cell_count - len(cells))
+            if elem.is_float():
+                return [float(c) for c in cells]
+            return [int(c) for c in cells]
+        if self.cell_count != 1:
+            return [
+                float(self.initializer) if elem.is_float() else int(self.initializer)
+            ] * self.cell_count
+        return [float(self.initializer) if elem.is_float() else int(self.initializer)]
+
+
+def ensure_all_scalar(values: Iterable[Value]) -> None:
+    for v in values:
+        if not v.type.is_scalar():
+            raise TypeError(f"expected scalar-typed value, got {v!r}")

@@ -1,0 +1,198 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Run after the frontend, after each optimization pass, and after the IPAS
+duplication pass; a protected module must be exactly as well-formed as the
+original, so the verifier is the safety net for the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction, PhiNode
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates an IR invariant."""
+
+
+def _check(condition: bool, message: str, errors: List[str]) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def verify_function(fn: Function, errors: List[str]) -> None:
+    name = fn.name
+    if fn.is_declaration:
+        return
+    blocks: Set[BasicBlock] = set(fn.blocks)
+    _check(bool(fn.blocks), f"{name}: function body has no blocks", errors)
+
+    # Structural checks per block.
+    defined: Set[int] = {id(a) for a in fn.args}
+    all_insts: Set[int] = set()
+    for block in fn.blocks:
+        _check(
+            block.parent is fn,
+            f"{name}/{block.name}: block parent link is wrong",
+            errors,
+        )
+        _check(
+            block.is_terminated(),
+            f"{name}/{block.name}: block lacks a terminator",
+            errors,
+        )
+        seen_non_phi = False
+        for i, inst in enumerate(block.instructions):
+            all_insts.add(id(inst))
+            _check(
+                inst.parent is block,
+                f"{name}/{block.name}: instruction parent link is wrong",
+                errors,
+            )
+            if isinstance(inst, PhiNode):
+                _check(
+                    not seen_non_phi,
+                    f"{name}/{block.name}: phi after non-phi instruction",
+                    errors,
+                )
+            else:
+                seen_non_phi = True
+            if inst.is_terminator():
+                _check(
+                    i == len(block.instructions) - 1,
+                    f"{name}/{block.name}: terminator not at end of block",
+                    errors,
+                )
+                for succ in block.successors():
+                    _check(
+                        succ in blocks,
+                        f"{name}/{block.name}: branch to foreign block {succ.name}",
+                        errors,
+                    )
+            if inst.produces_value():
+                defined.add(id(inst))
+
+    # Phi / predecessor consistency.
+    for block in fn.blocks:
+        preds = block.predecessors()
+        for phi in block.phis():
+            _check(
+                len(phi.incoming_blocks) == len(set(map(id, phi.incoming_blocks))),
+                f"{name}/{block.name}: phi has duplicate incoming blocks",
+                errors,
+            )
+            _check(
+                {id(b) for b in phi.incoming_blocks} == {id(p) for p in preds},
+                f"{name}/{block.name}: phi incoming blocks do not match "
+                f"predecessors ({[b.name for b in phi.incoming_blocks]} vs "
+                f"{[p.name for p in preds]})",
+                errors,
+            )
+
+    # Operand sanity and use-list symmetry.
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for idx, op in enumerate(inst.operands):
+                _check(
+                    (inst, idx) in op.uses,
+                    f"{name}/{block.name}: use-list of {op!r} is missing "
+                    f"({inst!r}, {idx})",
+                    errors,
+                )
+                if isinstance(op, Instruction):
+                    _check(
+                        id(op) in all_insts,
+                        f"{name}/{block.name}: operand {op!r} of {inst!r} is not "
+                        f"in this function",
+                        errors,
+                    )
+                elif isinstance(op, Argument):
+                    _check(
+                        op.parent is fn,
+                        f"{name}/{block.name}: argument operand from another function",
+                        errors,
+                    )
+                else:
+                    _check(
+                        isinstance(op, (Constant, UndefValue, GlobalVariable)),
+                        f"{name}/{block.name}: unexpected operand kind {op!r}",
+                        errors,
+                    )
+
+    # SSA dominance: defs must dominate uses.
+    if not errors:
+        _verify_dominance(fn, errors)
+
+
+def _verify_dominance(fn: Function, errors: List[str]) -> None:
+    # Imported here to avoid a package-level import cycle (analysis imports ir).
+    from ..analysis.dominators import DominatorTree
+
+    try:
+        dom = DominatorTree(fn)
+    except Exception as exc:  # malformed CFG already reported elsewhere
+        errors.append(f"{fn.name}: could not build dominator tree: {exc}")
+        return
+    reachable = set(dom.reachable_blocks)
+    order = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            order[id(inst)] = i
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, PhiNode):
+                for value, pred in inst.incoming():
+                    if isinstance(value, Instruction):
+                        vb = value.parent
+                        if vb in reachable and pred in reachable:
+                            ok = dom.dominates(vb, pred)
+                            _check(
+                                ok,
+                                f"{fn.name}/{block.name}: phi incoming "
+                                f"{value!r} does not dominate edge from "
+                                f"{pred.name}",
+                                errors,
+                            )
+                continue
+            for op in inst.operands:
+                if not isinstance(op, Instruction):
+                    continue
+                ob = op.parent
+                if ob is None or ob not in reachable:
+                    continue
+                if ob is block:
+                    _check(
+                        order[id(op)] < order[id(inst)],
+                        f"{fn.name}/{block.name}: {op!r} used before defined",
+                        errors,
+                    )
+                else:
+                    _check(
+                        dom.dominates(ob, block),
+                        f"{fn.name}/{block.name}: def of {op!r} in {ob.name} "
+                        f"does not dominate use in {block.name}",
+                        errors,
+                    )
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` if the module is malformed."""
+    errors: List[str] = []
+    for fn in module.functions.values():
+        _check(
+            fn.parent is module,
+            f"{fn.name}: function parent link is wrong",
+            errors,
+        )
+        verify_function(fn, errors)
+    if errors:
+        preview = "\n  ".join(errors[:20])
+        more = f"\n  ... and {len(errors) - 20} more" if len(errors) > 20 else ""
+        raise VerificationError(f"module {module.name} is invalid:\n  {preview}{more}")

@@ -1,0 +1,41 @@
+"""repro.ml — from-scratch machine learning: SMO C-SVM (the LIBSVM
+substitute), decision tree and k-NN comparators, scaling, CV, grids."""
+
+from .kernels import linear_kernel, rbf_kernel, squared_distances
+from .scaling import StandardScaler
+from .svm import SVC
+from .dtree import DecisionTreeClassifier, KNeighborsClassifier
+from .metrics import (
+    accuracy,
+    class_accuracies,
+    confusion,
+    fscore_eq1,
+    precision_recall,
+)
+from .persistence import (
+    load_classifier,
+    save_classifier,
+    scaler_from_dict,
+    scaler_to_dict,
+    svc_from_dict,
+    svc_to_dict,
+)
+from .crossval import (
+    GridSearch,
+    SvmConfig,
+    cross_val_fscore,
+    paper_grid,
+    stratified_kfold,
+)
+
+__all__ = [
+    "linear_kernel", "rbf_kernel", "squared_distances",
+    "StandardScaler", "SVC",
+    "DecisionTreeClassifier", "KNeighborsClassifier",
+    "accuracy", "class_accuracies", "confusion", "fscore_eq1",
+    "precision_recall",
+    "load_classifier", "save_classifier", "scaler_from_dict",
+    "scaler_to_dict", "svc_from_dict", "svc_to_dict",
+    "GridSearch", "SvmConfig", "cross_val_fscore", "paper_grid",
+    "stratified_kfold",
+]

@@ -1,0 +1,162 @@
+"""Cross-validation and (C, γ) grid search (paper §4.3.2 and §6.1).
+
+The paper varies C in [1, 100000] and γ in [1e-5, 1], samples 500
+combinations ("configurations"), scores each with 5-fold cross-validated
+F-score (Eq. 1), and keeps the top-N (N = 5) configurations for evaluation.
+:func:`paper_grid` generates log-spaced grids of any size up to the paper's
+500; :class:`GridSearch` produces the ranked configuration list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .kernels import squared_distances
+from .metrics import fscore_eq1
+from .svm import SVC
+
+
+def stratified_kfold(
+    y: np.ndarray, k: int = 5, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold split indices, deterministic for a given seed.
+
+    Each class's indices are shuffled and dealt round-robin across folds, so
+    even a rare class (3–10% SOC samples) appears in every fold when it has
+    at least k members.
+    """
+    y = np.asarray(y)
+    rng = random.Random(seed)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for cls in np.unique(y):
+        indices = list(np.nonzero(y == cls)[0])
+        rng.shuffle(indices)
+        for i, index in enumerate(indices):
+            folds[i % k].append(int(index))
+    result = []
+    all_indices = set(range(len(y)))
+    for fold in folds:
+        test = np.array(sorted(fold), dtype=np.int64)
+        train = np.array(sorted(all_indices - set(fold)), dtype=np.int64)
+        if len(test) and len(train):
+            result.append((train, test))
+    return result
+
+
+def cross_val_fscore(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+    sq_dists: Optional[np.ndarray] = None,
+) -> float:
+    """Mean Eq.-1 F-score over stratified folds.
+
+    ``sq_dists`` optionally carries the full pairwise distance matrix; fold
+    submatrices are sliced from it so SVC never recomputes distances.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    scores = []
+    for train, test in stratified_kfold(y, k, seed):
+        model = model_factory()
+        if isinstance(model, SVC) and sq_dists is not None:
+            model.fit(X[train], y[train], sq_dists=sq_dists[np.ix_(train, train)])
+        else:
+            model.fit(X[train], y[train])
+        pred = model.predict(X[test])
+        scores.append(fscore_eq1(y[test], pred))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+class SvmConfig:
+    """One (C, γ) configuration with its cross-validated F-score."""
+
+    __slots__ = ("C", "gamma", "fscore")
+
+    def __init__(self, C: float, gamma: float, fscore: float = 0.0):
+        self.C = C
+        self.gamma = gamma
+        self.fscore = fscore
+
+    def make(self, class_weight="balanced") -> SVC:
+        return SVC(C=self.C, gamma=self.gamma, class_weight=class_weight)
+
+    def __repr__(self) -> str:
+        return f"<SvmConfig C={self.C:g} gamma={self.gamma:g} F={self.fscore:.3f}>"
+
+
+def paper_grid(
+    n_configs: int = 500,
+    c_range: Tuple[float, float] = (1.0, 100000.0),
+    gamma_range: Tuple[float, float] = (1e-5, 1.0),
+) -> List[Tuple[float, float]]:
+    """Log-spaced (C, γ) combinations mirroring the paper's sweep.
+
+    The grid is as square as possible; the paper's full setting is
+    ``n_configs=500``, the experiment defaults use a smaller grid for
+    laptop-scale runtimes (see ``repro.core.scale``).
+    """
+    n_c = max(int(round(n_configs**0.5)), 1)
+    n_gamma = max((n_configs + n_c - 1) // n_c, 1)
+    cs = np.logspace(np.log10(c_range[0]), np.log10(c_range[1]), n_c)
+    gammas = np.logspace(np.log10(gamma_range[0]), np.log10(gamma_range[1]), n_gamma)
+    grid = [(float(c), float(g)) for c in cs for g in gammas]
+    return grid[:n_configs]
+
+
+class GridSearch:
+    """Ranks (C, γ) configurations by cross-validated Eq.-1 F-score."""
+
+    def __init__(
+        self,
+        grid: Optional[Sequence[Tuple[float, float]]] = None,
+        k: int = 5,
+        seed: int = 0,
+        class_weight="balanced",
+        cv_tol: float = 1e-2,
+        cv_max_iter: int = 4000,
+    ):
+        self.grid = list(grid) if grid is not None else paper_grid(64)
+        self.k = k
+        self.seed = seed
+        self.class_weight = class_weight
+        # CV fits only rank configurations, so a looser SMO stopping rule
+        # (LIBSVM's own grid-search tooling does the same) keeps a
+        # 500-configuration sweep affordable; the winners are refitted at
+        # full precision by the pipeline.
+        self.cv_tol = cv_tol
+        self.cv_max_iter = cv_max_iter
+
+    def search(self, X: np.ndarray, y: np.ndarray) -> List[SvmConfig]:
+        """All configurations, best F-score first (ties keep grid order)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        sq = squared_distances(X, X)
+        configs: List[SvmConfig] = []
+        for C, gamma in self.grid:
+            score = cross_val_fscore(
+                lambda C=C, gamma=gamma: SVC(
+                    C=C,
+                    gamma=gamma,
+                    class_weight=self.class_weight,
+                    tol=self.cv_tol,
+                    max_iter=self.cv_max_iter,
+                ),
+                X,
+                y,
+                k=self.k,
+                seed=self.seed,
+                sq_dists=sq,
+            )
+            configs.append(SvmConfig(C, gamma, score))
+        configs.sort(key=lambda c: -c.fscore)
+        return configs
+
+    def top_configs(self, X: np.ndarray, y: np.ndarray, n: int = 5) -> List[SvmConfig]:
+        """The paper's top-N configurations (§6.1, N=5)."""
+        return self.search(X, y)[:n]

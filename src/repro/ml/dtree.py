@@ -1,0 +1,169 @@
+"""A small CART decision tree and a k-NN classifier.
+
+These exist for the paper's §4.3.1 model-selection claim: "we found that
+SVMs meet all of the above requirements, in comparison to other commonly
+used classification schemes, such as decision trees and nearest neighbor."
+The classifier-ablation benchmark pits them against the SVM on the same
+fault-injection data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class _TreeNode:
+    __slots__ = ("feature", "threshold", "left", "right", "prediction")
+
+    def __init__(self):
+        self.feature: Optional[int] = None
+        self.threshold: float = 0.0
+        self.left: Optional["_TreeNode"] = None
+        self.right: Optional["_TreeNode"] = None
+        self.prediction: int = 0
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Binary CART with Gini impurity, optional class weighting."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        class_weight="balanced",
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.class_weight = class_weight
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if self.class_weight == "balanced":
+            n = len(y)
+            n1 = max(int(np.sum(y == 1)), 1)
+            n0 = max(n - int(np.sum(y == 1)), 1)
+            weights = np.where(y == 1, n / (2.0 * n1), n / (2.0 * n0))
+        else:
+            weights = np.ones(len(y))
+        self._root = self._build(X, y, weights, depth=0)
+        return self
+
+    def _weighted_counts(self, y, w) -> np.ndarray:
+        return np.array([w[y == 0].sum(), w[y == 1].sum()])
+
+    def _build(self, X, y, w, depth) -> _TreeNode:
+        node = _TreeNode()
+        counts = self._weighted_counts(y, w)
+        node.prediction = int(counts[1] > counts[0])
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or counts[0] == 0.0
+            or counts[1] == 0.0
+        ):
+            return node
+        best = self._best_split(X, y, w, _gini(counts))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X, y, w, parent_gini):
+        best_gain = 1e-9
+        best = None
+        total_w = w.sum()
+        for feature in range(X.shape[1]):
+            values = X[:, feature]
+            candidates = np.unique(values)
+            if len(candidates) < 2:
+                continue
+            thresholds = (candidates[:-1] + candidates[1:]) / 2.0
+            # Cap the threshold scan to keep wide features cheap.
+            if len(thresholds) > 32:
+                idx = np.linspace(0, len(thresholds) - 1, 32).astype(int)
+                thresholds = thresholds[idx]
+            for threshold in thresholds:
+                mask = values <= threshold
+                wl = w[mask]
+                wr = w[~mask]
+                if wl.sum() == 0.0 or wr.sum() == 0.0:
+                    continue
+                gl = _gini(self._weighted_counts(y[mask], wl))
+                gr = _gini(self._weighted_counts(y[~mask], wr))
+                child = (wl.sum() * gl + wr.sum() * gr) / total_w
+                gain = parent_gini - child
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros(len(X), dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._root
+            while node.feature is not None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+
+class KNeighborsClassifier:
+    """Plain k-NN with optional inverse-frequency class weighting."""
+
+    def __init__(self, k: int = 5, class_weight="balanced"):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.class_weight = class_weight
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._w = (1.0, 1.0)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        self._X = np.asarray(X, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.int64)
+        if self.class_weight == "balanced":
+            n = len(self._y)
+            n1 = max(int(np.sum(self._y == 1)), 1)
+            n0 = max(n - n1, 1)
+            self._w = (n / (2.0 * n0), n / (2.0 * n1))
+        else:
+            self._w = (1.0, 1.0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("k-NN is not fitted")
+        from .kernels import squared_distances
+
+        X = np.asarray(X, dtype=np.float64)
+        d = squared_distances(X, self._X)
+        k = min(self.k, len(self._y))
+        nearest = np.argpartition(d, k - 1, axis=1)[:, :k]
+        out = np.zeros(len(X), dtype=np.int64)
+        for i in range(len(X)):
+            votes = self._y[nearest[i]]
+            score1 = float(np.sum(votes == 1)) * self._w[1]
+            score0 = float(np.sum(votes == 0)) * self._w[0]
+            out[i] = 1 if score1 > score0 else 0
+        return out

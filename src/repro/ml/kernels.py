@@ -1,0 +1,39 @@
+"""Kernel functions for the SVM (paper §4.3: RBF kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape (len(X), len(Y)).
+
+    Computed with the expansion ||x-y||² = ||x||² + ||y||² - 2x·y and
+    clamped at zero (the expansion can go slightly negative in floating
+    point).  Grid search reuses one distance matrix across every γ, which is
+    what makes 500-configuration sweeps (paper §4.3.2) affordable.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    xx = np.sum(X * X, axis=1)[:, None]
+    yy = np.sum(Y * Y, axis=1)[None, :]
+    d = xx + yy - 2.0 * (X @ Y.T)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def rbf_kernel(
+    X: np.ndarray,
+    Y: np.ndarray,
+    gamma: float,
+    sq_dists: np.ndarray = None,
+) -> np.ndarray:
+    """K(x, y) = exp(-γ ||x - y||²)."""
+    if sq_dists is None:
+        sq_dists = squared_distances(X, Y)
+    return np.exp(-gamma * sq_dists)
+
+
+def linear_kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """K(x, y) = x·y (used in tests and as a cheap ablation point)."""
+    return np.asarray(X, dtype=np.float64) @ np.asarray(Y, dtype=np.float64).T

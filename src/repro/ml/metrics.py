@@ -1,0 +1,68 @@
+"""Classification metrics, centred on the paper's F-score (Eq. 1).
+
+The paper's F-score is *not* the usual precision/recall F1: it is the
+harmonic mean of the two per-class accuracies (sensitivity and
+specificity), which rewards classifiers that do well on *both* the rare
+SOC-generating class and the common benign class — exactly the property
+IPAS needs (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def class_accuracies(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[int, float]:
+    """Per-class accuracy (recall of each class); 0.0 for an absent class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    result: Dict[int, float] = {}
+    for cls in (1, 0):
+        mask = y_true == cls
+        if not mask.any():
+            result[cls] = 0.0
+        else:
+            result[cls] = float(np.mean(y_pred[mask] == cls))
+    return result
+
+
+def fscore_eq1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Paper Eq. 1: 2·acc₁·acc₂ / (acc₁ + acc₂).
+
+    ``acc₁`` is the fraction of class-1 (SOC-generating) examples classified
+    correctly; ``acc₂`` the same for class 2 (labelled 0 here).  Ranges 0–1.
+    """
+    acc = class_accuracies(y_true, y_pred)
+    a1, a2 = acc[1], acc[0]
+    if a1 + a2 == 0.0:
+        return 0.0
+    return 2.0 * a1 * a2 / (a1 + a2)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, int]:
+    """Binary confusion counts with class 1 as 'positive'."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return {
+        "tp": int(np.sum((y_true == 1) & (y_pred == 1))),
+        "fp": int(np.sum((y_true == 0) & (y_pred == 1))),
+        "fn": int(np.sum((y_true == 1) & (y_pred == 0))),
+        "tn": int(np.sum((y_true == 0) & (y_pred == 0))),
+    }
+
+
+def precision_recall(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
+    c = confusion(y_true, y_pred)
+    precision = c["tp"] / (c["tp"] + c["fp"]) if (c["tp"] + c["fp"]) else 0.0
+    recall = c["tp"] / (c["tp"] + c["fn"]) if (c["tp"] + c["fn"]) else 0.0
+    return {"precision": precision, "recall": recall}

@@ -1,0 +1,93 @@
+"""Save/load trained classifiers as JSON.
+
+The IPAS workflow ends with a protected binary, but the trained classifier
+itself is worth keeping: the paper's §7 suggests protecting large codes
+kernel-by-kernel, and a saved model lets later kernels (or later builds of
+the same code) be protected without repeating the fault-injection campaign.
+JSON keeps the artifacts diff-able and free of pickle's code-execution
+hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .scaling import StandardScaler
+from .svm import SVC
+
+FORMAT_VERSION = 1
+
+
+def svc_to_dict(model: SVC) -> Dict:
+    if model.support_vectors_ is None:
+        raise ValueError("cannot serialise an unfitted SVC")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "svc",
+        "C": model.C,
+        "gamma": model.gamma,
+        "class_weight": model.class_weight,
+        "intercept": model.intercept_,
+        "constant_class": model._constant_class,
+        "support_vectors": model.support_vectors_.tolist(),
+        "dual_coef": model.dual_coef_.tolist(),
+    }
+
+
+def svc_from_dict(data: Dict) -> SVC:
+    if data.get("kind") != "svc":
+        raise ValueError(f"not a serialised SVC: kind={data.get('kind')!r}")
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported SVC format {data.get('format')!r}")
+    model = SVC(C=data["C"], gamma=data["gamma"], class_weight=data["class_weight"])
+    model.support_vectors_ = np.asarray(data["support_vectors"], dtype=np.float64)
+    if model.support_vectors_.ndim == 1:
+        model.support_vectors_ = model.support_vectors_.reshape(0, 0)
+    model.dual_coef_ = np.asarray(data["dual_coef"], dtype=np.float64)
+    model.intercept_ = float(data["intercept"])
+    model._constant_class = data["constant_class"]
+    return model
+
+
+def scaler_to_dict(scaler: StandardScaler) -> Dict:
+    if scaler.mean_ is None:
+        raise ValueError("cannot serialise an unfitted scaler")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "standard_scaler",
+        "mean": scaler.mean_.tolist(),
+        "scale": scaler.scale_.tolist(),
+    }
+
+
+def scaler_from_dict(data: Dict) -> StandardScaler:
+    if data.get("kind") != "standard_scaler":
+        raise ValueError(f"not a serialised scaler: kind={data.get('kind')!r}")
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(data["mean"], dtype=np.float64)
+    scaler.scale_ = np.asarray(data["scale"], dtype=np.float64)
+    return scaler
+
+
+def save_classifier(
+    path: Union[str, Path], model: SVC, scaler: StandardScaler = None, metadata: Dict = None
+) -> None:
+    """Persist a trained model (+ optional scaler and metadata) to JSON."""
+    payload: Dict = {"model": svc_to_dict(model)}
+    if scaler is not None:
+        payload["scaler"] = scaler_to_dict(scaler)
+    if metadata is not None:
+        payload["metadata"] = metadata
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_classifier(path: Union[str, Path]):
+    """Load (model, scaler_or_None, metadata_dict) from JSON."""
+    payload = json.loads(Path(path).read_text())
+    model = svc_from_dict(payload["model"])
+    scaler = scaler_from_dict(payload["scaler"]) if "scaler" in payload else None
+    return model, scaler, payload.get("metadata", {})

@@ -1,0 +1,38 @@
+"""Feature standardisation.
+
+RBF kernels are scale-sensitive, and Table-1 features span wildly different
+ranges (booleans next to slice sizes in the thousands), so features are
+standardised to zero mean / unit variance before training — the same
+preprocessing LIBSVM's documentation prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature (x - mean) / std, with constant features left at zero."""
+
+    def __init__(self):
+        self.mean_: np.ndarray = None
+        self.scale_: np.ndarray = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0  # constant feature -> centred to exactly zero
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

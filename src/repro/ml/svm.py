@@ -1,0 +1,195 @@
+"""C-SVM with RBF kernel, trained by SMO (the LIBSVM substitute).
+
+The paper trains its classifier with the C-SVC algorithm of Chang & Lin's
+LIBSVM [10].  This module implements the same dual problem
+
+    min_α  ½ αᵀQα - eᵀα      s.t.  yᵀα = 0,  0 ≤ α_i ≤ C_i
+
+with Q_ij = y_i y_j K(x_i, x_j), solved by sequential minimal optimisation
+using the maximal-violating-pair working-set selection (WSS1 of Fan, Chen &
+Lin 2005) — deterministic, no randomisation.
+
+Class imbalance (paper §4.3.1: only 3–10% of samples are SOC) is handled
+with per-class penalties C_i = C·w_{y_i}; ``class_weight="balanced"``
+scales each class inversely to its frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .kernels import rbf_kernel, squared_distances
+
+_TAU = 1e-12
+
+
+class SVC:
+    """Support-vector classifier for two classes labelled {0, 1}."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        gamma: float = 0.1,
+        class_weight: Union[str, Dict[int, float], None] = "balanced",
+        tol: float = 1e-3,
+        max_iter: int = 20000,
+    ):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.C = C
+        self.gamma = gamma
+        self.class_weight = class_weight
+        self.tol = tol
+        self.max_iter = max_iter
+        # fitted state
+        self.support_vectors_: Optional[np.ndarray] = None
+        self.dual_coef_: Optional[np.ndarray] = None  # α_i y_i for SVs
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+        self._constant_class: Optional[int] = None
+
+    # -- training -----------------------------------------------------------------
+
+    def _class_weights(self, y_signed: np.ndarray) -> np.ndarray:
+        n = len(y_signed)
+        n_pos = int(np.sum(y_signed > 0))
+        n_neg = n - n_pos
+        if self.class_weight is None:
+            w_pos = w_neg = 1.0
+        elif self.class_weight == "balanced":
+            w_pos = n / (2.0 * n_pos) if n_pos else 1.0
+            w_neg = n / (2.0 * n_neg) if n_neg else 1.0
+        elif isinstance(self.class_weight, dict):
+            w_pos = float(self.class_weight.get(1, 1.0))
+            w_neg = float(self.class_weight.get(0, 1.0))
+        else:
+            raise ValueError(f"bad class_weight: {self.class_weight!r}")
+        return np.where(y_signed > 0, self.C * w_pos, self.C * w_neg)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sq_dists: Optional[np.ndarray] = None,
+    ) -> "SVC":
+        """Train on features ``X`` and labels ``y`` in {0, 1}.
+
+        ``sq_dists`` optionally supplies the precomputed pairwise squared
+        distance matrix of ``X`` (reused across γ values in grid search).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X and y shapes are inconsistent")
+        if not np.all(np.isin(y, (0, 1))):
+            raise ValueError("labels must be 0 or 1")
+        classes = np.unique(y)
+        if len(classes) == 1:
+            # Degenerate training set: predict the constant class.
+            self._constant_class = int(classes[0])
+            self.support_vectors_ = X[:0]
+            self.dual_coef_ = np.zeros(0)
+            self.intercept_ = 0.0
+            self.n_iter_ = 0
+            return self
+        self._constant_class = None
+
+        y_signed = np.where(y == 1, 1.0, -1.0)
+        n = len(y_signed)
+        K = rbf_kernel(X, X, self.gamma, sq_dists=sq_dists)
+        upper = self._class_weights(y_signed)
+
+        alpha = np.zeros(n)
+        grad = -np.ones(n)  # G = Qα - e; α = 0 initially
+        diag = np.diag(K).copy()
+
+        n_iter = 0
+        while n_iter < self.max_iter:
+            n_iter += 1
+            # Working-set selection: maximal violating pair.
+            minus_yg = -y_signed * grad
+            up_mask = ((y_signed > 0) & (alpha < upper)) | ((y_signed < 0) & (alpha > 0))
+            low_mask = ((y_signed < 0) & (alpha < upper)) | ((y_signed > 0) & (alpha > 0))
+            if not up_mask.any() or not low_mask.any():
+                break
+            up_vals = np.where(up_mask, minus_yg, -np.inf)
+            low_vals = np.where(low_mask, minus_yg, np.inf)
+            i = int(np.argmax(up_vals))
+            j = int(np.argmin(low_vals))
+            m_alpha = up_vals[i]
+            M_alpha = low_vals[j]
+            if m_alpha - M_alpha < self.tol:
+                break
+
+            eta = diag[i] + diag[j] - 2.0 * K[i, j]
+            if eta < _TAU:
+                eta = _TAU
+            # Unconstrained step along the feasible direction
+            # Δα_i = y_i d,  Δα_j = -y_j d.
+            d = (m_alpha - M_alpha) / eta
+            # Box constraints for both coordinates.  Membership in
+            # I_up/I_low guarantees both headrooms are strictly positive.
+            if y_signed[i] > 0:
+                d_max_i = upper[i] - alpha[i]
+            else:
+                d_max_i = alpha[i]
+            if y_signed[j] > 0:
+                d_max_j = alpha[j]
+            else:
+                d_max_j = upper[j] - alpha[j]
+            d = min(d, d_max_i, d_max_j)
+            if d <= 0.0:
+                break  # numerically stuck; current point is near-optimal
+
+            delta_i = y_signed[i] * d
+            delta_j = -y_signed[j] * d
+            alpha[i] += delta_i
+            alpha[j] += delta_j
+            # Gradient maintenance: G += Q[:, i] Δα_i + Q[:, j] Δα_j.
+            grad += (y_signed * y_signed[i] * K[:, i]) * delta_i
+            grad += (y_signed * y_signed[j] * K[:, j]) * delta_j
+
+        self.n_iter_ = n_iter
+        # Intercept from the final violating-pair bounds.
+        minus_yg = -y_signed * grad
+        up_mask = ((y_signed > 0) & (alpha < upper)) | ((y_signed < 0) & (alpha > 0))
+        low_mask = ((y_signed < 0) & (alpha < upper)) | ((y_signed > 0) & (alpha > 0))
+        m_alpha = np.max(np.where(up_mask, minus_yg, -np.inf)) if up_mask.any() else 0.0
+        M_alpha = np.min(np.where(low_mask, minus_yg, np.inf)) if low_mask.any() else 0.0
+        # For a free SV, optimality gives b = -y_i G_i, which is exactly the
+        # quantity m/M bound from both sides; take the midpoint.
+        self.intercept_ = (m_alpha + M_alpha) / 2.0
+
+        sv_mask = alpha > 1e-10
+        self.support_vectors_ = X[sv_mask]
+        self.dual_coef_ = (alpha * y_signed)[sv_mask]
+        return self
+
+    # -- prediction -----------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.support_vectors_ is None:
+            raise RuntimeError("SVC is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if self._constant_class is not None:
+            sign = 1.0 if self._constant_class == 1 else -1.0
+            return np.full(len(X), sign)
+        if len(self.support_vectors_) == 0:
+            return np.full(len(X), self.intercept_)
+        K = rbf_kernel(X, self.support_vectors_, self.gamma)
+        return K @ self.dual_coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in {0, 1}."""
+        return (self.decision_function(X) > 0).astype(np.int64)
+
+    @property
+    def n_support_(self) -> int:
+        return 0 if self.support_vectors_ is None else len(self.support_vectors_)
+
+    def __repr__(self) -> str:
+        return f"SVC(C={self.C}, gamma={self.gamma}, class_weight={self.class_weight!r})"

@@ -1,0 +1,10 @@
+"""repro.parallel — simulated MPI (SPMD ranks, collectives, abort
+semantics) and simulated OpenMP (outlined regions on shared memory)."""
+
+from .mpi import JobResult, MpiJob, RankMpi
+from .openmp import FORK_JOIN_COST, OmpRegionResult, OmpRuntime
+
+__all__ = [
+    "JobResult", "MpiJob", "RankMpi",
+    "FORK_JOIN_COST", "OmpRegionResult", "OmpRuntime",
+]

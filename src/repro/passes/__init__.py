@@ -1,0 +1,32 @@
+"""repro.passes — IR optimization passes and the pass manager."""
+
+from .pass_manager import (
+    ModulePass,
+    PassManager,
+    extended_pipeline,
+    optimize_module,
+    standard_pipeline,
+)
+from .instsimplify import instsimplify_function, instsimplify_module, simplify_instruction
+from .cse import cse_function, cse_module
+from .mem2reg import mem2reg_module, promotable_allocas, promote_allocas
+from .constant_folding import (
+    constant_fold_function,
+    constant_fold_module,
+    fold_binary,
+    fold_instruction,
+)
+from .dce import dce_function, dce_module, is_trivially_dead
+from .simplify_cfg import simplify_cfg_function, simplify_cfg_module
+
+__all__ = [
+    "ModulePass", "PassManager", "extended_pipeline", "optimize_module",
+    "standard_pipeline",
+    "instsimplify_function", "instsimplify_module", "simplify_instruction",
+    "cse_function", "cse_module",
+    "mem2reg_module", "promotable_allocas", "promote_allocas",
+    "constant_fold_function", "constant_fold_module", "fold_binary",
+    "fold_instruction",
+    "dce_function", "dce_module", "is_trivially_dead",
+    "simplify_cfg_function", "simplify_cfg_module",
+]

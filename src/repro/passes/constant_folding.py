@@ -1,0 +1,178 @@
+"""Constant folding of binary ops, comparisons, casts, and selects.
+
+Folding matches the interpreter's semantics exactly (two's-complement
+wrapping, IEEE-754 doubles) so that optimized and unoptimized programs
+compute identical outputs — a property the fault-injection tests rely on.
+Division by a constant zero is deliberately *not* folded: it must trap at
+run time (an observable symptom in the paper's outcome taxonomy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOperator,
+    CastInst,
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    SelectInst,
+)
+from ..ir.module import Module
+from ..ir.types import IntType
+from ..ir.values import Constant
+
+
+def _wrap_int(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if bits > 1 and value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def fold_binary(opcode: str, lhs: Constant, rhs: Constant) -> Optional[Constant]:
+    """Fold a binary op over two constants; None if it must stay dynamic."""
+    a, b = lhs.value, rhs.value
+    type_ = lhs.type
+    if type_.is_float():
+        try:
+            if opcode == "fadd":
+                return Constant(type_, a + b)
+            if opcode == "fsub":
+                return Constant(type_, a - b)
+            if opcode == "fmul":
+                return Constant(type_, a * b)
+            if opcode == "fdiv":
+                if b == 0.0:
+                    return Constant(type_, math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
+                return Constant(type_, a / b)
+            if opcode == "frem":
+                if b == 0.0:
+                    return Constant(type_, math.nan)
+                return Constant(type_, math.fmod(a, b))
+        except OverflowError:
+            return Constant(type_, math.inf if (a > 0) == (b > 0) else -math.inf)
+        return None
+    bits = type_.bits  # type: ignore[attr-defined]
+    if opcode == "add":
+        return Constant(type_, _wrap_int(a + b, bits))
+    if opcode == "sub":
+        return Constant(type_, _wrap_int(a - b, bits))
+    if opcode == "mul":
+        return Constant(type_, _wrap_int(a * b, bits))
+    if opcode in ("sdiv", "srem"):
+        if b == 0:
+            return None  # must trap at run time
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        if opcode == "sdiv":
+            return Constant(type_, _wrap_int(q, bits))
+        return Constant(type_, _wrap_int(a - q * b, bits))
+    ua = a & ((1 << bits) - 1)
+    ub = b & ((1 << bits) - 1)
+    if opcode == "and":
+        return Constant(type_, _wrap_int(ua & ub, bits))
+    if opcode == "or":
+        return Constant(type_, _wrap_int(ua | ub, bits))
+    if opcode == "xor":
+        return Constant(type_, _wrap_int(ua ^ ub, bits))
+    if opcode == "shl":
+        return Constant(type_, _wrap_int(ua << (ub % bits), bits))
+    if opcode == "lshr":
+        return Constant(type_, _wrap_int(ua >> (ub % bits), bits))
+    if opcode == "ashr":
+        return Constant(type_, _wrap_int(a >> (ub % bits), bits))
+    return None
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Return the constant this instruction folds to, or None."""
+    from ..ir.types import I1
+
+    ops = inst.operands
+    if isinstance(inst, BinaryOperator):
+        if isinstance(ops[0], Constant) and isinstance(ops[1], Constant):
+            return fold_binary(inst.opcode, ops[0], ops[1])
+        return None
+    if isinstance(inst, ICmpInst):
+        if isinstance(ops[0], Constant) and isinstance(ops[1], Constant):
+            return Constant(I1, 1 if _ICMP[inst.predicate](ops[0].value, ops[1].value) else 0)
+        return None
+    if isinstance(inst, FCmpInst):
+        if isinstance(ops[0], Constant) and isinstance(ops[1], Constant):
+            a, b = ops[0].value, ops[1].value
+            if math.isnan(a) or math.isnan(b):
+                return Constant(I1, 0)  # ordered comparisons are false on NaN
+            return Constant(I1, 1 if _FCMP[inst.predicate](a, b) else 0)
+        return None
+    if isinstance(inst, CastInst) and isinstance(ops[0], Constant):
+        v = ops[0].value
+        if inst.opcode == "sitofp":
+            return Constant(inst.type, float(v))
+        if inst.opcode == "fptosi":
+            if math.isnan(v) or math.isinf(v):
+                return None  # trap at run time
+            bits = inst.type.bits  # type: ignore[attr-defined]
+            return Constant(inst.type, _wrap_int(int(v), bits))
+        if inst.opcode in ("zext", "sext", "trunc"):
+            src_bits = ops[0].type.bits  # type: ignore[attr-defined]
+            dst_bits = inst.type.bits  # type: ignore[attr-defined]
+            if inst.opcode == "zext":
+                return Constant(inst.type, v & ((1 << src_bits) - 1))
+            if inst.opcode == "sext":
+                return Constant(inst.type, v)
+            return Constant(inst.type, _wrap_int(v, dst_bits))
+        return None
+    if isinstance(inst, SelectInst) and isinstance(ops[0], Constant):
+        chosen = ops[1] if ops[0].value else ops[2]
+        if isinstance(chosen, Constant):
+            return chosen
+        return None
+    return None
+
+
+def constant_fold_function(fn: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                folded = fold_instruction(inst)
+                if folded is not None:
+                    inst.replace_all_uses_with(folded)
+                    inst.erase()
+                    changed = True
+                    progress = True
+    return changed
+
+
+def constant_fold_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if constant_fold_function(fn):
+            changed = True
+    return changed

@@ -1,0 +1,103 @@
+"""Local common-subexpression elimination.
+
+Within each basic block, pure value-producing instructions (binary ops,
+comparisons, casts, selects, geps) with identical opcodes and operands are
+collapsed onto the first occurrence.  Loads participate too, but any store,
+atomic, or call flushes the available-load set (a conservative memory
+model: calls may write anything reachable).
+
+Block-local by design: extending availability across blocks would need
+dominance-based value numbering; the scil workloads gain most of the win
+from the address arithmetic the frontend duplicates inside a block.
+
+Part of the extended pipeline; the standard experiment pipeline keeps the
+minimal pass set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    AtomicRMWInst,
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Constant, Value
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Constant):
+        return ("const", str(value.type), repr(value.value))
+    return ("id", id(value))
+
+
+def _expression_key(inst: Instruction):
+    base = tuple(_operand_key(op) for op in inst.operands)
+    if isinstance(inst, BinaryOperator):
+        ops = base
+        if inst.opcode in ("add", "mul", "and", "or", "xor", "fadd", "fmul"):
+            ops = tuple(sorted(base))  # commutative: canonicalize
+        return ("bin", inst.opcode, ops)
+    if isinstance(inst, ICmpInst):
+        return ("icmp", inst.predicate, base)
+    if isinstance(inst, FCmpInst):
+        return ("fcmp", inst.predicate, base)
+    if isinstance(inst, CastInst):
+        return ("cast", inst.opcode, str(inst.type), base)
+    if isinstance(inst, SelectInst):
+        return ("select", base)
+    if isinstance(inst, GEPInst):
+        return ("gep", base)
+    if isinstance(inst, LoadInst):
+        return ("load", str(inst.type), base)
+    return None
+
+
+def cse_block(block) -> bool:
+    changed = False
+    available: Dict[Tuple, Instruction] = {}
+    loads: Dict[Tuple, Instruction] = {}
+    for inst in list(block.instructions):
+        if isinstance(inst, (StoreInst, AtomicRMWInst, CallInst)):
+            # Conservative memory model: any write/call invalidates loads.
+            loads.clear()
+            continue
+        key = _expression_key(inst)
+        if key is None:
+            continue
+        table = loads if isinstance(inst, LoadInst) else available
+        existing = table.get(key)
+        if existing is not None:
+            inst.replace_all_uses_with(existing)
+            inst.erase()
+            changed = True
+        else:
+            table[key] = inst
+    return changed
+
+
+def cse_function(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        if cse_block(block):
+            changed = True
+    return changed
+
+
+def cse_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if cse_function(fn):
+            changed = True
+    return changed

@@ -1,0 +1,57 @@
+"""Dead-code elimination.
+
+Removes unused instructions without observable effects.  Stores, calls,
+atomics, and terminators are always live; everything else is dead when its
+value has no uses.  Runs backwards so chains of dead values fall in one pass
+sweep; the pass manager iterates to fixpoint anyway.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    AtomicRMWInst,
+    CallInst,
+    Instruction,
+    StoreInst,
+)
+from ..ir.module import Module
+
+
+def has_side_effects(inst: Instruction) -> bool:
+    if inst.is_terminator():
+        return True
+    if isinstance(inst, (StoreInst, AtomicRMWInst)):
+        return True
+    if isinstance(inst, CallInst):
+        # Calls are conservatively treated as effectful — even math
+        # intrinsics, since removing them would change the dynamic
+        # instruction stream the fault injector samples from.
+        return True
+    return False
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    return not inst.is_used() and not has_side_effects(inst)
+
+
+def dce_function(fn: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in fn.blocks:
+            for inst in reversed(list(block.instructions)):
+                if is_trivially_dead(inst):
+                    inst.erase()
+                    changed = True
+                    progress = True
+    return changed
+
+
+def dce_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if dce_function(fn):
+            changed = True
+    return changed

@@ -1,0 +1,124 @@
+"""Algebraic instruction simplification (instcombine-lite).
+
+Identity rewrites that need only one constant operand:
+
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x / 1`` (and float counterparts,
+  where IEEE semantics allow), ``x & -1``, ``x | 0``, ``x ^ 0``,
+  ``x << 0``, ``x >> 0``  →  ``x``
+* ``x * 0``, ``x & 0``  →  ``0``  (integers only: ``x * 0.0`` is *not*
+  folded — it would change NaN/Inf behaviour)
+* ``x - x``, ``x ^ x``  →  ``0``
+* ``select cond, x, x``  →  ``x``
+
+Part of the *extended* pipeline (see
+:func:`repro.passes.pass_manager.extended_pipeline`); the standard pipeline
+the experiments use stays minimal so campaign results remain comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator, Instruction, SelectInst
+from ..ir.module import Module
+from ..ir.values import Constant, Value
+
+
+def _is_const(value: Value, expected) -> bool:
+    return isinstance(value, Constant) and value.value == expected
+
+
+def simplify_instruction(inst: Instruction) -> Optional[Value]:
+    """The simpler value this instruction always equals, or None."""
+    if isinstance(inst, SelectInst):
+        if inst.operands[1] is inst.operands[2]:
+            return inst.operands[1]
+        return None
+    if not isinstance(inst, BinaryOperator):
+        return None
+    op = inst.opcode
+    lhs, rhs = inst.lhs, inst.rhs
+    is_float = inst.type.is_float()
+
+    if op in ("add", "fadd"):
+        if _is_const(rhs, 0 if not is_float else 0.0) and not is_float:
+            return lhs
+        if _is_const(lhs, 0) and not is_float:
+            return rhs
+        # fadd x, 0.0 is NOT x when x is -0.0; leave float adds alone.
+        return None
+    if op in ("sub", "fsub"):
+        if not is_float and _is_const(rhs, 0):
+            return lhs
+        if not is_float and lhs is rhs:
+            return Constant(inst.type, 0)
+        return None
+    if op in ("mul", "fmul"):
+        if _is_const(rhs, 1 if not is_float else 1.0):
+            return lhs
+        if _is_const(lhs, 1 if not is_float else 1.0):
+            return rhs
+        if not is_float and (_is_const(rhs, 0) or _is_const(lhs, 0)):
+            return Constant(inst.type, 0)
+        # x * 0.0 may be NaN or -0.0; never folded.
+        return None
+    if op in ("sdiv", "fdiv"):
+        if _is_const(rhs, 1 if not is_float else 1.0):
+            return lhs
+        return None
+    if op == "and":
+        if _is_const(rhs, -1):
+            return lhs
+        if _is_const(lhs, -1):
+            return rhs
+        if _is_const(rhs, 0) or _is_const(lhs, 0):
+            return Constant(inst.type, 0)
+        if lhs is rhs:
+            return lhs
+        return None
+    if op == "or":
+        if _is_const(rhs, 0):
+            return lhs
+        if _is_const(lhs, 0):
+            return rhs
+        if lhs is rhs:
+            return lhs
+        return None
+    if op == "xor":
+        if _is_const(rhs, 0):
+            return lhs
+        if _is_const(lhs, 0):
+            return rhs
+        if lhs is rhs:
+            return Constant(inst.type, 0)
+        return None
+    if op in ("shl", "lshr", "ashr"):
+        if _is_const(rhs, 0):
+            return lhs
+        return None
+    return None
+
+
+def instsimplify_function(fn: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                simpler = simplify_instruction(inst)
+                if simpler is not None and simpler is not inst:
+                    inst.replace_all_uses_with(simpler)
+                    inst.erase()
+                    changed = True
+                    progress = True
+    return changed
+
+
+def instsimplify_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if instsimplify_function(fn):
+            changed = True
+    return changed

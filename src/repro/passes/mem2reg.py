@@ -1,0 +1,178 @@
+"""mem2reg: promote scalar allocas to SSA registers.
+
+The classic SSA-construction pass (Cytron et al.): place phi nodes at the
+iterated dominance frontier of each alloca's defining blocks, then rename
+along a dominator-tree walk.
+
+Why this matters for IPAS: the paper's fault model (§3) protects memory with
+ECC but leaves register-producing instructions exposed.  The scil frontend
+emits an alloca+load/store for every local variable (as Clang does at -O0);
+without promotion nearly all scalar dataflow would hide in ECC-protected
+memory and the fault-injection campaign would see almost no propagation.
+After mem2reg the dataflow lives in virtual registers, matching the binaries
+the paper instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..analysis.dominators import DominatorTree
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import AllocaInst, Instruction, LoadInst, PhiNode, StoreInst
+from ..ir.module import Module
+from ..ir.values import UndefValue, Value
+
+
+def promotable_allocas(fn: Function) -> List[AllocaInst]:
+    """Allocas of scalar type used only by direct loads and stores-of-value.
+
+    An alloca escapes (and stays in memory) if its address is gep'd, passed
+    to a call, stored *as a value*, or compared — array allocas always
+    escape this test because arrays are accessed through gep.
+    """
+    result = []
+    for inst in fn.instructions():
+        if not isinstance(inst, AllocaInst):
+            continue
+        if inst.allocated_type.is_array():
+            continue
+        promotable = True
+        for user, index in inst.uses:
+            if isinstance(user, LoadInst):
+                continue
+            if isinstance(user, StoreInst) and index == 1:
+                continue  # used as the address, not the stored value
+            promotable = False
+            break
+        if promotable:
+            result.append(inst)
+    return result
+
+
+def promote_allocas(fn: Function) -> int:
+    """Promote all promotable allocas in ``fn``.  Returns the count promoted."""
+    if fn.is_declaration:
+        return 0
+    remove_unreachable_blocks(fn)
+    allocas = promotable_allocas(fn)
+    if not allocas:
+        return 0
+
+    dom = DominatorTree(fn)
+    frontiers = dom.dominance_frontiers()
+    reachable = set(dom.reachable_blocks)
+    alloca_index: Dict[int, int] = {id(a): i for i, a in enumerate(allocas)}
+
+    # 1. Phi placement at the iterated dominance frontier of the def blocks.
+    phis: Dict[int, Dict[BasicBlock, PhiNode]] = {id(a): {} for a in allocas}
+    for alloca in allocas:
+        def_blocks: Set[BasicBlock] = set()
+        for user, index in alloca.uses:
+            if isinstance(user, StoreInst) and index == 1 and user.parent in reachable:
+                def_blocks.add(user.parent)
+        worklist = list(def_blocks)
+        placed: Set[BasicBlock] = set()
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in frontiers.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = PhiNode(alloca.type.pointee, alloca.name or "mem")
+                frontier_block.insert(0, phi)
+                phis[id(alloca)][frontier_block] = phi
+                if frontier_block not in def_blocks:
+                    worklist.append(frontier_block)
+
+    # 2. Renaming along the dominator tree.
+    stacks: List[List[Value]] = [[] for _ in allocas]
+
+    def current(ai: int, type_) -> Value:
+        if stacks[ai]:
+            return stacks[ai][-1]
+        return UndefValue(type_)
+
+    def rename(block: BasicBlock) -> None:
+        pushed = [0] * len(allocas)
+        # Phis placed for an alloca define its new value on entry.
+        for phi in block.phis():
+            for alloca in allocas:
+                if phis[id(alloca)].get(block) is phi:
+                    stacks[alloca_index[id(alloca)]].append(phi)
+                    pushed[alloca_index[id(alloca)]] += 1
+                    break
+        for inst in list(block.instructions):
+            if isinstance(inst, LoadInst):
+                ai = alloca_index.get(id(inst.pointer))
+                if ai is not None:
+                    inst.replace_all_uses_with(current(ai, inst.type))
+                    inst.erase()
+            elif isinstance(inst, StoreInst):
+                ai = alloca_index.get(id(inst.pointer))
+                if ai is not None:
+                    stacks[ai].append(inst.value)
+                    pushed[ai] += 1
+                    inst.erase()
+        for succ in block.successors():
+            for alloca in allocas:
+                phi = phis[id(alloca)].get(succ)
+                if phi is not None:
+                    ai = alloca_index[id(alloca)]
+                    phi.add_incoming(current(ai, phi.type), block)
+        for child in dom.children(block):
+            rename(child)
+        for ai, count in enumerate(pushed):
+            for _ in range(count):
+                stacks[ai].pop()
+
+    # Recursion depth equals dominator-tree depth; scil functions are small,
+    # but walk iteratively anyway for robustness on generated code.
+    _rename_iterative(fn, dom, rename)
+
+    # 3. Drop the now-dead allocas, and prune phis that ended up unused.
+    for alloca in allocas:
+        for user, index in list(alloca.uses):
+            # Only dead stores/loads in unreachable blocks can remain.
+            user.drop_operands()
+            if user.parent is not None:
+                user.parent.remove(user)
+        alloca.erase()
+    _prune_dead_phis(fn)
+    return len(allocas)
+
+
+def _rename_iterative(fn: Function, dom: DominatorTree, rename) -> None:
+    """Run the (recursive) rename from the entry with a raised limit."""
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        rename(fn.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def _prune_dead_phis(fn: Function) -> None:
+    """Remove phis whose only uses are themselves/other dead phis."""
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for phi in list(block.phis()):
+                users = [u for u, _ in phi.uses if u is not phi]
+                if not users:
+                    phi.replace_all_uses_with(UndefValue(phi.type))
+                    phi.erase()
+                    changed = True
+
+
+def mem2reg_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if promote_allocas(fn):
+            changed = True
+    return changed

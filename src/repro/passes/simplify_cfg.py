@@ -1,0 +1,119 @@
+"""CFG simplification.
+
+Three rewrites, iterated locally:
+
+1. constant conditional branches become unconditional (the dead edge is
+   removed from successor phis);
+2. unreachable blocks are deleted;
+3. a block with a single predecessor whose terminator is an unconditional
+   branch to it is merged into that predecessor.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..ir.function import Function
+from ..ir.instructions import BranchInst, PhiNode
+from ..ir.module import Module
+from ..ir.values import Constant
+
+
+def _fold_constant_branches(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        term = block.terminator
+        if not isinstance(term, BranchInst) or not term.is_conditional:
+            continue
+        cond = term.condition
+        if not isinstance(cond, Constant):
+            continue
+        taken = term.targets[0] if cond.value else term.targets[1]
+        dead = term.targets[1] if cond.value else term.targets[0]
+        term.drop_operands()
+        block.remove(term)
+        new_term = BranchInst(None, taken)
+        block.append(new_term)
+        if dead is not taken:
+            # This block is no longer a predecessor of `dead`.
+            for phi in dead.phis():
+                if block in phi.incoming_blocks:
+                    phi.remove_incoming(block)
+        changed = True
+    return changed
+
+
+def _merge_straightline_blocks(fn: Function) -> bool:
+    changed = False
+    merged = True
+    while merged:
+        merged = False
+        for block in list(fn.blocks):
+            if block is fn.entry:
+                continue
+            preds = block.predecessors()
+            if len(preds) != 1:
+                continue
+            pred = preds[0]
+            if pred is block:
+                continue
+            term = pred.terminator
+            if not isinstance(term, BranchInst) or term.is_conditional:
+                continue
+            if term.targets[0] is not block:
+                continue
+            if block.has_phi():
+                # Single-pred phis are trivial; fold them first.
+                for phi in list(block.phis()):
+                    phi.replace_all_uses_with(phi.incoming_for_block(pred))
+                    phi.erase()
+            # Splice: drop pred's branch, move block's instructions up.
+            term.drop_operands()
+            pred.remove(term)
+            for inst in list(block.instructions):
+                block.remove(inst)
+                inst.parent = pred
+                pred.instructions.append(inst)
+            # Successor phis referring to `block` now come from `pred`.
+            for succ in pred.successors():
+                for phi in succ.phis():
+                    phi.incoming_blocks = [
+                        pred if b is block else b for b in phi.incoming_blocks
+                    ]
+            fn.remove_block(block)
+            merged = True
+            changed = True
+            break
+    return changed
+
+
+def _fold_trivial_phis(fn: Function) -> bool:
+    """Replace single-incoming phis (left by edge removal) with their value."""
+    changed = False
+    for block in fn.blocks:
+        for phi in list(block.phis()):
+            if len(phi.operands) == 1:
+                phi.replace_all_uses_with(phi.operands[0])
+                phi.erase()
+                changed = True
+    return changed
+
+
+def simplify_cfg_function(fn: Function) -> bool:
+    changed = False
+    if _fold_constant_branches(fn):
+        changed = True
+    if remove_unreachable_blocks(fn):
+        changed = True
+    if _fold_trivial_phis(fn):
+        changed = True
+    if _merge_straightline_blocks(fn):
+        changed = True
+    return changed
+
+
+def simplify_cfg_module(module: Module) -> bool:
+    changed = False
+    for fn in module.defined_functions():
+        if simplify_cfg_function(fn):
+            changed = True
+    return changed

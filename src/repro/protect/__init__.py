@@ -1,0 +1,23 @@
+"""repro.protect — instruction selectors and the duplication pass."""
+
+from .duplication import (
+    DuplicationPass,
+    DuplicationReport,
+    duplicate_instructions,
+    is_duplicable,
+)
+from .selectors import (
+    FullDuplicationSelector,
+    IpasSelector,
+    LearnedSelector,
+    NoProtectionSelector,
+    Selector,
+    ShoestringStyleSelector,
+)
+
+__all__ = [
+    "DuplicationPass", "DuplicationReport", "duplicate_instructions",
+    "is_duplicable",
+    "FullDuplicationSelector", "IpasSelector", "LearnedSelector",
+    "NoProtectionSelector", "Selector", "ShoestringStyleSelector",
+]

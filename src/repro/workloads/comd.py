@@ -1,0 +1,205 @@
+"""CoMD: Lennard-Jones molecular dynamics with velocity-Verlet.
+
+The ExMatEx CoMD proxy app simulates short-range interatomic potentials.
+This scil port places atoms on a cubic lattice near the LJ equilibrium
+spacing, seeds small deterministic velocities (an in-program LCG), and
+integrates with velocity Verlet under a cutoff LJ potential.  SPMD: atoms
+are block-partitioned; every rank needs all positions for the pair loop, so
+position updates are assembled with a zero-and-allreduce exchange, and the
+energies reduce across ranks.
+
+Verification (paper Table 2): total energy must be conserved.  The golden
+run's own energy drift defines the acceptance band — a faulty run passes if
+its |E_final − E_initial| stays within 3× the golden drift (the paper's
+"3 standard deviations" criterion, instantiated with the deterministic
+drift of the reference integrator) plus a small absolute floor.
+"""
+
+from __future__ import annotations
+
+from ..interp.interpreter import Interpreter
+from .base import OutputVerifier, Workload
+
+_SOURCE = """
+// CoMD-like Lennard-Jones molecular dynamics (velocity Verlet).
+int param_natoms = 16;          // number of atoms (max 64: 4x4x4 lattice)
+int param_nsteps = 6;
+double dt = 0.002;
+double cutoff = 2.5;            // LJ cutoff radius (sigma units)
+
+output double energies[4];      // E_initial, E_final, KE_final, PE_final
+
+double px[64]; double py[64]; double pz[64];
+double vx[64]; double vy[64]; double vz[64];
+double fx[64]; double fy[64]; double fz[64];
+
+int lcg_state = 20220913;
+
+double lcg_uniform() {
+    // Deterministic PRNG in [0,1) (integer mix, like CoMD's initial jitter).
+    lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+    if (lcg_state < 0) { lcg_state = -lcg_state; }
+    return (double)lcg_state / 2147483648.0;
+}
+
+void init_lattice(int natoms) {
+    double spacing = 1.1225;    // ~2^(1/6): LJ equilibrium distance
+    for (int i = 0; i < natoms; i = i + 1) {
+        px[i] = (double)(i % 4) * spacing;
+        py[i] = (double)((i / 4) % 4) * spacing;
+        pz[i] = (double)(i / 16) * spacing;
+        vx[i] = 0.2 * (lcg_uniform() - 0.5);
+        vy[i] = 0.2 * (lcg_uniform() - 0.5);
+        vz[i] = 0.2 * (lcg_uniform() - 0.5);
+    }
+}
+
+// LJ forces on atoms [a0, a1) from all pairs; also returns the potential
+// energy share of the owned atoms (half per pair to avoid double count).
+double compute_forces(int natoms, int a0, int a1) {
+    double rc2 = cutoff * cutoff;
+    double pe = 0.0;
+    for (int i = a0; i < a1; i = i + 1) {
+        fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0;
+    }
+    for (int i = a0; i < a1; i = i + 1) {
+        for (int j = 0; j < natoms; j = j + 1) {
+            if (j != i) {
+                double dx = px[i] - px[j];
+                double dy = py[i] - py[j];
+                double dz = pz[i] - pz[j];
+                double r2 = dx * dx + dy * dy + dz * dz;
+                if (r2 < rc2) {
+                    double inv2 = 1.0 / r2;
+                    double inv6 = inv2 * inv2 * inv2;
+                    double inv12 = inv6 * inv6;
+                    // F = 24 eps (2 r^-12 - r^-6) / r^2 * dr
+                    double fmag = 24.0 * (2.0 * inv12 - inv6) * inv2;
+                    fx[i] = fx[i] + fmag * dx;
+                    fy[i] = fy[i] + fmag * dy;
+                    fz[i] = fz[i] + fmag * dz;
+                    pe = pe + 2.0 * (inv12 - inv6);   // 0.5 * 4 eps (...)
+                }
+            }
+        }
+    }
+    return pe;
+}
+
+double kinetic_energy(int a0, int a1) {
+    double ke = 0.0;
+    for (int i = a0; i < a1; i = i + 1) {
+        ke = ke + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+    }
+    return ke;
+}
+
+// Zero the positions we do not own, then allreduce-sum to assemble the
+// globally consistent position arrays on every rank.
+void exchange_positions(int natoms, int a0, int a1) {
+    for (int i = 0; i < natoms; i = i + 1) {
+        if (i < a0 || i >= a1) {
+            px[i] = 0.0; py[i] = 0.0; pz[i] = 0.0;
+        }
+    }
+    mpi_allreduce_sum_array(px, natoms);
+    mpi_allreduce_sum_array(py, natoms);
+    mpi_allreduce_sum_array(pz, natoms);
+}
+
+void main() {
+    int natoms = param_natoms;
+    int nsteps = param_nsteps;
+    int rank = mpi_rank();
+    int size = mpi_size();
+    int chunk = (natoms + size - 1) / size;
+    int a0 = rank * chunk;
+    int a1 = a0 + chunk;
+    if (a1 > natoms) { a1 = natoms; }
+    if (a0 > natoms) { a0 = natoms; }
+
+    init_lattice(natoms);   // identical on every rank (same LCG seed)
+
+    double pe = mpi_allreduce_sum(compute_forces(natoms, a0, a1));
+    double ke = mpi_allreduce_sum(kinetic_energy(a0, a1));
+    energies[0] = ke + pe;
+
+    for (int step = 0; step < nsteps; step = step + 1) {
+        // velocity Verlet: half kick, drift, force, half kick
+        for (int i = a0; i < a1; i = i + 1) {
+            vx[i] = vx[i] + 0.5 * dt * fx[i];
+            vy[i] = vy[i] + 0.5 * dt * fy[i];
+            vz[i] = vz[i] + 0.5 * dt * fz[i];
+            px[i] = px[i] + dt * vx[i];
+            py[i] = py[i] + dt * vy[i];
+            pz[i] = pz[i] + dt * vz[i];
+        }
+        exchange_positions(natoms, a0, a1);
+        pe = mpi_allreduce_sum(compute_forces(natoms, a0, a1));
+        for (int i = a0; i < a1; i = i + 1) {
+            vx[i] = vx[i] + 0.5 * dt * fx[i];
+            vy[i] = vy[i] + 0.5 * dt * fy[i];
+            vz[i] = vz[i] + 0.5 * dt * fz[i];
+        }
+    }
+
+    ke = mpi_allreduce_sum(kinetic_energy(a0, a1));
+    energies[1] = ke + pe;
+    energies[2] = ke;
+    energies[3] = pe;
+}
+"""
+
+
+class ComdVerifier(OutputVerifier):
+    """Energy-conservation band calibrated from the golden run's drift."""
+
+    def __init__(self, sigma_factor: float = 3.0, abs_floor: float = 1e-9):
+        self.sigma_factor = sigma_factor
+        self.abs_floor = abs_floor
+
+    def capture(self, interp: Interpreter):
+        energies = interp.read_global("energies")
+        drift = abs(energies[1] - energies[0])
+        scale = max(abs(energies[0]), 1.0)
+        return {"golden_drift": drift, "scale": scale}
+
+    def check(self, interp: Interpreter, golden) -> bool:
+        energies = interp.read_global("energies")
+        try:
+            e0 = float(energies[0])
+            e1 = float(energies[1])
+        except (TypeError, ValueError):
+            return False
+        drift = abs(e1 - e0)
+        if drift != drift:  # NaN energy is corruption
+            return False
+        band = (
+            self.sigma_factor * golden["golden_drift"]
+            + self.abs_floor * golden["scale"]
+        )
+        return drift <= band
+
+
+class ComdWorkload(Workload):
+    name = "comd"
+    description = (
+        "Lennard-Jones molecular dynamics with velocity Verlet "
+        "(ExMatEx CoMD analogue)"
+    )
+    source = _SOURCE
+    inputs = {
+        1: {"param_natoms": 16},
+        2: {"param_natoms": 24},
+        3: {"param_natoms": 32},
+        4: {"param_natoms": 48},
+    }
+    input_labels = {
+        1: "natoms=16",
+        2: "natoms=24",
+        3: "natoms=32",
+        4: "natoms=48",
+    }
+
+    def verifier(self) -> OutputVerifier:
+        return ComdVerifier()

@@ -1,0 +1,171 @@
+"""HPCCG: conjugate gradient on a 3-D 7-point Poisson operator.
+
+The Mantevo HPCCG mini-app solves a sparse SPD system with CG on an
+``nx × ny × nz`` grid.  This scil port is matrix-free (the classic 7-point
+Laplacian stencil), SPMD over z-slabs: each rank computes its slab of the
+sparse matrix-vector product and its share of the dot products; vector
+updates are performed redundantly on all ranks, as small CG codes often do.
+
+Verification (paper Table 2): the right-hand side is constructed as
+``b = A·1`` so the exact solution is known; a run is accepted when the
+computed solution matches the exact all-ones vector within tolerance inside
+the iteration limit.
+"""
+
+from __future__ import annotations
+
+from ..interp.interpreter import Interpreter
+from .base import OutputVerifier, Workload
+
+_SOURCE = """
+// HPCCG-like conjugate gradient, 3-D 7-point Poisson, matrix-free.
+int param_n = 6;                // grid side; n^3 unknowns (max 12)
+int max_iters = 80;
+double tolerance = 0.000001;    // relative residual tolerance
+
+output double x[1728];          // computed solution (exact solution: ones)
+output double solve_stats[4];   // iterations, final rr, converged, b norm^2
+
+double b[1728];
+double r[1728];
+double p[1728];
+double ap[1728];
+
+int idx3(int ix, int iy, int iz, int n) {
+    return ix + iy * n + iz * n * n;
+}
+
+// 7-point Laplacian rows of the z-slab [z0, z1); rows outside are zeroed
+// so an allreduce-sum assembles the full product.
+void spmv_slab(double v[], double out[], int n, int z0, int z1) {
+    int nrows = n * n * n;
+    for (int i = 0; i < nrows; i = i + 1) { out[i] = 0.0; }
+    for (int iz = z0; iz < z1; iz = iz + 1) {
+        for (int iy = 0; iy < n; iy = iy + 1) {
+            for (int ix = 0; ix < n; ix = ix + 1) {
+                int i = idx3(ix, iy, iz, n);
+                double s = 6.0 * v[i];
+                if (ix > 0)     { s = s - v[i - 1]; }
+                if (ix < n - 1) { s = s - v[i + 1]; }
+                if (iy > 0)     { s = s - v[i - n]; }
+                if (iy < n - 1) { s = s - v[i + n]; }
+                if (iz > 0)     { s = s - v[i - n * n]; }
+                if (iz < n - 1) { s = s - v[i + n * n]; }
+                out[i] = s;
+            }
+        }
+    }
+}
+
+double dot_range(double u[], double v[], int lo, int hi) {
+    double s = 0.0;
+    for (int i = lo; i < hi; i = i + 1) { s = s + u[i] * v[i]; }
+    return s;
+}
+
+void waxpby(double w[], double alpha, double u[], double beta, double v[], int nrows) {
+    for (int i = 0; i < nrows; i = i + 1) {
+        w[i] = alpha * u[i] + beta * v[i];
+    }
+}
+
+void main() {
+    int n = param_n;
+    int nrows = n * n * n;
+    int rank = mpi_rank();
+    int size = mpi_size();
+    int zchunk = (n + size - 1) / size;
+    int z0 = rank * zchunk;
+    int z1 = z0 + zchunk;
+    if (z1 > n) { z1 = n; }
+    if (z0 > n) { z0 = n; }
+    int lo = z0 * n * n;
+    int hi = z1 * n * n;
+
+    // b = A * ones, so the exact solution is all ones.
+    for (int i = 0; i < nrows; i = i + 1) { x[i] = 1.0; }
+    spmv_slab(x, ap, n, z0, z1);
+    mpi_allreduce_sum_array(ap, nrows);
+    for (int i = 0; i < nrows; i = i + 1) {
+        b[i] = ap[i];
+        x[i] = 0.0;
+        r[i] = b[i];
+        p[i] = b[i];
+    }
+
+    double rr = mpi_allreduce_sum(dot_range(r, r, lo, hi));
+    double bnorm2 = rr;
+    double tol2 = tolerance * tolerance * bnorm2;
+    int iters = 0;
+    while (iters < max_iters && rr > tol2) {
+        spmv_slab(p, ap, n, z0, z1);
+        mpi_allreduce_sum_array(ap, nrows);
+        double pap = mpi_allreduce_sum(dot_range(p, ap, lo, hi));
+        double alpha = rr / pap;
+        waxpby(x, 1.0, x, alpha, p, nrows);
+        waxpby(r, 1.0, r, -alpha, ap, nrows);
+        double rr_new = mpi_allreduce_sum(dot_range(r, r, lo, hi));
+        double beta = rr_new / rr;
+        rr = rr_new;
+        waxpby(p, 1.0, r, beta, p, nrows);
+        iters = iters + 1;
+    }
+
+    solve_stats[0] = (double)iters;
+    solve_stats[1] = rr;
+    if (rr <= tol2) { solve_stats[2] = 1.0; } else { solve_stats[2] = 0.0; }
+    solve_stats[3] = bnorm2;
+}
+"""
+
+
+class HpccgVerifier(OutputVerifier):
+    """Known-exact-solution check: ``|x_i - 1| < tol`` on the active rows,
+    and the solver must have reported convergence within its budget."""
+
+    def __init__(self, tol: float = 1e-4):
+        self.tol = tol
+
+    def capture(self, interp: Interpreter):
+        n = interp.read_global("param_n")
+        return {"nrows": n * n * n}
+
+    def check(self, interp: Interpreter, golden) -> bool:
+        stats = interp.read_global("solve_stats")
+        converged = stats[2]
+        if converged != 1.0:
+            return False
+        x = interp.read_global("x")
+        for i in range(golden["nrows"]):
+            xi = x[i]
+            try:
+                diff = abs(float(xi) - 1.0)
+            except (TypeError, ValueError, OverflowError):
+                return False
+            if diff != diff or diff > self.tol:
+                return False
+        return True
+
+
+class HpccgWorkload(Workload):
+    name = "hpccg"
+    description = (
+        "Conjugate gradient on a 3-D 7-point Poisson operator "
+        "(Mantevo HPCCG analogue)"
+    )
+    source = _SOURCE
+    inputs = {
+        1: {"param_n": 6},
+        2: {"param_n": 8},
+        3: {"param_n": 10},
+        4: {"param_n": 12},
+    }
+    input_labels = {
+        1: "nx=ny=nz=6",
+        2: "nx=ny=nz=8",
+        3: "nx=ny=nz=10",
+        4: "nx=ny=nz=12",
+    }
+
+    def verifier(self) -> OutputVerifier:
+        return HpccgVerifier()

@@ -1,0 +1,168 @@
+"""IS: bucketed integer sort (NPB IS analogue).
+
+NPB IS ranks a large array of small integer keys — a histogram (bucket)
+sort stressing integer arithmetic and random memory access.  This scil port
+generates keys with the NPB-style in-program LCG, builds per-rank bucket
+histograms, derives global scatter positions, and scatters keys into the
+sorted output; repeated for a few ranking iterations like the original.
+SPMD: keys are block-partitioned; per-rank histograms are concatenated with
+a zero-and-allreduce exchange so every rank can compute exact global scatter
+offsets for its own keys, and the scattered output is assembled the same way.
+
+Verification (paper Table 2): the benchmark's own check — every adjacent
+pair of the sorted output must satisfy ``key[i-1] <= key[i]``.
+"""
+
+from __future__ import annotations
+
+from ..interp.interpreter import Interpreter
+from .base import OutputVerifier, Workload
+
+_SOURCE = """
+// NPB-IS-like bucketed integer sort.
+int param_nkeys = 512;          // number of keys (max 4096)
+int param_iterations = 2;       // ranking iterations, like NPB IS
+int nbuckets = 256;             // key range [0, nbuckets)
+
+output int sorted_keys[4096];
+output int sort_stats[2];       // number of keys, iterations completed
+
+int keys[4096];
+int hist[256];
+int all_hist[2048];             // per-rank histograms, 8 ranks max
+int start[256];
+int scatter_pos[256];
+int lcg_state = 314159265;
+
+int lcg_next() {
+    lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+    if (lcg_state < 0) { lcg_state = -lcg_state; }
+    return lcg_state;
+}
+
+void generate_keys(int nkeys) {
+    // Every rank generates the full key sequence (same seed), as NPB IS
+    // ranks regenerate their slice deterministically.
+    for (int i = 0; i < nkeys; i = i + 1) {
+        keys[i] = (lcg_next() >> 7) % nbuckets;
+    }
+}
+
+void rank_and_scatter(int nkeys, int k0, int k1, int rank, int size) {
+    // Local bucket histogram over our slice of the keys.
+    for (int b = 0; b < nbuckets; b = b + 1) { hist[b] = 0; }
+    for (int i = k0; i < k1; i = i + 1) {
+        int b = keys[i];
+        hist[b] = hist[b] + 1;
+    }
+
+    // Publish per-rank histograms: slot r occupies all_hist[r*nbuckets ..).
+    for (int c = 0; c < size * nbuckets; c = c + 1) { all_hist[c] = 0; }
+    for (int b = 0; b < nbuckets; b = b + 1) {
+        all_hist[rank * nbuckets + b] = hist[b];
+    }
+    mpi_allreduce_sum_array(all_hist, size * nbuckets);
+
+    // Global bucket starts (exclusive prefix sum over bucket totals)...
+    int running = 0;
+    for (int b = 0; b < nbuckets; b = b + 1) {
+        int total = 0;
+        for (int r = 0; r < size; r = r + 1) {
+            total = total + all_hist[r * nbuckets + b];
+        }
+        start[b] = running;
+        running = running + total;
+    }
+    // ...plus this rank's offset inside each bucket (keys of lower ranks
+    // land first, keeping the sort stable across the partition).
+    for (int b = 0; b < nbuckets; b = b + 1) {
+        int below = 0;
+        for (int r = 0; r < rank; r = r + 1) {
+            below = below + all_hist[r * nbuckets + b];
+        }
+        scatter_pos[b] = start[b] + below;
+    }
+
+    // Scatter our keys; other ranks' slots stay zero for the allreduce.
+    for (int i = 0; i < nkeys; i = i + 1) { sorted_keys[i] = 0; }
+    for (int i = k0; i < k1; i = i + 1) {
+        int b = keys[i];
+        int pos = scatter_pos[b];
+        scatter_pos[b] = pos + 1;
+        sorted_keys[pos] = b;
+    }
+    mpi_allreduce_sum_array(sorted_keys, nkeys);
+}
+
+void main() {
+    int nkeys = param_nkeys;
+    int iterations = param_iterations;
+    int rank = mpi_rank();
+    int size = mpi_size();
+    int chunk = (nkeys + size - 1) / size;
+    int k0 = rank * chunk;
+    int k1 = k0 + chunk;
+    if (k1 > nkeys) { k1 = nkeys; }
+    if (k0 > nkeys) { k0 = nkeys; }
+
+    generate_keys(nkeys);
+
+    int done = 0;
+    for (int it = 0; it < iterations; it = it + 1) {
+        // Like NPB IS, perturb a couple of keys each iteration so the
+        // ranking is re-done on slightly different data.
+        keys[it % nkeys] = (keys[it % nkeys] + it) % nbuckets;
+        keys[(it * 7 + 3) % nkeys] = (keys[(it * 7 + 3) % nkeys] + 2 * it) % nbuckets;
+        rank_and_scatter(nkeys, k0, k1, rank, size);
+        done = done + 1;
+    }
+
+    sort_stats[0] = nkeys;
+    sort_stats[1] = done;
+}
+"""
+
+
+class IsVerifier(OutputVerifier):
+    """NPB IS partial verification: the output must be sorted."""
+
+    def capture(self, interp: Interpreter):
+        nkeys = interp.read_global("param_nkeys")
+        return {"nkeys": nkeys, "iterations": interp.read_global("param_iterations")}
+
+    def check(self, interp: Interpreter, golden) -> bool:
+        stats = interp.read_global("sort_stats")
+        if stats[0] != golden["nkeys"] or stats[1] != golden["iterations"]:
+            return False
+        keys = interp.read_global("sorted_keys")
+        n = golden["nkeys"]
+        previous = None
+        for i in range(n):
+            k = keys[i]
+            if not isinstance(k, (int, float)) or k != k:
+                return False
+            if previous is not None and k < previous:
+                return False
+            previous = k
+        return True
+
+
+class IsWorkload(Workload):
+    name = "is"
+    description = "Bucketed integer sort (NPB IS analogue)"
+    source = _SOURCE
+    inputs = {
+        1: {"param_nkeys": 512},
+        2: {"param_nkeys": 1024},
+        3: {"param_nkeys": 2048},
+        4: {"param_nkeys": 4096},
+    }
+    input_labels = {
+        1: "512 keys (class S analogue)",
+        2: "1024 keys (class W analogue)",
+        3: "2048 keys (class A analogue)",
+        4: "4096 keys (class B analogue)",
+    }
+
+    def verifier(self) -> OutputVerifier:
+        return IsVerifier()

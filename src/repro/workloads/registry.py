@@ -1,0 +1,38 @@
+"""Workload registry (the paper's five evaluation codes, Table 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .amg import AmgWorkload
+from .base import Workload
+from .comd import ComdWorkload
+from .fft import FftWorkload
+from .hpccg import HpccgWorkload
+from .is_sort import IsWorkload
+
+#: Paper order: two mini-apps, two kernels, one benchmark.
+WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    "comd": ComdWorkload,
+    "hpccg": HpccgWorkload,
+    "amg": AmgWorkload,
+    "fft": FftWorkload,
+    "is": IsWorkload,
+}
+
+WORKLOAD_NAMES: List[str] = list(WORKLOAD_CLASSES)
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by its short name ('comd', 'hpccg', ...)."""
+    try:
+        return WORKLOAD_CLASSES[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    """One instance of each of the five evaluation workloads."""
+    return [cls() for cls in WORKLOAD_CLASSES.values()]

@@ -1,0 +1,268 @@
+"""Unit tests for CFG analyses: dominators, loops, dataflow, call graph."""
+
+import pytest
+
+from repro.analysis import (
+    CallGraph,
+    DominatorTree,
+    LoopInfo,
+    block_liveness,
+    distance_to_return,
+    instructions_to_return,
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import I1, I64, IRBuilder, Module, VOID, const_bool, const_int, verify_module
+
+
+def diamond():
+    """entry -> {left, right} -> exit."""
+    m = Module("t")
+    fn = m.add_function("f", I64, [I1], ["c"])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    exit_ = fn.add_block("exit")
+    IRBuilder(entry).cond_br(fn.args[0], left, right)
+    bl = IRBuilder(left)
+    lv = bl.add(const_int(1), const_int(2))
+    bl.br(exit_)
+    br = IRBuilder(right)
+    rv = br.add(const_int(3), const_int(4))
+    br.br(exit_)
+    be = IRBuilder(exit_)
+    phi = be.phi(I64, "merged")
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    be.ret(phi)
+    verify_module(m)
+    return m, fn, (entry, left, right, exit_)
+
+
+def simple_loop():
+    """entry -> header <-> body; header -> exit."""
+    m = Module("t")
+    fn = m.add_function("f", I64, [I64], ["n"])
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    IRBuilder(entry).br(header)
+    bh = IRBuilder(header)
+    i = bh.phi(I64, "i")
+    cond = bh.icmp("slt", i, fn.args[0])
+    bh.cond_br(cond, body, exit_)
+    bb = IRBuilder(body)
+    inext = bb.add(i, const_int(1))
+    bb.br(header)
+    i.add_incoming(const_int(0), entry)
+    i.add_incoming(inext, body)
+    IRBuilder(exit_).ret(i)
+    verify_module(m)
+    return m, fn, (entry, header, body, exit_)
+
+
+class TestCFG:
+    def test_reachable_blocks_order(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        reach = reachable_blocks(fn)
+        assert reach[0] is entry
+        assert set(reach) == {entry, left, right, exit_}
+
+    def test_postorder_entry_last(self):
+        _, fn, (entry, *_rest) = diamond()
+        po = postorder(fn)
+        assert po[-1] is entry
+        assert reverse_postorder(fn)[0] is entry
+
+    def test_postorder_handles_loops(self):
+        _, fn, blocks = simple_loop()
+        assert set(postorder(fn)) == set(blocks)
+
+    def test_predecessor_map(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        preds = predecessor_map(fn)
+        assert preds[entry] == []
+        assert set(preds[exit_]) == {left, right}
+
+    def test_remove_unreachable(self):
+        m, fn, (entry, left, right, exit_) = diamond()
+        orphan = fn.add_block("orphan")
+        IRBuilder(orphan).br(exit_)
+        # exit_ phi now has a stale pred-less entry only after removal; the
+        # orphan contributes no phi entries, so removal is clean.
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        assert orphan not in fn.blocks
+        verify_module(m)
+
+    def test_remove_unreachable_fixes_phis(self):
+        m, fn, (entry, left, right, exit_) = diamond()
+        orphan = fn.add_block("orphan")
+        bo = IRBuilder(orphan)
+        ov = bo.add(const_int(9), const_int(9))
+        bo.br(exit_)
+        phi = exit_.phis()[0]
+        phi.add_incoming(ov, orphan)
+        remove_unreachable_blocks(fn)
+        assert len(phi.incoming_blocks) == 2
+        verify_module(m)
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(entry) is None
+        assert dom.immediate_dominator(left) is entry
+        assert dom.immediate_dominator(right) is entry
+        assert dom.immediate_dominator(exit_) is entry
+
+    def test_dominates(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        dom = DominatorTree(fn)
+        assert dom.dominates(entry, exit_)
+        assert dom.dominates(entry, entry)
+        assert not dom.dominates(left, exit_)
+        assert not dom.strictly_dominates(entry, entry)
+
+    def test_loop_idoms(self):
+        _, fn, (entry, header, body, exit_) = simple_loop()
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(header) is entry
+        assert dom.immediate_dominator(body) is header
+        assert dom.immediate_dominator(exit_) is header
+
+    def test_dominance_frontiers_diamond(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        dom = DominatorTree(fn)
+        df = dom.dominance_frontiers()
+        assert df[left] == {exit_}
+        assert df[right] == {exit_}
+        assert df[entry] == set()
+
+    def test_dominance_frontier_loop_header(self):
+        _, fn, (entry, header, body, exit_) = simple_loop()
+        df = DominatorTree(fn).dominance_frontiers()
+        assert header in df[body]
+        assert header in df[header]  # header is in its own frontier
+
+    def test_dfs_preorder_starts_at_entry(self):
+        _, fn, (entry, *_r) = diamond()
+        dom = DominatorTree(fn)
+        pre = dom.dfs_preorder()
+        assert pre[0] is entry
+        assert len(pre) == 4
+
+
+class TestLoops:
+    def test_no_loops_in_diamond(self):
+        _, fn, _ = diamond()
+        info = LoopInfo(fn)
+        assert len(info) == 0
+
+    def test_simple_loop_detected(self):
+        _, fn, (entry, header, body, exit_) = simple_loop()
+        info = LoopInfo(fn)
+        assert len(info) == 1
+        loop = info.loops[0]
+        assert loop.header is header
+        assert loop.blocks == frozenset({header, body})
+        assert info.in_loop(header) and info.in_loop(body)
+        assert not info.in_loop(entry) and not info.in_loop(exit_)
+
+    def test_nested_loops(self):
+        m = Module("t")
+        fn = m.add_function("f", VOID, [I1, I1], ["a", "b"])
+        entry = fn.add_block("entry")
+        outer = fn.add_block("outer")
+        inner = fn.add_block("inner")
+        after = fn.add_block("after")
+        IRBuilder(entry).br(outer)
+        IRBuilder(outer).br(inner)
+        IRBuilder(inner).cond_br(fn.args[0], inner, after)
+        IRBuilder(after).cond_br(fn.args[1], outer, fn.add_block("exit"))
+        IRBuilder(fn.blocks[-1]).ret()
+        verify_module(m)
+        info = LoopInfo(fn)
+        assert len(info) == 2
+        assert info.loop_nest_depth(inner) == 2
+        assert info.loop_nest_depth(outer) == 1
+
+
+class TestDataflow:
+    def test_distance_to_return_diamond(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        dist = distance_to_return(fn)
+        assert dist[exit_] == 0
+        assert dist[left] == len(exit_.instructions)
+        assert dist[entry] == min(
+            len(left.instructions), len(right.instructions)
+        ) + len(exit_.instructions)
+
+    def test_instructions_to_return(self):
+        _, fn, (entry, header, body, exit_) = simple_loop()
+        ret = exit_.instructions[-1]
+        assert instructions_to_return(ret) == 0
+        # The add in the body: rest of body (br) then header (3) then exit (1)
+        add = body.instructions[0]
+        assert instructions_to_return(add) == 1 + 3 + 1
+
+    def test_liveness_in_loop(self):
+        _, fn, (entry, header, body, exit_) = simple_loop()
+        live_in, live_out = block_liveness(fn)
+        i = header.phis()[0]
+        inext = body.instructions[0]
+        assert i in live_in[body]
+        assert inext in live_out[body]  # feeds the phi on the back edge
+        assert i in live_in[exit_]
+
+    def test_liveness_no_dead_values_live(self):
+        _, fn, (entry, left, right, exit_) = diamond()
+        live_in, _ = block_liveness(fn)
+        assert live_in[entry] == set()
+
+
+class TestCallGraph:
+    def make_call_chain(self):
+        m = Module("t")
+        leaf = m.add_function("leaf", I64, [])
+        IRBuilder(leaf.add_block("entry")).ret(const_int(1))
+        mid = m.add_function("mid", I64, [])
+        bm = IRBuilder(mid.add_block("entry"))
+        v = bm.call(leaf)
+        bm.ret(v)
+        main = m.add_function("main", I64, [])
+        bmain = IRBuilder(main.add_block("entry"))
+        v2 = bmain.call(mid)
+        bmain.ret(v2)
+        verify_module(m)
+        return m
+
+    def test_edges(self):
+        m = self.make_call_chain()
+        cg = CallGraph(m)
+        assert cg.callees["main"] == {"mid"}
+        assert cg.callers["leaf"] == {"mid"}
+
+    def test_reachability(self):
+        cg = CallGraph(self.make_call_chain())
+        assert cg.reachable_from("main") == {"main", "mid", "leaf"}
+        assert cg.reachable_from("leaf") == {"leaf"}
+
+    def test_topological_order(self):
+        cg = CallGraph(self.make_call_chain())
+        order = cg.topological_order()
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_recursion_detection(self):
+        m = Module("t")
+        f = m.add_function("f", VOID, [])
+        b = IRBuilder(f.add_block("entry"))
+        b.call(f)
+        b.ret()
+        cg = CallGraph(m)
+        assert cg.is_recursive(f)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["protect", "is", "--scale", "quick"])
+        assert args.scale == "quick"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["protect", "is", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("comd", "hpccg", "amg", "fft", "is"):
+            assert name in out
+        assert "training input" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "is"]) == 0
+        out = capsys.readouterr().out
+        assert "status: ok" in out
+        assert "sorted_keys" in out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "linpack"])
+
+    def test_inject(self, capsys):
+        assert main(["inject", "is", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "20 single-bit faults" in out
+        assert "masked" in out and "soc" in out
+
+    def test_compile(self, tmp_path, capsys):
+        source = tmp_path / "kernel.scil"
+        source.write_text(
+            "output double r[1];\n"
+            "void main() { r[0] = sqrt(2.0); }\n"
+        )
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "define void @main()" in out
+        assert "@r = global" in out
+
+    def test_compile_no_opt_keeps_allocas(self, tmp_path, capsys):
+        source = tmp_path / "kernel.scil"
+        source.write_text(
+            "output double r[1];\n"
+            "void main() { double x = 1.5; r[0] = x * 2.0; }\n"
+        )
+        assert main(["compile", str(source), "--no-opt"]) == 0
+        out = capsys.readouterr().out
+        assert "alloca" in out
+
+    def test_protect_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("IPAS_TRAIN_SAMPLES", "60")
+        monkeypatch.setenv("IPAS_GRID_CONFIGS", "4")
+        monkeypatch.setenv("IPAS_TOP_N", "1")
+        monkeypatch.setenv("IPAS_SCALE", "quick")
+        assert main(["protect", "is"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicated" in out
+        assert "training campaign" in out

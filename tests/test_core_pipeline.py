@@ -1,0 +1,184 @@
+"""Tests for the IPAS pipeline (Fig. 1 steps 2-4) and evaluation, at quick
+scale on the fastest workload (IS)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectedData,
+    ExperimentScale,
+    IpasPipeline,
+    LABEL_SOC,
+    LABEL_SYMPTOM,
+    collect_data,
+    evaluate_unprotected,
+    evaluate_variant,
+    ideal_point_best,
+)
+from repro.faults import Outcome
+from repro.features import NUM_FEATURES
+from repro.workloads import get_workload
+
+SCALE = ExperimentScale(train_samples=120, grid_configs=9, eval_trials=40, top_n=3)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("is")
+
+
+@pytest.fixture(scope="module")
+def collected(workload):
+    return collect_data(workload, SCALE.train_samples, seed=0)
+
+
+@pytest.fixture(scope="module")
+def soc_pipeline(workload, collected):
+    pipeline = IpasPipeline(workload, SCALE, LABEL_SOC, seed=0, collected=collected)
+    pipeline.train()
+    return pipeline
+
+
+class TestScale:
+    def test_presets(self):
+        paper = ExperimentScale.preset("paper")
+        assert paper.train_samples == 2500
+        assert paper.grid_configs == 500
+        assert paper.eval_trials == 1024
+        assert paper.top_n == 5
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            ExperimentScale.preset("enormous")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(0, 1, 1, 1)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("IPAS_SCALE", "quick")
+        monkeypatch.setenv("IPAS_TRAIN_SAMPLES", "33")
+        scale = ExperimentScale.from_env()
+        assert scale.train_samples == 33
+        assert scale.top_n == ExperimentScale.PRESETS["quick"]["top_n"]
+
+    def test_cache_key_distinguishes(self):
+        a = ExperimentScale(10, 10, 10, 3)
+        b = ExperimentScale(10, 10, 11, 3)
+        assert a.cache_key() != b.cache_key()
+
+
+class TestCollection:
+    def test_collected_shapes(self, collected):
+        assert collected.X.shape == (SCALE.train_samples, NUM_FEATURES)
+        assert len(collected.campaign.records) == SCALE.train_samples
+
+    def test_labelings_differ(self, workload, collected):
+        soc = IpasPipeline(workload, SCALE, LABEL_SOC, collected=collected)
+        sym = IpasPipeline(workload, SCALE, LABEL_SYMPTOM, collected=collected)
+        y_soc = soc.collect_training_data().y
+        y_sym = sym.collect_training_data().y
+        assert not np.array_equal(y_soc, y_sym)
+        # SOC labels mark exactly the SOC trials.
+        for label, record in zip(y_soc, collected.campaign.records):
+            assert (label == 1) == (record.outcome is Outcome.SOC)
+        for label, record in zip(y_sym, collected.campaign.records):
+            assert (label == 1) == record.outcome.is_symptom
+
+    def test_soc_is_minority_class(self, workload, collected):
+        soc = IpasPipeline(workload, SCALE, LABEL_SOC, collected=collected)
+        frac = soc.collect_training_data().positive_fraction
+        assert 0.0 < frac < 0.5  # paper: 3-10% at full scale
+
+    def test_bad_labeling_rejected(self, workload):
+        with pytest.raises(ValueError):
+            IpasPipeline(workload, SCALE, "bogus")
+
+
+class TestTraining:
+    def test_top_n_configs(self, soc_pipeline):
+        configs = soc_pipeline.train()
+        assert len(configs) == SCALE.top_n
+        scores = [c.config.fscore for c in configs]
+        assert scores == sorted(scores, reverse=True)
+        assert soc_pipeline.training_seconds > 0
+
+    def test_train_is_memoised(self, soc_pipeline):
+        assert soc_pipeline.train() is soc_pipeline.train()
+
+    def test_trained_model_predicts(self, soc_pipeline, collected):
+        trained = soc_pipeline.train()[0]
+        X = trained.scaler.transform(collected.X)
+        predictions = trained.model.predict(X)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+
+class TestProtection:
+    def test_protect_produces_valid_module(self, soc_pipeline):
+        from repro.ir import verify_module
+
+        variant = soc_pipeline.protect(soc_pipeline.train()[0])
+        verify_module(variant.module)
+        assert variant.technique == "ipas"
+        assert variant.duplication_seconds > 0
+
+    def test_ipas_selects_fewer_than_baseline(self, workload, collected, soc_pipeline):
+        sym = IpasPipeline(workload, SCALE, LABEL_SYMPTOM, collected=collected)
+        ipas_variant = soc_pipeline.protect(soc_pipeline.train()[0])
+        base_variant = sym.protect(sym.train()[0])
+        # Fig. 7: IPAS duplicates fewer instructions than Shoestring-style.
+        assert (
+            ipas_variant.report.duplicated_fraction
+            < base_variant.report.duplicated_fraction
+        )
+
+    def test_protected_module_still_correct(self, workload, soc_pipeline):
+        variant = soc_pipeline.protect(soc_pipeline.train()[0])
+        interp = workload.make_interpreter(1, module=variant.module)
+        result = interp.run()
+        assert result.status == "ok"
+        verifier = workload.verifier()
+        clean = workload.make_interpreter(1)
+        clean.run()
+        golden = verifier.capture(clean)
+        assert verifier.check(interp, golden)
+
+
+class TestEvaluation:
+    def test_unprotected_evaluation(self, workload):
+        ev = evaluate_unprotected(workload, 30, seed=5)
+        assert ev.slowdown == 1.0
+        assert ev.counts.total == 30
+        assert ev.counts.detected_fraction == 0.0
+
+    def test_protected_evaluation_reduces_soc(self, workload, soc_pipeline):
+        unp = evaluate_unprotected(workload, 40, seed=5)
+        variant = soc_pipeline.protect(soc_pipeline.train()[0])
+        ev = evaluate_variant(
+            variant.module,
+            workload,
+            unp.soc_fraction,
+            unp.golden_cycles,
+            "ipas",
+            "cfg1",
+            40,
+            seed=5,
+            duplicated_fraction=variant.report.duplicated_fraction,
+        )
+        assert ev.slowdown > 1.0
+        assert ev.counts.detected_fraction > 0.0
+        assert ev.soc_fraction <= unp.soc_fraction
+
+    def test_ideal_point_best(self):
+        from repro.core.evaluation import TechniqueEvaluation
+        from repro.faults import OutcomeCounts
+
+        def make(slowdown, reduction):
+            return TechniqueEvaluation(
+                "t", "c", OutcomeCounts(), 1, slowdown, 0.0, reduction
+            )
+
+        close = make(1.1, 90.0)
+        far = make(1.05, 50.0)
+        assert ideal_point_best([far, close]) is close
+        assert ideal_point_best([]) is None

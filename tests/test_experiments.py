@@ -1,0 +1,164 @@
+"""Tests for the experiment drivers (cache, full evaluation, fig8/fig9,
+ablations) at a tiny scale."""
+
+import pytest
+
+from repro.core import ExperimentScale
+from repro.experiments import (
+    best_by_ideal_point,
+    cache,
+    clear_memos,
+    format_table,
+    outcome_row,
+    percent,
+    run_classifier_ablation,
+    run_full_evaluation,
+    run_input_variation,
+    run_scalability,
+)
+
+TINY = ExperimentScale(train_samples=100, grid_configs=6, eval_trials=32, top_n=2)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("IPAS_CACHE_DIR", str(tmp_path))
+    clear_memos()
+    yield
+
+
+@pytest.fixture(scope="module")
+def full_result():
+    # One shared computation (module scope); cache is per-test isolated so
+    # compute directly with use_cache=False.
+    return run_full_evaluation("is", TINY, seed=0, use_cache=False)
+
+
+class TestCache:
+    def test_round_trip(self):
+        cache.store("probe", {"x": 1})
+        assert cache.load("probe") == {"x": 1}
+
+    def test_miss(self):
+        assert cache.load("never-written") is None
+
+    def test_cached_helper_computes_once(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 7}
+
+        assert cache.cached("k", compute) == {"v": 7}
+        assert cache.cached("k", compute) == {"v": 7}
+        assert len(calls) == 1
+
+    def test_no_cache_env(self, monkeypatch):
+        cache.store("k2", {"v": 1})
+        monkeypatch.setenv("IPAS_NO_CACHE", "1")
+        assert cache.load("k2") is None
+
+
+class TestFullEvaluation:
+    def test_result_structure(self, full_result):
+        r = full_result
+        assert r["workload"] == "is"
+        assert set(r["unprotected"]["counts"]) == {
+            "crash", "hang", "detected", "masked", "soc",
+        }
+        assert len(r["ipas"]) == TINY.top_n
+        assert len(r["baseline"]) == TINY.top_n
+        assert r["static_instructions"] > 0
+        assert r["ipas_training_seconds"] > 0
+
+    def test_paper_shape_full_dup_detects_most(self, full_result):
+        full = full_result["full"]
+        assert full["counts"]["detected"] > 0.3
+        assert full["slowdown"] > full_result["unprotected"]["slowdown"]
+
+    def test_paper_shape_ipas_cheaper_than_baseline(self, full_result):
+        # Fig. 7 / Table 4: IPAS duplicates less and costs less.
+        ipas_dup = min(e["duplicated_fraction"] for e in full_result["ipas"])
+        base_dup = min(e["duplicated_fraction"] for e in full_result["baseline"])
+        assert ipas_dup < base_dup
+        ipas_best = best_by_ideal_point(full_result["ipas"])
+        base_best = best_by_ideal_point(full_result["baseline"])
+        assert ipas_best["slowdown"] < base_best["slowdown"] + 0.25
+
+    def test_caching(self):
+        r1 = run_full_evaluation("is", TINY, seed=1, use_cache=True)
+        r2 = run_full_evaluation("is", TINY, seed=1, use_cache=True)
+        assert r1 == r2  # second call is a cache hit with identical payload
+
+    def test_best_by_ideal_point(self):
+        # Reduction is in percentage points, so it dominates unless equal —
+        # with equal reductions the lower slowdown wins.
+        entries = [
+            {"slowdown": 1.5, "soc_reduction": 95.0, "label": "a"},
+            {"slowdown": 1.1, "soc_reduction": 95.0, "label": "b"},
+        ]
+        assert best_by_ideal_point(entries)["label"] == "b"
+
+
+class TestScalability:
+    def test_slowdown_roughly_flat(self):
+        result = run_scalability("is", ranks=(1, 2), scale=TINY, use_cache=False)
+        points = result["points"]
+        assert [p["ranks"] for p in points] == [1, 2]
+        slowdowns = [p["slowdown"] for p in points]
+        assert all(s > 1.0 for s in slowdowns)
+        # Fig. 8: roughly constant with scale.
+        assert abs(slowdowns[0] - slowdowns[1]) < 0.3
+
+
+class TestInputVariation:
+    def test_transfer_across_inputs(self):
+        result = run_input_variation(
+            "is", input_ids=(1, 2), scale=TINY, use_cache=False
+        )
+        assert len(result["points"]) == 2
+        for point in result["points"]:
+            assert point["unprotected_soc"] >= 0.0
+            assert point["slowdown"] > 1.0
+
+
+class TestAblations:
+    def test_classifier_ablation(self):
+        result = run_classifier_ablation("is", TINY, use_cache=False)
+        assert set(result["scores"]) == {"svm", "decision_tree", "knn"}
+        for score in result["scores"].values():
+            assert 0.0 <= score <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "---" in lines[1]
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+
+    def test_outcome_row(self):
+        row = outcome_row({"crash": 0.1, "hang": 0.05, "detected": 0.2,
+                           "masked": 0.5, "soc": 0.15})
+        assert row == ["15.0%", "20.0%", "50.0%", "15.0%"]
+
+
+class TestCrossWorkload:
+    def test_cross_training_protects_something_or_nothing_gracefully(self):
+        from repro.experiments import run_cross_workload
+
+        result = run_cross_workload("is", "is", TINY, use_cache=False)
+        assert result["train"] == result["test"] == "is"
+        assert 0.0 <= result["duplicated_fraction"] <= 1.0
+        assert result["slowdown"] >= 1.0
+
+    def test_cross_pair_runs(self):
+        from repro.experiments import run_cross_workload
+
+        result = run_cross_workload("is", "hpccg", TINY, use_cache=False)
+        assert result["train"] == "is" and result["test"] == "hpccg"
+        # A foreign classifier may protect little, but never negatively.
+        assert result["slowdown"] >= 1.0

@@ -1,0 +1,208 @@
+"""Tests for the extended pipeline passes: instsimplify and local CSE."""
+
+import pytest
+
+from repro import compile_source
+from repro.interp import run_module
+from repro.ir import (
+    F64,
+    I64,
+    IRBuilder,
+    Module,
+    const_float,
+    const_int,
+    verify_module,
+)
+from repro.passes import (
+    cse_module,
+    extended_pipeline,
+    instsimplify_module,
+    optimize_module,
+    simplify_instruction,
+)
+
+
+def make_fn(ret_type=I64, params=(I64,), names=("x",)):
+    m = Module("t")
+    fn = m.add_function("f", ret_type, list(params), list(names))
+    b = IRBuilder(fn.add_block("entry"))
+    return m, fn, b
+
+
+class TestInstSimplify:
+    def test_add_zero(self):
+        m, fn, b = make_fn()
+        v = b.add(fn.args[0], const_int(0))
+        assert simplify_instruction(v) is fn.args[0]
+
+    def test_mul_one_and_zero(self):
+        m, fn, b = make_fn()
+        one = b.mul(fn.args[0], const_int(1))
+        zero = b.mul(fn.args[0], const_int(0))
+        assert simplify_instruction(one) is fn.args[0]
+        folded = simplify_instruction(zero)
+        assert folded.value == 0
+
+    def test_sub_self_is_zero(self):
+        m, fn, b = make_fn()
+        v = b.sub(fn.args[0], fn.args[0])
+        assert simplify_instruction(v).value == 0
+
+    def test_xor_self_and_zero(self):
+        m, fn, b = make_fn()
+        self_xor = b.xor(fn.args[0], fn.args[0])
+        zero_xor = b.xor(fn.args[0], const_int(0))
+        assert simplify_instruction(self_xor).value == 0
+        assert simplify_instruction(zero_xor) is fn.args[0]
+
+    def test_shift_by_zero(self):
+        m, fn, b = make_fn()
+        v = b.shl(fn.args[0], const_int(0))
+        assert simplify_instruction(v) is fn.args[0]
+
+    def test_float_add_zero_not_simplified(self):
+        # fadd x, 0.0 changes -0.0; must be preserved.
+        m, fn, b = make_fn(F64, (F64,), ("x",))
+        v = b.fadd(fn.args[0], const_float(0.0))
+        assert simplify_instruction(v) is None
+
+    def test_float_mul_zero_not_simplified(self):
+        # x * 0.0 is NaN for x = inf; must be preserved.
+        m, fn, b = make_fn(F64, (F64,), ("x",))
+        v = b.fmul(fn.args[0], const_float(0.0))
+        assert simplify_instruction(v) is None
+
+    def test_float_mul_one_simplified(self):
+        m, fn, b = make_fn(F64, (F64,), ("x",))
+        v = b.fmul(fn.args[0], const_float(1.0))
+        assert simplify_instruction(v) is fn.args[0]
+
+    def test_select_same_arms(self):
+        m, fn, b = make_fn()
+        cond = b.icmp("eq", fn.args[0], const_int(0))
+        v = b.select(cond, fn.args[0], fn.args[0])
+        assert simplify_instruction(v) is fn.args[0]
+
+    def test_module_pass_rewrites(self):
+        m, fn, b = make_fn()
+        v = b.add(fn.args[0], const_int(0))
+        w = b.mul(v, const_int(1))
+        b.ret(w)
+        assert instsimplify_module(m)
+        verify_module(m)
+        assert fn.instruction_count == 1  # only the ret remains
+
+
+class TestCSE:
+    def test_duplicate_binops_merged(self):
+        m, fn, b = make_fn()
+        a1 = b.mul(fn.args[0], const_int(3))
+        a2 = b.mul(fn.args[0], const_int(3))
+        s = b.add(a1, a2)
+        b.ret(s)
+        assert cse_module(m)
+        verify_module(m)
+        assert s.operands[0] is s.operands[1]
+
+    def test_commutative_canonicalization(self):
+        m, fn, b = make_fn(I64, (I64, I64), ("x", "y"))
+        a1 = b.add(fn.args[0], fn.args[1])
+        a2 = b.add(fn.args[1], fn.args[0])
+        s = b.mul(a1, a2)
+        b.ret(s)
+        assert cse_module(m)
+        assert s.operands[0] is s.operands[1]
+
+    def test_noncommutative_not_merged(self):
+        m, fn, b = make_fn(I64, (I64, I64), ("x", "y"))
+        a1 = b.sub(fn.args[0], fn.args[1])
+        a2 = b.sub(fn.args[1], fn.args[0])
+        s = b.mul(a1, a2)
+        b.ret(s)
+        assert not cse_module(m)
+
+    def test_redundant_loads_merged(self):
+        from repro.ir import ArrayType
+
+        m = Module("t")
+        g = m.add_global("data", ArrayType(I64, 4))
+        fn = m.add_function("f", I64, [])
+        b = IRBuilder(fn.add_block("entry"))
+        p1 = b.gep(g, const_int(1))
+        l1 = b.load(p1)
+        p2 = b.gep(g, const_int(1))
+        l2 = b.load(p2)
+        s = b.add(l1, l2)
+        b.ret(s)
+        assert cse_module(m)
+        verify_module(m)
+        assert s.operands[0] is s.operands[1]
+
+    def test_store_invalidates_loads(self):
+        from repro.ir import ArrayType
+
+        m = Module("t")
+        g = m.add_global("data", ArrayType(I64, 4))
+        fn = m.add_function("f", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        p = b.gep(g, const_int(0))
+        l1 = b.load(p)
+        b.store(fn.args[0], p)
+        l2 = b.load(p)  # must NOT merge with l1 across the store
+        s = b.add(l1, l2)
+        b.ret(s)
+        cse_module(m)
+        verify_module(m)
+        assert s.operands[0] is not s.operands[1]
+
+    def test_call_invalidates_loads(self):
+        from repro.ir import ArrayType
+
+        m = Module("t")
+        g = m.add_global("data", ArrayType(F64, 4))
+        fn = m.add_function("f", F64, [])
+        b = IRBuilder(fn.add_block("entry"))
+        p = b.gep(g, const_int(0))
+        l1 = b.load(p)
+        b.call_intrinsic("print_f64", [l1])
+        l2 = b.load(p)
+        s = b.fadd(l1, l2)
+        b.ret(s)
+        cse_module(m)
+        assert s.operands[0] is not s.operands[1]
+
+
+class TestExtendedPipeline:
+    SOURCE = """
+    int n = 6;
+    output double result[1];
+    void main() {
+        double buf[8];
+        double acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            buf[i] = (double)(i * 1) + 0.5;       // i * 1 simplifies
+            acc = acc + buf[i] * buf[i];           // repeated address math
+        }
+        result[0] = acc;
+    }
+    """
+
+    def test_extended_preserves_semantics(self):
+        standard = compile_source(self.SOURCE)
+        extended = compile_source(self.SOURCE)
+        optimize_module(extended, extended=True)
+        r1, i1 = run_module(standard)
+        r2, i2 = run_module(extended)
+        assert r1.status == r2.status == "ok"
+        assert i1.read_global("result") == i2.read_global("result")
+
+    def test_extended_not_larger(self):
+        standard = compile_source(self.SOURCE)
+        extended = compile_source(self.SOURCE)
+        optimize_module(extended, extended=True)
+        assert extended.static_instruction_count <= standard.static_instruction_count
+
+    def test_extended_pipeline_has_extra_passes(self):
+        pm = extended_pipeline()
+        names = [name for name, _ in pm._passes]
+        assert "instsimplify" in names and "cse" in names

@@ -1,0 +1,194 @@
+"""Unit tests for the scil lexer and parser."""
+
+import pytest
+
+from repro.frontend import LexError, ParseError, parse, tokenize
+from repro.frontend.ast_nodes import (
+    Assign,
+    BinaryExpr,
+    Block,
+    CallExpr,
+    CastExpr,
+    For,
+    FuncDef,
+    If,
+    IndexExpr,
+    IntLiteral,
+    Return,
+    UnaryExpr,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        toks = tokenize("int foo while whilex")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            ("keyword", "int"),
+            ("ident", "foo"),
+            ("keyword", "while"),
+            ("ident", "whilex"),
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.5 1e3 2.5e-2 7.")
+        values = [(t.kind, t.value) for t in toks[:-1]]
+        assert values == [
+            ("int", 42),
+            ("float", 3.5),
+            ("float", 1000.0),
+            ("float", 0.025),
+            ("float", 7.0),
+        ]
+
+    def test_operators_longest_match(self):
+        toks = tokenize("a<=b<<c&&d")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["a", "<=", "b", "<<", "c", "&&", "d"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // comment\n b /* multi\nline */ c")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_locations(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[1].location.column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind == "eof"
+
+
+class TestParser:
+    def test_minimal_function(self):
+        prog = parse("void main() { }")
+        assert len(prog.functions) == 1
+        fn = prog.functions[0]
+        assert fn.name == "main" and fn.return_type == "void"
+        assert fn.params == [] and fn.body.statements == []
+
+    def test_params_including_arrays(self):
+        prog = parse("double dot(double a[], double b[], int n) { return 0.0; }")
+        params = prog.functions[0].params
+        assert [(p.type_name, p.is_array) for p in params] == [
+            ("double", True),
+            ("double", True),
+            ("int", False),
+        ]
+
+    def test_globals(self):
+        prog = parse(
+            """
+            int n = 5;
+            output double result[4] = {1.0, 2.0};
+            double scale = -2.5;
+            """
+        )
+        g0, g1, g2 = prog.globals
+        assert g0.name == "n" and g0.initializer == 5 and not g0.is_output
+        assert g1.is_output and g1.array_size == 4 and g1.initializer == [1.0, 2.0]
+        assert g2.initializer == -2.5
+
+    def test_precedence(self):
+        prog = parse("int f() { return 1 + 2 * 3; }")
+        ret = prog.functions[0].body.statements[0]
+        assert isinstance(ret, Return)
+        add = ret.value
+        assert isinstance(add, BinaryExpr) and add.op == "+"
+        assert isinstance(add.rhs, BinaryExpr) and add.rhs.op == "*"
+
+    def test_logical_precedence_lower_than_cmp(self):
+        prog = parse("bool f() { return 1 < 2 && 3 < 4; }")
+        e = prog.functions[0].body.statements[0].value
+        assert e.op == "&&"
+        assert e.lhs.op == "<" and e.rhs.op == "<"
+
+    def test_shift_and_bitwise(self):
+        prog = parse("int f(int x) { return x << 2 | x >> 1 & 3; }")
+        e = prog.functions[0].body.statements[0].value
+        assert e.op == "|"  # | binds looser than &
+
+    def test_unary_and_cast(self):
+        prog = parse("int f(double x) { return -(int)x; }")
+        e = prog.functions[0].body.statements[0].value
+        assert isinstance(e, UnaryExpr) and e.op == "-"
+        assert isinstance(e.operand, CastExpr) and e.operand.target == "int"
+
+    def test_parenthesized_expr_not_cast(self):
+        prog = parse("int f(int x) { return (x) + 1; }")
+        e = prog.functions[0].body.statements[0].value
+        assert isinstance(e, BinaryExpr) and e.op == "+"
+
+    def test_call_and_index(self):
+        prog = parse("double f(double a[]) { return sqrt(a[2]); }")
+        call = prog.functions[0].body.statements[0].value
+        assert isinstance(call, CallExpr) and call.name == "sqrt"
+        assert isinstance(call.args[0], IndexExpr)
+
+    def test_if_else_chain(self):
+        prog = parse(
+            "int f(int x) { if (x > 0) return 1; else if (x < 0) return -1; else return 0; }"
+        )
+        if_ = prog.functions[0].body.statements[0]
+        assert isinstance(if_, If)
+        assert isinstance(if_.else_body, If)
+
+    def test_for_loop_with_decl(self):
+        prog = parse("void f() { for (int i = 0; i < 4; i = i + 1) { } }")
+        loop = prog.functions[0].body.statements[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.init, VarDecl)
+        assert isinstance(loop.step, Assign)
+
+    def test_for_loop_empty_clauses(self):
+        prog = parse("void f() { for (;;) { break; } }")
+        loop = prog.functions[0].body.statements[0]
+        assert loop.init is None and loop.condition is None and loop.step is None
+
+    def test_while_with_break_continue(self):
+        prog = parse("void f() { while (true) { if (false) break; continue; } }")
+        loop = prog.functions[0].body.statements[0]
+        assert isinstance(loop, While)
+
+    def test_compound_assignment(self):
+        prog = parse("void f() { int x = 0; x += 5; }")
+        assign = prog.functions[0].body.statements[1]
+        assert isinstance(assign, Assign) and assign.op == "+"
+
+    def test_array_decl_statement(self):
+        prog = parse("void f() { double buf[16]; buf[0] = 1.0; }")
+        decl = prog.functions[0].body.statements[0]
+        assert isinstance(decl, VarDecl) and decl.array_size == 16
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "void f( {",
+            "void f() { return }",
+            "void f() { int; }",
+            "int x",  # missing semicolon at top level
+            "void f() { 1 = x; }",
+            "void f() { for (int i = 0 i < 3;) {} }",
+            "void void() {}",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse("void f() {\n  int = 3;\n}")
+        assert exc_info.value.location.line == 2

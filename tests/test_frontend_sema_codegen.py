@@ -1,0 +1,306 @@
+"""Tests for scil semantic analysis and end-to-end compile-and-run."""
+
+import math
+
+import pytest
+
+from repro import compile_source
+from repro.frontend import SemaError, analyze, parse
+from repro.interp import Interpreter, run_module
+
+
+def compile_and_run(source, entry="main", optimize=True, overrides=None):
+    module = compile_source(source, optimize=optimize)
+    result, interp = run_module(module, entry=entry, overrides=overrides)
+    assert result.status == "ok", result.error
+    return result, interp
+
+
+class TestSemaErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("void f() { x = 1; }", "not assignable|undeclared"),
+            ("void f() { int x = 1; int x = 2; }", "redeclaration"),
+            ("void f() { return 1; }", "void function"),
+            ("int f() { return; }", "must return"),
+            ("int f() { return 1.5; }", "cannot convert"),
+            ("void f() { if (1) {} }", "condition must be bool"),
+            ("void f() { while (2.0) {} }", "condition must be bool"),
+            ("void f() { break; }", "outside of a loop"),
+            ("void f() { continue; }", "outside of a loop"),
+            ("void f(int x) { x[0] = 1; }", "indexing a non-array"),
+            ("void f(double a[]) { a = a; }", "assign to an array"),
+            ("void f(double a[]) { a[1.5] = 0.0; }", "index must be int"),
+            ("void f() { int y = 1.0 % 2.0; }", "requires int"),
+            ("void f() { bool b = 1 && true; }", "requires bool"),
+            ("void f() { int z = sqrt(4.0); }", "cannot convert"),
+            ("void f() { sqrt(true); }", "no matching overload"),
+            ("void f() { g(); }", "undeclared function"),
+            ("int g() { return 1; } void f() { g(1); }", "expects 0 arguments"),
+            ("double sqrt(double x) { return x; }", "shadows a builtin"),
+            ("int g() { return 1; } int g() { return 2; }", "redefinition"),
+            ("void f() { int x = true + 1; }", "non-numeric"),
+            ("void f() { bool b = true < false; }", "ordering comparison"),
+            ("void f() { 1 + 2; }", "must be a call"),
+            ("bool flag;", "bool globals"),
+        ],
+    )
+    def test_rejected(self, source, pattern):
+        with pytest.raises(SemaError, match=pattern):
+            analyze(parse(source))
+
+    def test_int_to_double_promotion_accepted(self):
+        analyze(parse("double f(int x) { return x + 1.5; }"))
+
+    def test_call_arg_promotion(self):
+        analyze(parse("void f() { double s = sqrt(4); }"))
+
+
+class TestExecution:
+    def test_arithmetic_program(self):
+        result, _ = compile_and_run(
+            "int main() { int a = 6; int b = 7; return a * b; }"
+        )
+        assert result.value == 42
+
+    def test_float_promotion(self):
+        result, _ = compile_and_run("double main() { int n = 3; return n / 2.0; }")
+        assert result.value == 1.5
+
+    def test_int_division_truncates(self):
+        result, _ = compile_and_run("int main() { return -7 / 2; }")
+        assert result.value == -3
+
+    def test_loop_sum(self):
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int s = 0;
+                for (int i = 1; i <= 100; i = i + 1) { s += i; }
+                return s;
+            }
+            """
+        )
+        assert result.value == 5050
+
+    def test_while_with_break_continue(self):
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int s = 0;
+                int i = 0;
+                while (true) {
+                    i = i + 1;
+                    if (i > 10) break;
+                    if (i % 2 == 0) continue;
+                    s += i;  // 1+3+5+7+9
+                }
+                return s;
+            }
+            """
+        )
+        assert result.value == 25
+
+    def test_nested_loops(self):
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int c = 0;
+                for (int i = 0; i < 5; i = i + 1)
+                    for (int j = 0; j < i; j = j + 1)
+                        c = c + 1;
+                return c;
+            }
+            """
+        )
+        assert result.value == 10
+
+    def test_short_circuit_and_skips_rhs(self):
+        # RHS would trap (division by zero) if evaluated.
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int zero = 0;
+                if (zero != 0 && 10 / zero > 0) { return 1; }
+                return 2;
+            }
+            """
+        )
+        assert result.value == 2
+
+    def test_short_circuit_or(self):
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int zero = 0;
+                if (zero == 0 || 10 / zero > 0) { return 1; }
+                return 2;
+            }
+            """
+        )
+        assert result.value == 1
+
+    def test_arrays_and_functions(self):
+        result, _ = compile_and_run(
+            """
+            double dot(double a[], double b[], int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+                return s;
+            }
+            double main() {
+                double x[8];
+                double y[8];
+                for (int i = 0; i < 8; i = i + 1) { x[i] = (double)i; y[i] = 2.0; }
+                return dot(x, y, 8);
+            }
+            """
+        )
+        assert result.value == 56.0
+
+    def test_global_arrays_and_output(self):
+        source = """
+            int n = 4;
+            output double result[8];
+            void main() {
+                for (int i = 0; i < n; i = i + 1) { result[i] = (double)(i * i); }
+            }
+        """
+        result, interp = compile_and_run(source)
+        assert interp.read_global("result")[:4] == [0.0, 1.0, 4.0, 9.0]
+        outs = interp.module.output_globals()
+        assert [g.name for g in outs] == ["result"]
+
+    def test_global_override_changes_behaviour(self):
+        source = """
+            int n = 4;
+            output double result[8];
+            void main() {
+                for (int i = 0; i < n; i = i + 1) { result[i] = 1.0; }
+            }
+        """
+        result, interp = compile_and_run(source, overrides={"n": 6})
+        assert sum(interp.read_global("result")) == 6.0
+
+    def test_recursion(self):
+        result, _ = compile_and_run(
+            """
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(12); }
+            """
+        )
+        assert result.value == 144
+
+    def test_intrinsics(self):
+        result, _ = compile_and_run(
+            """
+            double main() {
+                double a = sqrt(16.0);
+                double b = pow(2.0, 10.0);
+                double c = fabs(-3.0);
+                double d = fmax(a, c);
+                return a + b + c + d;  // 4 + 1024 + 3 + 4
+            }
+            """
+        )
+        assert result.value == 1035.0
+
+    def test_casts(self):
+        result, _ = compile_and_run(
+            """
+            int main() {
+                double x = 7.9;
+                int i = (int)x;       // truncation
+                bool b = i == 7;
+                return i + (int)b;    // 7 + 1
+            }
+            """
+        )
+        assert result.value == 8
+
+    def test_bitwise_lcg(self):
+        """An LCG PRNG — the idiom the IS workload uses for key generation."""
+        result, _ = compile_and_run(
+            """
+            int main() {
+                int state = 12345;
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    state = (state * 1103515245 + 12345) % 2147483648;
+                    if (state < 0) state = -state;
+                    acc = acc ^ (state >> 16);
+                }
+                return acc & 1023;
+            }
+            """
+        )
+        assert 0 <= result.value < 1024
+
+    def test_unoptimized_matches_optimized(self):
+        source = """
+            double main() {
+                double acc = 0.0;
+                for (int i = 1; i <= 50; i = i + 1) {
+                    acc = acc + 1.0 / (double)i;
+                }
+                return acc;
+            }
+        """
+        opt, _ = compile_and_run(source, optimize=True)
+        raw, _ = compile_and_run(source, optimize=False)
+        assert opt.value == raw.value
+
+    def test_optimized_is_faster(self):
+        source = """
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 200; i = i + 1) { s += i; }
+                return s;
+            }
+        """
+        from repro import compile_source as cs
+
+        opt_cycles = run_module(cs(source, optimize=True))[0].cycles
+        raw_cycles = run_module(cs(source, optimize=False))[0].cycles
+        assert opt_cycles < raw_cycles
+
+    def test_missing_return_traps(self):
+        module = compile_source("int main() { int x = 1; }", optimize=False)
+        result, _ = run_module(module)
+        assert result.status == "trap"
+
+    def test_print(self):
+        _, interp = compile_and_run(
+            "void main() { print(1.5); print(42); }"
+        )
+        assert interp.output_log == [1.5, 42]
+
+    def test_mpi_serial_semantics(self):
+        result, _ = compile_and_run(
+            """
+            double main() {
+                int r = mpi_rank();
+                double s = mpi_allreduce_sum(2.5);
+                mpi_barrier();
+                return (double)r + s;
+            }
+            """
+        )
+        assert result.value == 2.5
+
+    def test_dead_code_after_return_is_harmless(self):
+        result, _ = compile_and_run(
+            "int main() { return 1; int x = 2; x += 1; }"
+        )
+        assert result.value == 1
+
+    def test_mem2reg_applied_to_frontend_output(self):
+        module = compile_source(
+            "int main() { int a = 1; int b = a + 2; return b * 3; }"
+        )
+        opcodes = {i.opcode for i in module.instructions()}
+        assert "alloca" not in opcodes

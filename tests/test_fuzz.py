@@ -1,0 +1,104 @@
+"""Fuzz tests: the frontends must fail *gracefully* on malformed input.
+
+Property: for arbitrary (including mutated previously-valid) source text,
+the scil frontend raises only ScilError subclasses and the IR text parser
+raises only IRParseError — never an unrelated exception or a crash.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import ScilError, compile_to_ir, parse as scil_parse, tokenize
+from repro.frontend.errors import LexError
+from repro.ir import IRParseError, parse_module, print_module
+
+VALID_SCIL = """
+int n = 8;
+output double r[2];
+double work(double a[], int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) { s = s + a[i] * a[i]; }
+    return sqrt(s);
+}
+void main() {
+    double x[8];
+    for (int i = 0; i < n; i = i + 1) { x[i] = (double)i; }
+    r[0] = work(x, n);
+}
+"""
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+
+
+def mutate(source: str, position: int, junk: str) -> str:
+    cut = position % (len(source) + 1)
+    return source[:cut] + junk + source[cut + len(junk):]
+
+
+class TestScilFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(printable)
+    def test_arbitrary_text_fails_cleanly(self, text):
+        try:
+            compile_to_ir(text)
+        except ScilError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_mutated_valid_program_fails_cleanly(self, position, junk):
+        mutated = mutate(VALID_SCIL, position, junk)
+        try:
+            module = compile_to_ir(mutated)
+        except ScilError:
+            return
+        # If it still compiled, the module must be well-formed.
+        assert module.static_instruction_count > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(printable)
+    def test_lexer_total(self, text):
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind == "eof"
+
+
+class TestIRTextFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(printable)
+    def test_arbitrary_text_fails_cleanly(self, text):
+        try:
+            parse_module(text)
+        except IRParseError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_mutated_ir_fails_cleanly(self, position, junk):
+        valid = print_module(compile_to_ir(VALID_SCIL))
+        mutated = mutate(valid, position, junk)
+        try:
+            module = parse_module(mutated)
+        except IRParseError:
+            return
+        # Structurally parsed; it may or may not verify, but parsing must
+        # not have produced a module that crashes the printer.
+        print_module(module)

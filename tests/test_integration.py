@@ -1,0 +1,70 @@
+"""Cross-module integration tests: the whole stack on every workload.
+
+These run full-duplication protection + a short fault campaign on each of
+the five codes — slower than unit tests, but they pin the one property the
+entire reproduction hangs on: *protection detects faults and suppresses SOC
+on real programs*, not just on toy kernels.
+"""
+
+import pytest
+
+from repro.faults import Campaign, Outcome
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+TRIALS = 40
+
+
+@pytest.fixture(scope="module", params=WORKLOAD_NAMES)
+def protected_setup(request):
+    name = request.param
+    workload = get_workload(name)
+    clean_module = workload.compile()
+    protected_module = workload.compile()
+    duplicate_instructions(
+        protected_module, FullDuplicationSelector().select(protected_module)
+    )
+    verify_module(protected_module)
+    return workload, clean_module, protected_module
+
+
+class TestFullProtectionEndToEnd:
+    def test_protected_output_identical(self, protected_setup):
+        workload, clean_module, protected_module = protected_setup
+        clean = workload.make_interpreter(1, module=clean_module)
+        assert clean.run().status == "ok"
+        protected = workload.make_interpreter(1, module=protected_module)
+        assert protected.run().status == "ok"
+        for gv in clean_module.output_globals():
+            assert clean.read_global(gv.name) == protected.read_global(gv.name)
+
+    def test_slowdown_in_swift_range(self, protected_setup):
+        workload, clean_module, protected_module = protected_setup
+        clean_cycles = workload.make_interpreter(1, module=clean_module).run().cycles
+        protected_cycles = (
+            workload.make_interpreter(1, module=protected_module).run().cycles
+        )
+        slowdown = protected_cycles / clean_cycles
+        # Full duplication roughly doubles the compute instructions;
+        # memory/control stay single, so < 3x overall.
+        assert 1.2 < slowdown < 3.0, slowdown
+
+    def test_protection_shifts_soc_to_detected(self, protected_setup):
+        workload, clean_module, protected_module = protected_setup
+        unprotected_campaign = Campaign(
+            workload.make_interpreter(1, module=clean_module),
+            verifier=workload.verifier(),
+            budget_factor=workload.budget_factor,
+        )
+        unprotected = unprotected_campaign.run(TRIALS, seed=21)
+        protected_campaign = Campaign(
+            workload.make_interpreter(1, module=protected_module),
+            verifier=workload.verifier(),
+            budget_factor=workload.budget_factor,
+        )
+        protected = protected_campaign.run(TRIALS, seed=21)
+        assert unprotected.counts.detected_fraction == 0.0
+        assert protected.counts.detected_fraction > 0.25
+        assert protected.counts.soc_fraction <= unprotected.counts.soc_fraction

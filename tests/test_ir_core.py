@@ -1,0 +1,310 @@
+"""Unit tests for IR values, instructions, blocks, functions, and modules."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    BinaryOperator,
+    BranchInst,
+    Constant,
+    F64,
+    GEPInst,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    PhiNode,
+    UndefValue,
+    VOID,
+    const_bool,
+    const_float,
+    const_int,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir.verifier import VerificationError
+
+
+def make_identity():
+    """i64 @identity(i64 %x) { ret %x }"""
+    m = Module("t")
+    fn = m.add_function("identity", I64, [I64], ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    b.ret(fn.args[0])
+    return m, fn
+
+
+class TestConstants:
+    def test_int_constant(self):
+        c = const_int(42)
+        assert c.value == 42 and c.type == I64
+
+    def test_int_constant_range_checked(self):
+        with pytest.raises(ValueError):
+            Constant(I32, 2**40)
+
+    def test_unsigned_representation_canonicalized(self):
+        c = Constant(I32, 2**32 - 1)
+        assert c.value == -1
+
+    def test_bool_constant(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+
+    def test_float_constant(self):
+        c = const_float(1.5)
+        assert c.value == 1.5 and c.type == F64
+
+    def test_constant_equality_and_hash(self):
+        assert const_int(3) == const_int(3)
+        assert const_int(3) != const_int(4)
+        assert const_int(3) != const_float(3.0)
+        assert len({const_int(3), const_int(3), const_int(4)}) == 2
+
+    def test_nan_constant_equality(self):
+        nan = const_float(float("nan"))
+        assert nan == const_float(float("nan"))
+
+
+class TestUseDefChains:
+    def test_uses_tracked(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64, I64], ["a", "b"])
+        b = IRBuilder(fn.add_block("entry"))
+        s = b.add(fn.args[0], fn.args[1])
+        t = b.mul(s, s)
+        b.ret(t)
+        assert (t, 0) in s.uses and (t, 1) in s.uses
+        assert s.users == [t]
+        assert t.users[0].opcode == "ret"
+
+    def test_replace_all_uses_with(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64, I64], ["a", "b"])
+        b = IRBuilder(fn.add_block("entry"))
+        s = b.add(fn.args[0], fn.args[1])
+        t = b.mul(s, s)
+        b.ret(t)
+        s.replace_all_uses_with(fn.args[0])
+        assert not s.is_used()
+        assert t.operands == [fn.args[0], fn.args[0]]
+        verify_module(m)  # s is now dead but the module is still valid
+
+    def test_erase_requires_no_uses(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64], ["a"])
+        b = IRBuilder(fn.add_block("entry"))
+        s = b.add(fn.args[0], fn.args[0])
+        b.ret(s)
+        with pytest.raises(RuntimeError):
+            s.erase()
+        s.replace_all_uses_with(fn.args[0])
+        s.erase()
+        assert s not in fn.entry.instructions
+
+
+class TestInstructionTyping:
+    def test_binop_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("add", const_int(1, I64), const_int(1, I32))
+
+    def test_fp_op_on_ints_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("fadd", const_int(1), const_int(2))
+
+    def test_int_op_on_floats_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("add", const_float(1.0), const_float(2.0))
+
+    def test_binop_category_predicates(self):
+        add = BinaryOperator("add", const_int(1), const_int(2))
+        fmul = BinaryOperator("fmul", const_float(1.0), const_float(2.0))
+        srem = BinaryOperator("srem", const_int(1), const_int(2))
+        xor = BinaryOperator("xor", const_int(1), const_int(2))
+        assert add.is_add_sub() and not add.is_mul_div()
+        assert fmul.is_mul_div() and not fmul.is_add_sub()
+        assert srem.is_remainder()
+        assert xor.is_logical()
+
+    def test_gep_requires_pointer_base(self):
+        with pytest.raises(TypeError):
+            GEPInst(const_int(0), const_int(1))
+
+    def test_branch_condition_must_be_i1(self):
+        m = Module("t")
+        fn = m.add_function("f", VOID, [])
+        b1 = fn.add_block("a")
+        b2 = fn.add_block("b")
+        with pytest.raises(TypeError):
+            BranchInst(const_int(1, I64), b1, b2)
+
+    def test_phi_type_checked(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [])
+        blk = fn.add_block("entry")
+        phi = PhiNode(I64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(const_float(1.0), blk)
+
+    def test_builder_cast_validation(self):
+        m = Module("t")
+        fn = m.add_function("f", F64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.sitofp(fn.args[0])
+        b.ret(v)
+        with pytest.raises(TypeError):
+            b.cast("sitofp", v, I64)  # float -> int is not sitofp
+        verify_module(m)
+
+
+class TestBlocksAndFunctions:
+    def test_terminated_block_rejects_append(self):
+        m, fn = make_identity()
+        b = IRBuilder(fn.entry)
+        with pytest.raises(RuntimeError):
+            b.add(fn.args[0], fn.args[0])
+
+    def test_successors_predecessors(self):
+        m = Module("t")
+        fn = m.add_function("f", VOID, [I1], ["c"])
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        b.cond_br(fn.args[0], left, right)
+        IRBuilder(left).br(exit_)
+        IRBuilder(right).br(exit_)
+        IRBuilder(exit_).ret()
+        assert entry.successors() == [left, right]
+        assert set(exit_.predecessors()) == {left, right}
+        verify_module(m)
+
+    def test_unique_block_names(self):
+        m = Module("t")
+        fn = m.add_function("f", VOID, [])
+        a = fn.add_block("body")
+        b = fn.add_block("body")
+        assert a.name != b.name
+
+    def test_instruction_count(self):
+        m, fn = make_identity()
+        assert fn.instruction_count == 1
+        assert m.static_instruction_count == 1
+
+    def test_phi_must_lead_block(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64], ["x"])
+        blk = fn.add_block("entry")
+        b = IRBuilder(blk)
+        b.add(fn.args[0], fn.args[0])
+        with pytest.raises(RuntimeError):
+            blk.append(PhiNode(I64))
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module("t")
+        m.add_function("f", VOID, [])
+        with pytest.raises(ValueError):
+            m.add_function("f", VOID, [])
+
+    def test_declare_idempotent(self):
+        m = Module("t")
+        f1 = m.declare_function("sqrt", F64, [F64])
+        f2 = m.declare_function("sqrt", F64, [F64])
+        assert f1 is f2
+
+    def test_declare_conflicting_signature_rejected(self):
+        m = Module("t")
+        m.declare_function("sqrt", F64, [F64])
+        with pytest.raises(ValueError):
+            m.declare_function("sqrt", F64, [F64, F64])
+
+    def test_globals(self):
+        m = Module("t")
+        g = m.add_global("data", ArrayType(F64, 4), [1.0, 2.0], is_output=True)
+        assert g.cell_count == 4
+        assert g.initial_cells() == [1.0, 2.0, 0.0, 0.0]
+        assert m.output_globals() == [g]
+        assert g.type.pointee == F64
+
+    def test_scalar_global_initializer(self):
+        m = Module("t")
+        g = m.add_global("n", I64, 7)
+        assert g.initial_cells() == [7]
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        m, _ = make_identity()
+        verify_module(m)
+
+    def test_unterminated_block_caught(self):
+        m = Module("t")
+        fn = m.add_function("f", VOID, [])
+        fn.add_block("entry")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(m)
+
+    def test_use_before_def_caught(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64], ["x"])
+        blk = fn.add_block("entry")
+        b = IRBuilder(blk)
+        v = b.add(fn.args[0], fn.args[0])
+        w = b.mul(v, v)
+        b.ret(w)
+        # Move w before v by hand to break dominance.
+        blk.remove(w)
+        blk.insert(0, w)
+        with pytest.raises(VerificationError, match="before defined"):
+            verify_module(m)
+
+    def test_phi_mismatched_preds_caught(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I1], ["c"])
+        entry = fn.add_block("entry")
+        exit_ = fn.add_block("exit")
+        IRBuilder(entry).br(exit_)
+        b = IRBuilder(exit_)
+        phi = b.phi(I64)
+        # Claims an incoming edge from exit_ itself, which is not a pred.
+        phi.add_incoming(const_int(1), exit_)
+        b.ret(phi)
+        with pytest.raises(VerificationError, match="phi incoming"):
+            verify_module(m)
+
+
+class TestPrinter:
+    def test_print_identity(self):
+        m, fn = make_identity()
+        text = print_function(fn)
+        assert "define i64 @identity(i64 %x)" in text
+        assert "ret i64 %x" in text
+
+    def test_print_module_includes_globals_and_declares(self):
+        m = Module("t")
+        m.add_global("out", ArrayType(F64, 2), is_output=True)
+        m.declare_function("sqrt", F64, [F64])
+        fn = m.add_function("main", VOID, [])
+        IRBuilder(fn.add_block("entry")).ret()
+        text = print_module(m)
+        assert "@out = global [2 x f64] output" in text
+        assert "declare f64 @sqrt(f64)" in text
+        assert "define void @main()" in text
+
+    def test_print_numbered_temporaries(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(fn.args[0], fn.args[0])
+        b.ret(v)
+        text = print_function(fn)
+        assert "%1 = add i64 %x, %x" in text
+
+    def test_print_undef(self):
+        u = UndefValue(I64)
+        assert u.ref() == "undef"

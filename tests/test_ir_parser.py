@@ -1,0 +1,183 @@
+"""Tests for the textual IR parser (print → parse → print round trips)."""
+
+import pytest
+
+from repro import compile_source
+from repro.interp import run_module
+from repro.ir import (
+    ArrayType,
+    F64,
+    I1,
+    I64,
+    IRParseError,
+    PointerType,
+    parse_module,
+    parse_type,
+    print_module,
+    verify_module,
+)
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+from repro.workloads import all_workloads
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("i64", I64),
+            ("i1", I1),
+            ("f64", F64),
+            ("f64*", PointerType(F64)),
+            ("[4 x i64]", ArrayType(I64, 4)),
+            ("[ 10 x f64 ]", ArrayType(F64, 10)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize("text", ["i7", "float", "[x i64]", "[3 x]", ""])
+    def test_invalid(self, text):
+        with pytest.raises(IRParseError):
+            parse_type(text)
+
+
+class TestRoundTrips:
+    SIMPLE = """
+    ; module demo
+    @data = global [4 x f64] init [1.0, 2.0] output
+    declare f64 @sqrt(f64)
+
+    define f64 @main() {
+    entry:
+      %p = gep f64* @data, i64 1
+      %v = load f64, f64* %p
+      %s = call f64 @sqrt(f64 %v)
+      ret f64 %s
+    }
+    """
+
+    def test_hand_written_parses_and_runs(self):
+        module = parse_module(self.SIMPLE)
+        verify_module(module)
+        assert module.name == "demo"
+        result, interp = run_module(module)
+        assert result.status == "ok"
+        assert result.value == pytest.approx(2.0**0.5)
+
+    def test_round_trip_is_fixpoint(self):
+        module = parse_module(self.SIMPLE)
+        text = print_module(module)
+        again = parse_module(text)
+        assert print_module(again) == text
+
+    @pytest.mark.parametrize("name", ["is", "fft", "hpccg"])
+    def test_workloads_round_trip(self, name):
+        from repro.workloads import get_workload
+
+        module = get_workload(name).compile()
+        text = print_module(module)
+        parsed = parse_module(text)
+        verify_module(parsed)
+        assert print_module(parsed) == text
+
+    def test_protected_module_round_trips(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("is").compile()
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+        text = print_module(module)
+        parsed = parse_module(text)
+        verify_module(parsed)
+        assert print_module(parsed) == text
+
+    def test_parsed_module_behaves_identically(self):
+        source = """
+        output double r[1];
+        void main() {
+            double acc = 0.0;
+            for (int i = 1; i <= 10; i = i + 1) { acc = acc + 1.0 / (double)i; }
+            r[0] = acc;
+        }
+        """
+        original = compile_source(source)
+        r1, i1 = run_module(original)
+        parsed = parse_module(print_module(original))
+        r2, i2 = run_module(parsed)
+        assert i1.read_global("r") == i2.read_global("r")
+        assert r1.cycles == r2.cycles
+
+    def test_control_flow_with_phis(self):
+        text = """
+        define i64 @main() {
+        entry:
+          br label %header
+        header:
+          %i = phi i64 [ 0, %entry ], [ %next, %body ]
+          %cond = icmp slt i64 %i, 5
+          br i1 %cond, label %body, label %exit
+        body:
+          %next = add i64 %i, 1
+          br label %header
+        exit:
+          ret i64 %i
+        }
+        """
+        module = parse_module(text)
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result.value == 5
+
+    def test_forward_value_references_resolve(self):
+        # %next is used by the phi before it is defined: must parse.
+        module = parse_module(
+            """
+            define i64 @f(i64 %n) {
+            entry:
+              br label %loop
+            loop:
+              %acc = phi i64 [ 1, %entry ], [ %next, %loop ]
+              %next = mul i64 %acc, 2
+              %done = icmp sge i64 %next, %n
+              br i1 %done, label %out, label %loop
+            out:
+              ret i64 %next
+            }
+            define i64 @main() {
+            entry:
+              %r = call i64 @f(i64 100)
+              ret i64 %r
+            }
+            """
+        )
+        verify_module(module)
+        assert run_module(module)[0].value == 128
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,pattern",
+        [
+            ("define i64 @f() {\nentry:\n  ret i64 %ghost\n}", "undefined value"),
+            ("define i64 @f() {\n  ret i64 0\n}", "before first block"),
+            ("define i64 @f() {\nentry:\n  ret i64 0", "unterminated"),
+            ("@g = global i64 init nonsense;", "bad"),
+            ("wibble", "unexpected line"),
+            ("declare f64 @f(", "bad declare"),
+            (
+                "define void @f() {\nentry:\n  %x = frobnicate i64 1, 2\n  ret void\n}",
+                "unknown instruction",
+            ),
+            (
+                "define void @f() {\nentry:\n  %v = call f64 @missing(f64 1.0)\n  ret void\n}",
+                "unknown callee",
+            ),
+        ],
+    )
+    def test_rejected(self, text, pattern):
+        with pytest.raises(IRParseError, match=pattern):
+            parse_module(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(IRParseError) as info:
+            parse_module("define i64 @f() {\nentry:\n  ret i64 %nope\n}")
+        assert "line" in str(info.value) or info.value.line_number >= 0

@@ -1,0 +1,97 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    VOID,
+    pointer_to,
+)
+
+
+class TestScalarTypes:
+    def test_int_widths(self):
+        assert I1.bits == 1
+        assert I32.bits == 32
+        assert I64.bits == 64
+
+    def test_int_byte_sizes_match_table1_feature12(self):
+        assert I1.byte_size == 1
+        assert I32.byte_size == 4
+        assert I64.byte_size == 8
+        assert F64.byte_size == 8
+        assert pointer_to(F64).byte_size == 8
+
+    def test_unsupported_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(7)
+
+    def test_structural_equality(self):
+        assert IntType(64) == I64
+        assert FloatType(64) == F64
+        assert IntType(32) != I64
+        assert pointer_to(F64) == pointer_to(FloatType(64))
+        assert pointer_to(F64) != pointer_to(I64)
+
+    def test_hashable(self):
+        s = {I64, IntType(64), F64, pointer_to(I64)}
+        assert len(s) == 3
+
+    def test_signed_range(self):
+        assert I32.min_signed == -(2**31)
+        assert I32.max_signed == 2**31 - 1
+        assert I1.min_signed == 0
+        assert I1.max_signed == 1
+
+    def test_predicates(self):
+        assert I64.is_integer() and I64.is_scalar()
+        assert F64.is_float() and F64.is_scalar()
+        assert VOID.is_void() and not VOID.is_scalar()
+        assert pointer_to(I64).is_pointer()
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(F64) == "f64"
+        assert str(pointer_to(F64)) == "f64*"
+        assert str(VOID) == "void"
+
+
+class TestAggregateTypes:
+    def test_array(self):
+        arr = ArrayType(F64, 10)
+        assert arr.element == F64
+        assert arr.count == 10
+        assert arr.byte_size == 80
+        assert str(arr) == "[10 x f64]"
+
+    def test_array_of_nonscalar_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(ArrayType(F64, 2), 3)
+
+    def test_array_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(F64, 0)
+
+    def test_function_type(self):
+        ft = FunctionType(F64, (F64, I64))
+        assert ft.return_type == F64
+        assert ft.param_types == (F64, I64)
+        assert ft == FunctionType(F64, (F64, I64))
+        assert ft != FunctionType(I64, (F64, I64))
+        assert str(ft) == "f64 (f64, i64)"
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_void_has_no_byte_size(self):
+        with pytest.raises(TypeError):
+            _ = VOID.byte_size

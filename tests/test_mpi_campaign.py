@@ -1,0 +1,83 @@
+"""Tests for fault injection into parallel (simulated MPI) jobs."""
+
+import random
+
+import pytest
+
+from repro.faults import MpiCampaign, Outcome
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+from repro.workloads import get_workload
+
+RANKS = 3
+TRIALS = 30
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("is")
+
+
+@pytest.fixture(scope="module")
+def campaign(workload):
+    job = workload.make_job(RANKS, 1)
+    c = MpiCampaign(job, verifier=workload.verifier(), budget_factor=workload.budget_factor)
+    c.prepare()
+    return c
+
+
+class TestMpiCampaign:
+    def test_golden_run_and_population(self, campaign):
+        assert campaign.golden_cycles > 0
+        assert campaign._total_weight > 0
+
+    def test_sampling_covers_multiple_ranks(self, campaign):
+        rng = random.Random(0)
+        ranks = {campaign.sample(rng)[1] for _ in range(60)}
+        assert len(ranks) > 1  # faults land in different ranks
+
+    def test_outcomes_classified(self, campaign):
+        result = campaign.run(TRIALS, seed=5)
+        assert result.counts.total == TRIALS
+        # Unprotected: never "detected"; some faults must propagate somehow.
+        assert result.counts.detected_fraction == 0.0
+        assert (
+            result.counts.symptom_fraction
+            + result.counts.masked_fraction
+            + result.counts.soc_fraction
+        ) == pytest.approx(1.0)
+
+    def test_deterministic(self, campaign):
+        r1 = campaign.run(15, seed=9)
+        r2 = campaign.run(15, seed=9)
+        assert [x.outcome for x in r1.records] == [x.outcome for x in r2.records]
+        assert [x.rank for x in r1.records] == [x.rank for x in r2.records]
+
+    def test_protected_job_detects_across_ranks(self, workload):
+        module = workload.compile()
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+        job = workload.make_job(RANKS, 1, module=module)
+        campaign = MpiCampaign(
+            job, verifier=workload.verifier(), budget_factor=workload.budget_factor
+        )
+        result = campaign.run(TRIALS, seed=5)
+        # A detection on any rank surfaces as a job-level detection.
+        assert result.counts.detected_fraction > 0.2
+        assert result.counts.soc_fraction <= 0.1
+        detected_ranks = {
+            r.rank for r in result.records if r.outcome is Outcome.DETECTED
+        }
+        assert detected_ranks  # at least one rank caught a fault
+
+    def test_parallel_shape_matches_serial(self, workload, campaign):
+        """Job-level outcome mix tracks the serial campaign's shape."""
+        from repro.faults import Campaign
+
+        serial = Campaign(
+            workload.make_interpreter(1),
+            verifier=workload.verifier(),
+            budget_factor=workload.budget_factor,
+        ).run(TRIALS, seed=5)
+        parallel = campaign.run(TRIALS, seed=5)
+        # Masking dominates SOC in both worlds.
+        assert serial.counts.masked_fraction > serial.counts.soc_fraction
+        assert parallel.counts.masked_fraction > parallel.counts.soc_fraction

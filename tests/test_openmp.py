@@ -1,0 +1,166 @@
+"""Tests for the simulated OpenMP runtime (outlined parallel regions)."""
+
+import pytest
+
+from repro import compile_source
+from repro.parallel import FORK_JOIN_COST, OmpRuntime
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+
+# The standard OpenMP lowering shape: a setup function, an outlined region
+# taking (tid, nthreads), and shared global state.
+SOURCE = """
+int n = 64;
+output double result[1];
+double data[64];
+double partial[16];      // one slot per thread (max 16 threads)
+int hits = 0;            // atomic counter exercised by the region
+
+void setup() {
+    for (int i = 0; i < n; i = i + 1) { data[i] = (double)(i + 1); }
+    for (int t = 0; t < 16; t = t + 1) { partial[t] = 0.0; }
+}
+
+// Outlined parallel region: block-partitioned sum of squares.
+void region(int tid, int nthreads) {
+    int chunk = (n + nthreads - 1) / nthreads;
+    int lo = tid * chunk;
+    int hi = lo + chunk;
+    if (hi > n) { hi = n; }
+    if (lo > n) { lo = n; }
+    double acc = 0.0;
+    for (int i = lo; i < hi; i = i + 1) {
+        acc = acc + data[i] * data[i];
+    }
+    partial[tid] = acc;
+}
+
+void reduce(int nthreads) {
+    double total = 0.0;
+    for (int t = 0; t < nthreads; t = t + 1) { total = total + partial[t]; }
+    result[0] = total;
+}
+"""
+
+EXPECTED = sum(float(i + 1) ** 2 for i in range(64))
+
+
+def run_omp(nthreads, module=None):
+    runtime = OmpRuntime(module if module is not None else compile_source(SOURCE), nthreads)
+    runtime.start()
+    runtime.run_serial("setup")
+    region = runtime.run_region("region")
+    runtime.run_serial("reduce", (nthreads,))
+    return runtime, region
+
+
+class TestOmpRuntime:
+    @pytest.mark.parametrize("nthreads", [1, 2, 4, 8])
+    def test_result_independent_of_thread_count(self, nthreads):
+        runtime, region = run_omp(nthreads)
+        assert region.status == "ok"
+        assert runtime.read_global("result")[0] == EXPECTED
+
+    def test_threads_share_memory(self):
+        runtime, _ = run_omp(4)
+        partial = runtime.read_global("partial")
+        assert sum(partial[:4]) == EXPECTED
+        assert all(p > 0 for p in partial[:4])
+
+    def test_region_time_is_critical_path(self):
+        runtime, region = run_omp(4)
+        assert region.region_cycles == max(region.thread_cycles) + FORK_JOIN_COST
+        assert len(region.thread_cycles) == 4
+
+    def test_parallel_region_scales(self):
+        _, r1 = run_omp(1)
+        _, r4 = run_omp(4)
+        # 4 threads each do ~1/4 of the work: the critical path shrinks.
+        assert r4.region_cycles < r1.region_cycles
+        speedup = r1.region_cycles / r4.region_cycles
+        assert speedup > 2.0
+
+    def test_job_cycles_accumulate(self):
+        runtime, region = run_omp(2)
+        assert runtime.job_cycles == runtime.serial_cycles + runtime.parallel_cycles
+        assert runtime.parallel_cycles >= region.region_cycles
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ValueError):
+            OmpRuntime(compile_source(SOURCE), 0)
+
+    def test_outlined_signature_validated(self):
+        runtime = OmpRuntime(compile_source(SOURCE), 2)
+        with pytest.raises(ValueError, match="tid, nthreads"):
+            runtime.run_region("setup")
+
+    def test_failing_thread_fails_region(self):
+        source = SOURCE.replace(
+            "partial[tid] = acc;",
+            "partial[tid] = acc / (double)(data[70]);  // OOB -> trap",
+        )
+        runtime = OmpRuntime(compile_source(source), 2)
+        runtime.start()
+        runtime.run_serial("setup")
+        region = runtime.run_region("region")
+        assert region.status == "failed"
+        assert "MemoryFault" in region.error
+
+
+class TestProtectedOpenMp:
+    def test_protection_preserves_openmp_semantics(self):
+        """Paper §4.4.1: outlined functions are safe to protect because
+        calls and control flow are never duplicated."""
+        module = compile_source(SOURCE)
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+        runtime, region = run_omp(4, module=module)
+        assert region.status == "ok"
+        assert runtime.read_global("result")[0] == EXPECTED
+
+    def test_protected_region_slowdown_flat_across_threads(self):
+        clean = compile_source(SOURCE)
+        protected = compile_source(SOURCE)
+        duplicate_instructions(
+            protected, FullDuplicationSelector().select(protected)
+        )
+        slowdowns = []
+        for nthreads in (1, 2, 4):
+            clean_rt, _ = run_omp(nthreads, module=compile_source(SOURCE))
+            prot_rt, _ = run_omp(nthreads, module=protected)
+            slowdowns.append(prot_rt.job_cycles / clean_rt.job_cycles)
+        # Fig.-8 reasoning applies to threads too: the ratio stays flat.
+        assert max(slowdowns) - min(slowdowns) < 0.3
+        assert all(s > 1.0 for s in slowdowns)
+
+    def test_atomic_counter_region(self):
+        source = """
+        int hits = 0;
+        output double result[1];
+        void region(int tid, int nthreads) {
+            for (int i = 0; i < 10; i = i + 1) {
+                int old = __atomic_bump();
+            }
+        }
+        int __atomic_bump() { return 0; }
+        void finish() { result[0] = (double)hits; }
+        """
+        # Exercise atomicrmw through the IR directly (scil has no atomic
+        # syntax; real OpenMP lowering emits the instruction).
+        from repro.ir import IRBuilder, I64, const_int
+
+        module = compile_source(source)
+        bump = module.get_function("__atomic_bump")
+        # Replace the stub body: atomically increment @hits.
+        for block in list(bump.blocks):
+            for inst in list(block.instructions):
+                inst.drop_operands()
+                block.remove(inst)
+            bump.remove_block(block)
+        builder = IRBuilder(bump.add_block("entry"))
+        old = builder.atomic_add(module.get_global("hits"), const_int(1))
+        builder.ret(old)
+        runtime = OmpRuntime(module, 4)
+        runtime.start()
+        region = runtime.run_region("region")
+        runtime.run_serial("finish")
+        assert region.status == "ok"
+        assert runtime.read_global("result")[0] == 40.0

@@ -1,0 +1,146 @@
+"""Tests for classifier persistence and function-scoped protection."""
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.ml import (
+    SVC,
+    StandardScaler,
+    load_classifier,
+    save_classifier,
+    scaler_from_dict,
+    scaler_to_dict,
+    svc_from_dict,
+    svc_to_dict,
+)
+from repro.protect import IpasSelector
+
+
+def trained_pair(seed=0):
+    rng = np.random.RandomState(seed)
+    X = rng.randn(60, 5)
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    scaler = StandardScaler().fit(X)
+    model = SVC(C=10.0, gamma=0.3).fit(scaler.transform(X), y)
+    return model, scaler, X, y
+
+
+class TestSvcSerialization:
+    def test_round_trip_predictions_identical(self):
+        model, scaler, X, y = trained_pair()
+        restored = svc_from_dict(svc_to_dict(model))
+        Xs = scaler.transform(X)
+        assert np.array_equal(model.predict(Xs), restored.predict(Xs))
+        assert np.allclose(
+            model.decision_function(Xs), restored.decision_function(Xs)
+        )
+
+    def test_constant_class_round_trip(self):
+        X = np.zeros((5, 2))
+        model = SVC().fit(X, np.ones(5, dtype=int))
+        restored = svc_from_dict(svc_to_dict(model))
+        assert np.all(restored.predict(X) == 1)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            svc_to_dict(SVC())
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            svc_from_dict({"kind": "tree"})
+
+
+class TestScalerSerialization:
+    def test_round_trip(self):
+        _, scaler, X, _ = trained_pair()
+        restored = scaler_from_dict(scaler_to_dict(scaler))
+        assert np.allclose(scaler.transform(X), restored.transform(X))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            scaler_to_dict(StandardScaler())
+
+
+class TestFilePersistence:
+    def test_save_load_with_metadata(self, tmp_path):
+        model, scaler, X, y = trained_pair()
+        path = tmp_path / "ipas_model.json"
+        save_classifier(
+            path, model, scaler, metadata={"workload": "hpccg", "seed": 0}
+        )
+        restored_model, restored_scaler, metadata = load_classifier(path)
+        assert metadata == {"workload": "hpccg", "seed": 0}
+        Xs = scaler.transform(X)
+        assert np.array_equal(model.predict(Xs), restored_model.predict(Xs))
+        assert restored_scaler is not None
+
+    def test_save_without_scaler(self, tmp_path):
+        model, _, X, _ = trained_pair()
+        path = tmp_path / "bare.json"
+        save_classifier(path, model)
+        restored_model, restored_scaler, metadata = load_classifier(path)
+        assert restored_scaler is None
+        assert metadata == {}
+
+    def test_loaded_model_drives_selector(self, tmp_path):
+        """A persisted classifier protects a module in a later session."""
+        module = compile_source(
+            """
+            output double r[1];
+            double work(double x) { return x * x + 1.0; }
+            void main() { r[0] = work(3.0); }
+            """
+        )
+        from repro.features import FeatureExtractor, NUM_FEATURES
+        from repro.protect import Selector
+
+        eligible = Selector.eligible(module)
+        X = FeatureExtractor(module).extract_many(eligible)
+        y = np.array([1] * len(eligible))
+        y[0] = 0  # at least two classes
+        scaler = StandardScaler().fit(X)
+        model = SVC(C=1.0, gamma=0.1).fit(scaler.transform(X), y)
+        path = tmp_path / "m.json"
+        save_classifier(path, model, scaler)
+
+        loaded_model, loaded_scaler, _ = load_classifier(path)
+        fresh = IpasSelector(loaded_model, loaded_scaler)
+        original = IpasSelector(model, scaler)
+        assert [id(i) for i in fresh.select(module)] == [
+            id(i) for i in original.select(module)
+        ]
+
+
+class TestFunctionScope:
+    SOURCE = """
+    output double r[2];
+    double hot(double x) { return x * x * 2.0; }
+    double cold(double x) { return x + 1.0; }
+    void main() {
+        r[0] = hot(2.0);
+        r[1] = cold(3.0);
+    }
+    """
+
+    def test_scope_restricts_selection(self):
+        module = compile_source(self.SOURCE)
+
+        class All:
+            def predict(self, X):
+                return np.ones(len(X), dtype=np.int64)
+
+        scoped = IpasSelector(All(), function_scope=["hot"])
+        selected = scoped.select(module)
+        assert selected
+        assert all(i.function.name == "hot" for i in selected)
+
+    def test_empty_scope_selects_nothing(self):
+        module = compile_source(self.SOURCE)
+
+        class All:
+            def predict(self, X):
+                return np.ones(len(X), dtype=np.int64)
+
+        scoped = IpasSelector(All(), function_scope=["nonexistent"])
+        assert scoped.select(module) == []

@@ -1,0 +1,164 @@
+"""Tests for post-dominators and control dependence."""
+
+import pytest
+
+from repro import compile_source
+from repro.analysis import PostDominatorTree, control_dependence, forward_slice
+from repro.analysis.slicing import SliceContext
+from repro.ir import I1, I64, IRBuilder, Module, const_bool, const_int, verify_module
+
+
+def diamond():
+    """entry -> {left, right} -> exit."""
+    m = Module("t")
+    fn = m.add_function("f", I64, [I1], ["c"])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    exit_ = fn.add_block("exit")
+    IRBuilder(entry).cond_br(fn.args[0], left, right)
+    IRBuilder(left).br(exit_)
+    IRBuilder(right).br(exit_)
+    IRBuilder(exit_).ret(const_int(0))
+    verify_module(m)
+    return fn, (entry, left, right, exit_)
+
+
+def loop_fn():
+    m = Module("t")
+    fn = m.add_function("f", I64, [I64], ["n"])
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    IRBuilder(entry).br(header)
+    bh = IRBuilder(header)
+    i = bh.phi(I64, "i")
+    cond = bh.icmp("slt", i, fn.args[0])
+    bh.cond_br(cond, body, exit_)
+    bb = IRBuilder(body)
+    i2 = bb.add(i, const_int(1))
+    bb.br(header)
+    i.add_incoming(const_int(0), entry)
+    i.add_incoming(i2, body)
+    IRBuilder(exit_).ret(i)
+    verify_module(m)
+    return fn, (entry, header, body, exit_)
+
+
+class TestPostDominators:
+    def test_diamond_ipdoms(self):
+        fn, (entry, left, right, exit_) = diamond()
+        pdt = PostDominatorTree(fn)
+        assert pdt.immediate_post_dominator(entry) is exit_
+        assert pdt.immediate_post_dominator(left) is exit_
+        assert pdt.immediate_post_dominator(right) is exit_
+        assert pdt.immediate_post_dominator(exit_) is None  # virtual exit
+
+    def test_post_dominates(self):
+        fn, (entry, left, right, exit_) = diamond()
+        pdt = PostDominatorTree(fn)
+        assert pdt.post_dominates(exit_, entry)
+        assert pdt.post_dominates(exit_, left)
+        assert not pdt.post_dominates(left, entry)
+        assert pdt.post_dominates(left, left)  # reflexive
+
+    def test_loop_ipdoms(self):
+        fn, (entry, header, body, exit_) = loop_fn()
+        pdt = PostDominatorTree(fn)
+        assert pdt.immediate_post_dominator(body) is header
+        assert pdt.immediate_post_dominator(header) is exit_
+        assert pdt.post_dominates(header, entry)
+
+    def test_straightline(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [])
+        a = fn.add_block("a")
+        b2 = fn.add_block("b")
+        IRBuilder(a).br(b2)
+        IRBuilder(b2).ret(const_int(1))
+        pdt = PostDominatorTree(fn)
+        assert pdt.immediate_post_dominator(a) is b2
+
+
+class TestControlDependence:
+    def test_diamond_arms_depend_on_entry(self):
+        fn, (entry, left, right, exit_) = diamond()
+        deps = control_dependence(fn)
+        assert deps[entry] == {left, right}
+        assert deps[left] == set()
+        assert exit_ not in deps[entry]  # exit runs regardless
+
+    def test_loop_body_depends_on_header(self):
+        fn, (entry, header, body, exit_) = loop_fn()
+        deps = control_dependence(fn)
+        assert body in deps[header]
+        # The header controls its own re-execution through the back edge.
+        assert header in deps[header]
+        assert exit_ not in deps[header]
+
+    def test_nested_if(self):
+        source = """
+        int scale = 1;
+        output double r[1];
+        void main() {
+            double v = 0.0;
+            if (scale > 0) {
+                if (scale > 10) { v = 2.0; }
+                else { v = 1.0; }
+            }
+            r[0] = v;
+        }
+        """
+        module = compile_source(source)
+        main = module.get_function("main")
+        deps = control_dependence(main)
+        # There are two branch points; each controls a non-empty set.
+        controllers = [b for b, controlled in deps.items() if controlled]
+        assert len(controllers) >= 2
+
+
+class TestControlAwareSlicing:
+    SOURCE = """
+    int n = 4;
+    output double r[2];
+    void main() {
+        // Global-array stores cannot be promoted to registers, so the
+        // guarded assignments survive as stores in control-dependent blocks.
+        if (n > 2) {
+            r[0] = 1.0;    // control-dependent on the n > 2 branch
+        } else {
+            r[0] = 2.0;
+        }
+        r[1] = 5.0;        // not control-dependent on it
+    }
+    """
+
+    def test_control_slice_includes_guarded_code(self):
+        module = compile_source(self.SOURCE)
+        main = module.get_function("main")
+        context = SliceContext(module)
+        cmp_inst = next(i for i in main.instructions() if i.opcode == "icmp")
+        plain = forward_slice(cmp_inst, context=context, include_control=False)
+        control = forward_slice(cmp_inst, context=context, include_control=True)
+        assert len(control) > len(plain)
+        # The stores of the guarded assignments join only the control slice.
+        guarded_stores = [
+            i
+            for i in control
+            if i.opcode == "store" and i not in plain
+        ]
+        assert guarded_stores
+
+    def test_workload_control_slices_terminate(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("is").compile()
+        context = SliceContext(module)
+        main = module.get_function("main")
+        some = [i for i in main.instructions() if i.produces_value()][:10]
+        for inst in some:
+            sliced = forward_slice(
+                inst, context=context, include_control=True, max_size=2000
+            )
+            assert len(sliced) <= 2100

@@ -1,0 +1,150 @@
+"""Unit tests for the guarded runtime math and the cycle cost model."""
+
+import math
+
+import pytest
+
+from repro.interp.costmodel import CostModel
+from repro.interp.runtime import (
+    double_to_int_bits,
+    guarded_exp,
+    guarded_fmax,
+    guarded_fmin,
+    guarded_log,
+    guarded_pow,
+    guarded_sqrt,
+    int_bits_to_double,
+)
+from repro.ir import (
+    F64,
+    I64,
+    IRBuilder,
+    Module,
+    const_float,
+    const_int,
+)
+
+
+class TestGuardedMath:
+    """The wrappers must give C-library semantics, never Python exceptions —
+    a bit-flipped operand can reach any edge case."""
+
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(guarded_sqrt(-4.0))
+
+    def test_sqrt_nan_propagates(self):
+        assert math.isnan(guarded_sqrt(float("nan")))
+
+    def test_sqrt_inf(self):
+        assert guarded_sqrt(float("inf")) == float("inf")
+
+    def test_exp_overflow_is_inf(self):
+        assert guarded_exp(1e6) == float("inf")
+
+    def test_exp_normal(self):
+        assert guarded_exp(0.0) == 1.0
+
+    def test_log_of_zero_is_neg_inf(self):
+        assert guarded_log(0.0) == -float("inf")
+
+    def test_log_of_negative_is_nan(self):
+        assert math.isnan(guarded_log(-1.0))
+
+    def test_pow_overflow_is_inf(self):
+        assert guarded_pow(1e300, 2.0) == float("inf")
+
+    def test_pow_negative_fractional_is_nan(self):
+        assert math.isnan(guarded_pow(-2.0, 0.5))
+
+    def test_fmin_fmax_nan_semantics(self):
+        nan = float("nan")
+        # C fmin/fmax: if one argument is NaN, return the other.
+        assert guarded_fmin(nan, 3.0) == 3.0
+        assert guarded_fmax(3.0, nan) == 3.0
+        assert math.isnan(guarded_fmin(nan, nan))
+
+    def test_fmin_fmax_ordering(self):
+        assert guarded_fmin(2.0, 3.0) == 2.0
+        assert guarded_fmax(2.0, 3.0) == 3.0
+
+    def test_bitcast_roundtrip(self):
+        for x in (0.0, 1.5, -2.25, 1e300, -0.0):
+            assert int_bits_to_double(double_to_int_bits(x)) == x
+
+    def test_bitcast_signed_result(self):
+        # -0.0 has the sign bit set: as a signed i64 that's negative.
+        assert double_to_int_bits(-0.0) < 0
+        assert double_to_int_bits(0.0) == 0
+
+
+class TestCostModel:
+    def make_block(self):
+        m = Module("t")
+        fn = m.add_function("f", F64, [F64, I64], ["x", "i"])
+        b = IRBuilder(fn.add_block("entry"))
+        b.fmul(fn.args[0], fn.args[0])
+        b.fdiv(fn.args[0], const_float(3.0))
+        b.add(fn.args[1], const_int(1))
+        b.ret(fn.args[0])
+        return m, fn
+
+    def test_divides_cost_more_than_adds(self):
+        cm = CostModel()
+        m, fn = self.make_block()
+        costs = {i.opcode: cm.instruction_cost(i) for i in fn.instructions()}
+        assert costs["fdiv"] > costs["fmul"] > costs["add"]
+
+    def test_block_cost_is_sum(self):
+        cm = CostModel()
+        m, fn = self.make_block()
+        block = fn.entry
+        assert cm.block_cost(block) == sum(
+            cm.instruction_cost(i) for i in block.instructions
+        )
+
+    def test_override_costs(self):
+        cm = CostModel({"add": 50})
+        m, fn = self.make_block()
+        add = next(i for i in fn.instructions() if i.opcode == "add")
+        assert cm.instruction_cost(add) == 50
+
+    def test_intrinsic_call_costs(self):
+        m = Module("t")
+        fn = m.add_function("f", F64, [F64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        s = b.call_intrinsic("sqrt", [fn.args[0]])
+        r = b.call_intrinsic("mpi_allreduce_sum_f64", [s])
+        b.ret(r)
+        cm = CostModel()
+        insts = list(fn.instructions())
+        sqrt_cost = cm.instruction_cost(insts[0])
+        mpi_cost = cm.instruction_cost(insts[1])
+        # Collectives carry a latency charge beyond a libm call.
+        assert mpi_cost > sqrt_cost > cm.opcode_costs["call"]
+
+    def test_check_intrinsic_is_cheap(self):
+        from repro.ir import VOID
+
+        m = Module("t")
+        check = m.declare_function("ipas.check.f64", VOID, [F64, F64])
+        fn = m.add_function("f", VOID, [F64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        b.call(check, [fn.args[0], fn.args[0]])
+        b.ret()
+        cm = CostModel()
+        call = next(iter(fn.instructions()))
+        # A check lowers to compare + predicted branch: ~2 cycles.
+        assert cm.instruction_cost(call) == cm.opcode_costs["ipas.check"]
+
+    def test_module_static_cost(self):
+        cm = CostModel()
+        m, fn = self.make_block()
+        assert cm.module_static_cost(m) == cm.function_static_cost(fn) > 0
+
+    def test_unknown_opcode_raises(self):
+        cm = CostModel()
+        m, fn = self.make_block()
+        inst = fn.entry.instructions[0]
+        inst.opcode = "quantum_fma"
+        with pytest.raises(KeyError):
+            cm.instruction_cost(inst)

@@ -1,0 +1,114 @@
+"""Tests for the protection selectors (IPAS / baseline / full / none)."""
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.features import FeatureExtractor, NUM_FEATURES
+from repro.ml import SVC, StandardScaler
+from repro.protect import (
+    FullDuplicationSelector,
+    IpasSelector,
+    LearnedSelector,
+    NoProtectionSelector,
+    Selector,
+    ShoestringStyleSelector,
+    is_duplicable,
+)
+
+KERNEL = """
+int n = 8;
+output double result[1];
+void main() {
+    double buf[8];
+    double acc = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        buf[i] = (double)i * 0.5;
+        acc = acc + buf[i];
+    }
+    result[0] = acc;
+}
+"""
+
+
+class _ConstantModel:
+    """Predicts the same class for everything."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def predict(self, X):
+        return np.full(len(X), self.label, dtype=np.int64)
+
+
+@pytest.fixture()
+def module():
+    return compile_source(KERNEL)
+
+
+class TestBasicSelectors:
+    def test_none_selects_nothing(self, module):
+        assert NoProtectionSelector().select(module) == []
+
+    def test_full_selects_all_eligible(self, module):
+        selected = FullDuplicationSelector().select(module)
+        eligible = [i for i in module.instructions() if is_duplicable(i)]
+        assert selected == eligible
+        assert len(selected) > 0
+
+    def test_eligible_excludes_memory_and_control(self, module):
+        for inst in Selector.eligible(module):
+            assert inst.opcode not in ("load", "store", "br", "ret", "phi", "call")
+
+
+class TestLearnedSelectors:
+    def test_ipas_selects_positive_predictions(self, module):
+        selector = IpasSelector(_ConstantModel(1))
+        assert selector.select(module) == Selector.eligible(module)
+        selector0 = IpasSelector(_ConstantModel(0))
+        assert selector0.select(module) == []
+
+    def test_baseline_selects_negative_predictions(self, module):
+        # Shoestring-style: protect predicted NON-symptom (class 0).
+        selector = ShoestringStyleSelector(_ConstantModel(0))
+        assert selector.select(module) == Selector.eligible(module)
+        selector1 = ShoestringStyleSelector(_ConstantModel(1))
+        assert selector1.select(module) == []
+
+    def test_with_real_svm_and_scaler(self, module):
+        eligible = Selector.eligible(module)
+        X = FeatureExtractor(module).extract_many(eligible)
+        # Synthetic labels: protect the floating-point instructions.
+        y = np.array([1 if i.type.is_float() else 0 for i in eligible])
+        scaler = StandardScaler().fit(X)
+        model = SVC(C=100.0, gamma=0.1).fit(scaler.transform(X), y)
+        selected = IpasSelector(model, scaler).select(module)
+        assert selected  # the FP group is learnable from feature 12 etc.
+        float_fraction = sum(1 for i in selected if i.type.is_float()) / len(selected)
+        assert float_fraction > 0.8
+
+    def test_feature_mask_restricts_columns(self, module):
+        eligible = Selector.eligible(module)
+        X = FeatureExtractor(module).extract_many(eligible)
+        y = np.array([1 if i.opcode == "gep" else 0 for i in eligible])
+        mask = np.arange(12)  # instruction-category features only
+        scaler = StandardScaler().fit(X[:, mask])
+        model = SVC(C=100.0, gamma=0.5).fit(scaler.transform(X[:, mask]), y)
+        selector = LearnedSelector(
+            model, scaler, protect_positive=True, feature_mask=mask
+        )
+        selected = selector.select(module)
+        assert all(i.opcode == "gep" for i in selected)
+        assert selected
+
+    def test_selector_names(self):
+        assert IpasSelector(_ConstantModel(1)).name == "ipas"
+        assert ShoestringStyleSelector(_ConstantModel(0)).name == "baseline"
+        assert FullDuplicationSelector().name == "full-duplication"
+        assert NoProtectionSelector().name == "unprotected"
+
+    def test_empty_module(self):
+        from repro.ir import Module
+
+        empty = Module("empty")
+        assert IpasSelector(_ConstantModel(1)).select(empty) == []

@@ -1,0 +1,182 @@
+"""Unit tests for Weiser forward/backward slicing (paper §4.2)."""
+
+import pytest
+
+from repro import compile_source
+from repro.analysis import (
+    SliceContext,
+    SliceStatistics,
+    backward_slice,
+    forward_slice,
+    underlying_object,
+)
+from repro.ir import (
+    ArrayType,
+    F64,
+    I64,
+    IRBuilder,
+    Module,
+    const_float,
+    const_int,
+    verify_module,
+)
+
+
+def straightline_module():
+    """a = x+1; b = a*2; c = b-3; store c; unrelated d."""
+    m = Module("t")
+    g = m.add_global("out", I64)
+    fn = m.add_function("f", I64, [I64], ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    a = b.add(fn.args[0], const_int(1), "a")
+    bb = b.mul(a, const_int(2), "b")
+    c = b.sub(bb, const_int(3), "c")
+    b.store(c, g)
+    d = b.add(fn.args[0], const_int(100), "d")
+    b.ret(d)
+    verify_module(m)
+    return m, fn, (a, bb, c, d)
+
+
+class TestRegisterDataflow:
+    def test_forward_slice_follows_uses(self):
+        m, fn, (a, bb, c, d) = straightline_module()
+        sliced = forward_slice(a)
+        opcodes = sorted(i.opcode for i in sliced)
+        assert bb in sliced and c in sliced
+        assert d not in sliced
+        assert "store" in opcodes  # the store consuming c is influenced
+
+    def test_forward_slice_excludes_self(self):
+        m, fn, (a, *_rest) = straightline_module()
+        assert a not in forward_slice(a)
+
+    def test_unused_value_has_terminal_slice(self):
+        m, fn, (a, bb, c, d) = straightline_module()
+        sliced = forward_slice(d)
+        assert all(i.opcode == "ret" for i in sliced)
+
+    def test_backward_slice_follows_operands(self):
+        m, fn, (a, bb, c, d) = straightline_module()
+        sliced = backward_slice(c)
+        assert a in sliced and bb in sliced
+        assert d not in sliced
+
+    def test_max_size_caps_closure(self):
+        m, fn, (a, *_rest) = straightline_module()
+        sliced = forward_slice(a, max_size=1)
+        assert len(sliced) <= 2  # cap is approximate (checked per pop)
+
+
+class TestMemoryDataflow:
+    def build(self):
+        """store (x*2) into buf[1]; later load buf[1] and double it."""
+        m = Module("t")
+        buf = m.add_global("buf", ArrayType(I64, 4))
+        fn = m.add_function("f", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.mul(fn.args[0], const_int(2), "v")
+        p = b.gep(buf, const_int(1))
+        b.store(v, p)
+        p2 = b.gep(buf, const_int(1))
+        loaded = b.load(p2, "loaded")
+        result = b.add(loaded, loaded, "result")
+        b.ret(result)
+        verify_module(m)
+        return m, fn, v, loaded, result
+
+    def test_taint_flows_through_memory(self):
+        m, fn, v, loaded, result = self.build()
+        context = SliceContext(m)
+        sliced = forward_slice(v, context=context)
+        assert loaded in sliced
+        assert result in sliced
+
+    def test_underlying_object_chases_geps(self):
+        m, fn, v, loaded, result = self.build()
+        gep = loaded.pointer
+        assert underlying_object(gep) is m.get_global("buf")
+
+    def test_backward_slice_reaches_store(self):
+        m, fn, v, loaded, result = self.build()
+        sliced = backward_slice(result)
+        assert v in sliced  # through the store-load pair
+
+
+class TestInterprocedural:
+    SOURCE = """
+    double scale = 2.0;
+    output double result[1];
+    double helper(double v) {
+        return v * 3.0;
+    }
+    void main() {
+        double x = scale;   // loaded, so nothing below constant-folds
+        double y = helper(x + 1.0);
+        result[0] = y;
+    }
+    """
+
+    def test_taint_crosses_call(self):
+        module = compile_source(self.SOURCE)
+        main = module.get_function("main")
+        helper = module.get_function("helper")
+        context = SliceContext(module)
+        add = next(i for i in main.instructions() if i.opcode == "fadd")
+        sliced = forward_slice(add, context=context)
+        # The multiply inside helper consumes the tainted argument.
+        helper_mul = next(i for i in helper.instructions() if i.opcode == "fmul")
+        assert helper_mul in sliced
+
+    def test_taint_returns_to_call_site(self):
+        module = compile_source(self.SOURCE)
+        helper = module.get_function("helper")
+        main = module.get_function("main")
+        context = SliceContext(module)
+        mul = next(i for i in helper.instructions() if i.opcode == "fmul")
+        sliced = forward_slice(mul, context=context)
+        call = next(i for i in main.instructions() if i.opcode == "call")
+        assert call in sliced
+        store = next(i for i in main.instructions() if i.opcode == "store")
+        assert store in sliced
+
+
+class TestSliceStatistics:
+    def test_statistics_counts(self):
+        module = compile_source(
+            """
+            output double result[1];
+            void main() {
+                double acc = 0.0;
+                double buf[4];
+                for (int i = 0; i < 4; i = i + 1) {
+                    buf[i] = (double)i;
+                    acc = acc + buf[i] * 2.0;
+                }
+                result[0] = sqrt(acc);
+            }
+            """
+        )
+        main = module.get_function("main")
+        context = SliceContext(module)
+        sitofp = next(i for i in main.instructions() if i.opcode == "sitofp")
+        stats = SliceStatistics(forward_slice(sitofp, context=context))
+        assert stats.size > 0
+        assert stats.stores >= 1
+        assert stats.loads >= 1
+        assert stats.binary_ops >= 1
+        assert stats.calls >= 1  # sqrt is downstream of buf values
+
+    def test_empty_slice_statistics(self):
+        stats = SliceStatistics(set())
+        assert stats.size == 0
+        assert stats.loads == stats.stores == stats.calls == 0
+
+    def test_dangling_instruction_rejected(self):
+        from repro.ir import BinaryOperator
+
+        dangling = BinaryOperator("add", const_int(1), const_int(2))
+        with pytest.raises(ValueError):
+            forward_slice(dangling)
+        with pytest.raises(ValueError):
+            backward_slice(dangling)
