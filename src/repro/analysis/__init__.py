@@ -1,4 +1,9 @@
-"""repro.analysis — CFG, dominance, loops, slicing, and dataflow analyses."""
+"""repro.analysis — CFG, dominance, loops, slicing, dataflow, and static
+SOC-risk analyses.
+
+This module is the public surface of the analysis layer: import
+``LoopInfo``, ``forward_slice``, ``StaticRiskModel`` and friends from here
+rather than deep-importing the submodules."""
 
 from .cfg import (
     edges,
@@ -21,6 +26,14 @@ from .slicing import (
     forward_slice,
     underlying_object,
 )
+from .masking import local_absorption, operand_transfer
+from .risk import (
+    ObservabilityAnalysis,
+    RiskAssessment,
+    StaticRiskModel,
+    StaticRiskReport,
+    static_risk_report,
+)
 
 __all__ = [
     "edges", "postorder", "predecessor_map", "reachable_blocks",
@@ -30,4 +43,7 @@ __all__ = [
     "block_liveness", "distance_to_return", "instructions_to_return",
     "SliceContext", "SliceStatistics", "backward_slice", "forward_slice",
     "underlying_object",
+    "local_absorption", "operand_transfer",
+    "ObservabilityAnalysis", "RiskAssessment", "StaticRiskModel",
+    "StaticRiskReport", "static_risk_report",
 ]

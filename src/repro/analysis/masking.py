@@ -1,0 +1,194 @@
+"""Abstract bit-masking transfer model for static SOC-risk estimation.
+
+A single-bit flip injected into an instruction's result only becomes a
+silent output corruption if it *survives* the dataflow between the faulty
+value and an observable output.  Much of that survival probability is
+statically derivable from the opcodes along the way (FastFlip; Meijer et
+al., "Are We Lost in the Woods?"): a ``trunc`` discards high bits, an
+``and`` with a sparse constant mask kills most bit positions, a comparison
+collapses 64 bits into one, floating-point rounding absorbs low-order
+mantissa bits, and so on.
+
+This module assigns every (instruction, operand) edge a **transfer
+coefficient** in ``[0, 1]``: the estimated probability that a uniformly
+chosen flipped bit in that operand still changes the instruction's result.
+The coefficients are deliberately coarse — they are an abstract domain, not
+a bit-accurate simulation — but they order instructions the same way the
+paper's injection campaigns do: values funnelling through comparisons and
+truncations carry far less corruption risk than values flowing straight
+into stores of output arrays.
+
+:func:`operand_transfer` is the single entry point the observability
+fixpoint in :mod:`repro.analysis.risk` builds on; :func:`local_absorption`
+summarises, per instruction, how strongly its *consumers* attenuate a
+corrupted result (a feature-friendly scalar).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import (
+    AtomicRMWInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.values import Constant, Value
+
+#: Transfer through a comparison: one flipped input bit rarely moves the
+#: operand across the predicate boundary, so the ``i1`` result usually
+#: stays put.  (Empirically, campaigns see ~90% masking on cmp operands.)
+CMP_TRANSFER = 0.10
+
+#: Floating-point arithmetic rounds: low-order mantissa flips of the
+#: smaller addend are absorbed during alignment, so transfer < 1.
+FP_ADD_TRANSFER = 0.85
+FP_MUL_TRANSFER = 0.90
+FP_REM_TRANSFER = 0.50
+
+#: Transfer of a flipped bit through an intrinsic call (sqrt, sin, ...):
+#: monotone libm functions propagate most of the perturbation, but
+#: rounding and range compression absorb some of it.
+INTRINSIC_TRANSFER = 0.80
+
+#: A corrupted *address* operand (load/store/gep base) usually produces a
+#: wild access and a symptom, not a silent corruption; the probability
+#: that it lands on a valid cell and silently corrupts data is low.
+ADDRESS_TRANSFER = 0.30
+
+
+def _popcount_fraction(value: Value, ones: bool) -> Optional[float]:
+    """Fraction of bit positions an ``and``/``or`` constant mask lets through."""
+    if not isinstance(value, Constant) or not value.type.is_integer():
+        return None
+    bits = value.type.bits
+    mask = value.value & ((1 << bits) - 1)
+    passing = bin(mask).count("1") if ones else bits - bin(mask).count("1")
+    return passing / bits
+
+
+def _shift_fraction(inst: BinaryOperator) -> float:
+    """Fraction of the value operand's bits a constant shift keeps."""
+    bits = inst.type.bits  # type: ignore[attr-defined]
+    amount = inst.rhs
+    if isinstance(amount, Constant):
+        kept = max(0, bits - (amount.value % bits if bits else 0))
+        return kept / bits if bits else 0.0
+    return 0.5  # unknown shift: half the bits survive in expectation
+
+
+def _binary_transfer(inst: BinaryOperator, index: int) -> float:
+    op = inst.opcode
+    if op in ("add", "sub", "xor"):
+        return 1.0
+    if op == "mul":
+        return 1.0
+    if op in ("sdiv", "srem"):
+        # Quotient truncation / modulus absorbs low dividend bits; a
+        # corrupted divisor almost always changes the result.
+        return 0.5 if index == 0 else 0.9
+    if op == "and":
+        other = inst.operands[1 - index]
+        fraction = _popcount_fraction(other, ones=True)
+        return fraction if fraction is not None else 0.5
+    if op == "or":
+        other = inst.operands[1 - index]
+        fraction = _popcount_fraction(other, ones=False)
+        return fraction if fraction is not None else 0.5
+    if op in ("shl", "lshr", "ashr"):
+        if index == 0:
+            return _shift_fraction(inst)
+        # Only the low log2(bits) bits of the shift amount matter.
+        bits = inst.type.bits  # type: ignore[attr-defined]
+        return max(1, bits.bit_length() - 1) / bits
+    if op in ("fadd", "fsub"):
+        return FP_ADD_TRANSFER
+    if op in ("fmul", "fdiv"):
+        return FP_MUL_TRANSFER
+    if op == "frem":
+        return FP_REM_TRANSFER
+    return 1.0
+
+
+def _cast_transfer(inst: CastInst) -> float:
+    op = inst.opcode
+    src = inst.value.type
+    dst = inst.type
+    if op == "trunc":
+        return dst.bits / src.bits  # type: ignore[attr-defined]
+    if op in ("zext", "sext", "bitcast"):
+        return 1.0
+    if op == "sitofp":
+        # Ints up to 2^52 round-trip exactly into f64; call it near-lossless.
+        return 0.95
+    if op == "fptosi":
+        # The fraction bits of the float are discarded entirely.
+        return 0.60
+    return 1.0
+
+
+def operand_transfer(inst: Instruction, index: int) -> float:
+    """Probability that a flipped bit in operand ``index`` of ``inst``
+    survives into the instruction's result (or, for void instructions,
+    into its side effect)."""
+    if isinstance(inst, BinaryOperator):
+        return _binary_transfer(inst, index)
+    if isinstance(inst, (ICmpInst, FCmpInst)):
+        return CMP_TRANSFER
+    if isinstance(inst, CastInst):
+        return _cast_transfer(inst)
+    if isinstance(inst, SelectInst):
+        # The condition picks an arm (full swing, but only if the arms
+        # differ); each arm is forwarded roughly half the time.
+        return 0.5
+    if isinstance(inst, PhiNode):
+        # A phi is a move along one incoming edge; the more edges, the
+        # less often any particular one is the live producer.
+        return 1.0 / max(1, len(inst.incoming_blocks))
+    if isinstance(inst, GEPInst):
+        # Both base and index flips fully corrupt the computed address.
+        return 1.0
+    if isinstance(inst, LoadInst):
+        return ADDRESS_TRANSFER  # corrupted address: likely trap, not SOC
+    if isinstance(inst, StoreInst):
+        return 1.0 if index == 0 else ADDRESS_TRANSFER
+    if isinstance(inst, AtomicRMWInst):
+        return 1.0 if index == 1 else ADDRESS_TRANSFER
+    if isinstance(inst, CallInst):
+        callee = inst.callee
+        if callee.is_declaration:
+            return INTRINSIC_TRANSFER
+        return 1.0  # defined callee: the formal carries the bits verbatim
+    if isinstance(inst, RetInst):
+        return 1.0
+    if isinstance(inst, BranchInst):
+        # Control-flow faults are out of the paper's scope (§3); a wrong
+        # branch usually produces a detectable symptom, not a SOC.
+        return CMP_TRANSFER
+    return 1.0
+
+
+def local_absorption(inst: Instruction) -> float:
+    """How strongly ``inst``'s direct consumers attenuate a corrupted
+    result: ``1 - max`` transfer over all uses (1.0 when unused).
+
+    A value feeding only comparisons is almost fully absorbed (≈0.9);
+    a value stored verbatim is not absorbed at all (0.0).
+    """
+    best = 0.0
+    for user, index in inst.uses:
+        best = max(best, operand_transfer(user, index))
+        if best >= 1.0:
+            break
+    return 1.0 - best

@@ -1,0 +1,345 @@
+"""Injection-free static SOC-risk estimation.
+
+IPAS labels instructions as SOC-generating by running statistical fault
+injection per workload (paper §3, Fig. 1) — accurate but expensive.  This
+module derives a per-instruction **static risk score** from the IR alone,
+combining two ingredients:
+
+* **observability** — the max-product, over all def-use paths from the
+  instruction to an observable effect (a store into an ``output`` global, a
+  ``print_*`` intrinsic argument, an MPI data-movement buffer), of the
+  per-edge bit-masking transfer coefficients of
+  :mod:`repro.analysis.masking`.  A value that funnels through comparisons
+  or truncations before reaching the output carries little risk; a value
+  stored verbatim into an output array carries a lot.  The propagation
+  crosses calls (actual → formal, return → call site) and memory
+  (store → loads of the same object, the slicer's object-granular model).
+* **execution weight** — instructions inside (nested) loops execute more
+  dynamic instances, so a static fault-site there is proportionally more
+  likely to be hit and to matter.
+
+``risk = observability × (1 − 2^−(1 + loop_depth))`` keeps both factors in
+``[0, 1]``.  The absolute values are heuristic; what the selector and the
+diagnostics consume is the *ordering*, which matches what the injection
+campaigns find: output-store feeders in hot loops first, dead-end and
+compare-bound values last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..ir.instructions import (
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable, Value
+from .loops import LoopInfo
+from .masking import local_absorption, operand_transfer
+from .slicing import SliceContext, underlying_object
+
+#: Instruction classes the duplication pass can clone (kept in sync with
+#: :func:`repro.protect.duplication.is_duplicable`; duplicated here to keep
+#: the analysis layer import-independent of the protection layer).
+DUPLICABLE_TYPES = (
+    BinaryOperator,
+    GEPInst,
+    CastInst,
+    ICmpInst,
+    FCmpInst,
+    SelectInst,
+)
+
+#: Intrinsics that move data between ranks or buffers; a corrupted value
+#: entering them is treated as (nearly) observable.
+_DATA_MOVEMENT_PREFIXES = ("mpi_allreduce", "mpi_bcast", "mpi_sendrecv")
+_DATA_MOVEMENT_TRANSFER = 0.8
+
+#: Observability of a store whose target object cannot be resolved
+#: statically: it may or may not be (aliased with) an output.
+_UNKNOWN_STORE_SCORE = 0.5
+
+
+class ObservabilityAnalysis:
+    """Max-product reachability from every value to an observable effect.
+
+    ``score(v)`` estimates the probability that a single flipped bit in
+    value ``v`` survives, through the masking model's transfer
+    coefficients, into the program's observable output.  Computed as a
+    monotone fixpoint over the module's def-use graph (plus the memory and
+    interprocedural channels); converges because scores only grow and are
+    bounded by 1.
+    """
+
+    #: fixpoint controls: scores move monotonically, so a round cap is a
+    #: safety net, not a precision knob.
+    MAX_ROUNDS = 100
+    EPSILON = 1e-9
+
+    def __init__(self, module: Module, context: Optional[SliceContext] = None):
+        self.module = module
+        self.context = context if context is not None else SliceContext(module)
+        self._score: Dict[int, float] = {}
+        self._values: List[Value] = []
+        for fn in module.defined_functions():
+            for arg in fn.args:
+                self._register(arg)
+            for inst in fn.instructions():
+                if inst.produces_value():
+                    self._register(inst)
+        self._branch_ceiling: Dict[int, float] = {}
+        self._solve()
+
+    def _register(self, value: Value) -> None:
+        if id(value) not in self._score:
+            self._score[id(value)] = 0.0
+            self._values.append(value)
+
+    # -- public API -----------------------------------------------------------
+
+    def score(self, value: Value) -> float:
+        """Observability of ``value`` in [0, 1]; 0 for unknown values."""
+        return self._score.get(id(value), 0.0)
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def _solve(self) -> None:
+        for _ in range(self.MAX_ROUNDS):
+            self._branch_ceiling = self._store_ceilings()
+            changed = False
+            for value in self._values:
+                updated = self._evaluate(value)
+                if updated > self._score[id(value)] + self.EPSILON:
+                    self._score[id(value)] = updated
+                    changed = True
+            if not changed:
+                return
+
+    def _store_ceilings(self) -> Dict[int, float]:
+        """Per function, the strongest store observability inside it — the
+        budget a corrupted branch condition can unlock by re-steering
+        control flow."""
+        ceilings: Dict[int, float] = {}
+        for fn in self.module.defined_functions():
+            best = 0.0
+            for inst in fn.instructions():
+                if isinstance(inst, StoreInst):
+                    best = max(best, self._store_out(inst))
+            ceilings[id(fn)] = best
+        return ceilings
+
+    def _evaluate(self, value: Value) -> float:
+        best = self._score[id(value)]
+        for user, index in value.uses:
+            flow = operand_transfer(user, index) * self._out(user, index)
+            if flow > best:
+                best = flow
+            if best >= 1.0:
+                break
+        return best
+
+    def _out(self, user: Instruction, index: int) -> float:
+        """Observability downstream of ``user`` once a corrupted bit has
+        reached its result (or, for void users, its side effect)."""
+        if isinstance(user, StoreInst):
+            return self._store_out(user)
+        if isinstance(user, RetInst):
+            fn = user.function
+            if fn is None:
+                return 0.0
+            return max(
+                (
+                    self._score[id(call)]
+                    for call in self.context.call_sites(fn)
+                    if call.produces_value()
+                ),
+                default=0.0,
+            )
+        if isinstance(user, CallInst):
+            return self._call_out(user, index)
+        if isinstance(user, BranchInst):
+            fn = user.function
+            return self._branch_ceiling.get(id(fn), 0.0) if fn is not None else 0.0
+        if user.produces_value():
+            return self._score[id(user)]
+        return 0.0
+
+    def _store_out(self, store: StoreInst) -> float:
+        obj = underlying_object(store.pointer)
+        return self._object_out(obj)
+
+    def _object_out(self, obj, depth: int = 0) -> float:
+        if obj is None:
+            return _UNKNOWN_STORE_SCORE
+        if isinstance(obj, GlobalVariable) and obj.is_output:
+            return 1.0
+        if isinstance(obj, Argument) and depth < 4:
+            # The formal aliases each call site's actual buffer; a write
+            # through it lands in whatever object the caller passed.
+            fn = obj.parent
+            best = 0.0
+            for call in self.context.call_sites(fn):
+                actual = underlying_object(call.operands[obj.index])
+                best = max(best, self._object_out(actual, depth + 1))
+                if best >= 1.0:
+                    return best
+            aliased = best
+        else:
+            aliased = 0.0
+        loads = max(
+            (self._score[id(load)] for load in self.context.loads_of(obj)),
+            default=0.0,
+        )
+        return max(aliased, loads)
+
+    def _call_out(self, call: CallInst, index: int) -> float:
+        callee = call.callee
+        if not callee.is_declaration:
+            return self._score.get(id(callee.args[index]), 0.0)
+        name = callee.name
+        if name.startswith("print_"):
+            return 1.0
+        if name.startswith(_DATA_MOVEMENT_PREFIXES):
+            # Data shipped across ranks: observable through the remote
+            # side, plus whatever the returned value feeds locally.
+            local = self._score[id(call)] if call.produces_value() else 0.0
+            return max(_DATA_MOVEMENT_TRANSFER, local)
+        if call.produces_value():
+            return self._score[id(call)]
+        return 0.0
+
+
+@dataclass
+class RiskAssessment:
+    """Static risk verdict for one instruction."""
+
+    instruction: Instruction
+    function: str
+    block: str
+    index: int
+    opcode: str
+    observability: float
+    absorption: float
+    loop_depth: int
+    risk: float
+    name: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "opcode": self.opcode,
+            "name": self.name,
+            "observability": round(self.observability, 6),
+            "absorption": round(self.absorption, 6),
+            "loop_depth": self.loop_depth,
+            "risk": round(self.risk, 6),
+        }
+
+
+@dataclass
+class StaticRiskReport:
+    """All assessments of one module, with ranking helpers."""
+
+    module: Module
+    assessments: List[RiskAssessment] = field(default_factory=list)
+
+    def ranked(self) -> List[RiskAssessment]:
+        """Assessments sorted by descending risk (stable on ties)."""
+        return sorted(self.assessments, key=lambda a: -a.risk)
+
+    def above(self, threshold: float) -> List[RiskAssessment]:
+        return [a for a in self.assessments if a.risk >= threshold]
+
+    def top_fraction(self, fraction: float) -> List[RiskAssessment]:
+        """The highest-risk ``fraction`` of assessments (rounded up)."""
+        if not self.assessments or fraction <= 0.0:
+            return []
+        count = max(1, round(fraction * len(self.assessments)))
+        return self.ranked()[:count]
+
+    def score_of(self, inst: Instruction) -> float:
+        for a in self.assessments:
+            if a.instruction is inst:
+                return a.risk
+        return 0.0
+
+
+class StaticRiskModel:
+    """Computes :class:`RiskAssessment`s for a module's instructions.
+
+    Shares one :class:`ObservabilityAnalysis` and per-function
+    :class:`LoopInfo` across all queries, so assessing every duplicable
+    instruction of a module is a single fixpoint plus linear work.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        observability: Optional[ObservabilityAnalysis] = None,
+    ):
+        self.module = module
+        self.observability = observability or ObservabilityAnalysis(module)
+        self._loops: Dict[int, LoopInfo] = {}
+
+    def _loop_info(self, fn: Function) -> LoopInfo:
+        cached = self._loops.get(id(fn))
+        if cached is None:
+            cached = LoopInfo(fn)
+            self._loops[id(fn)] = cached
+        return cached
+
+    def assess(self, inst: Instruction) -> RiskAssessment:
+        block = inst.parent
+        if block is None or block.parent is None:
+            raise ValueError(f"{inst!r} is not attached to a function")
+        fn = block.parent
+        depth = self._loop_info(fn).loop_nest_depth(block)
+        observability = self.observability.score(inst)
+        # Deeper loops execute more dynamic instances of the fault site:
+        # weight 1 − 2^−(1+depth) rises from 0.5 toward 1 with nesting.
+        exec_weight = 1.0 - 2.0 ** -(1 + depth)
+        return RiskAssessment(
+            instruction=inst,
+            function=fn.name,
+            block=block.name,
+            index=block.index_of(inst),
+            opcode=inst.opcode,
+            observability=observability,
+            absorption=local_absorption(inst),
+            loop_depth=depth,
+            risk=observability * exec_weight,
+            name=inst.name,
+        )
+
+    def assess_many(self, instructions: Iterable[Instruction]) -> StaticRiskReport:
+        report = StaticRiskReport(self.module)
+        report.assessments = [self.assess(inst) for inst in instructions]
+        return report
+
+    def assess_module(self) -> StaticRiskReport:
+        """Assessments for every duplicable instruction, in module order."""
+        return self.assess_many(
+            inst
+            for inst in self.module.instructions()
+            if isinstance(inst, DUPLICABLE_TYPES)
+        )
+
+
+def static_risk_report(module: Module) -> StaticRiskReport:
+    """Convenience wrapper: the full static-risk report of ``module``."""
+    return StaticRiskModel(module).assess_module()

@@ -7,7 +7,10 @@ Commands mirror how a user would adopt the library:
 * ``run WORKLOAD``             — one golden run, outputs + cycle count;
 * ``inject WORKLOAD``          — a fault-injection campaign, outcome mix;
 * ``protect WORKLOAD``         — the full IPAS pipeline, protection report;
-* ``evaluate WORKLOAD``        — unprotected vs full-dup vs IPAS vs baseline.
+* ``evaluate WORKLOAD``        — unprotected vs full-dup vs IPAS vs baseline
+  vs the injection-free static-risk selector;
+* ``analyze TARGET``           — static SOC-risk scores and IR diagnostics
+  for a workload or a ``.scil`` file, no fault injection required.
 """
 
 from __future__ import annotations
@@ -99,6 +102,7 @@ def cmd_inject(args) -> int:
 
 def cmd_protect(args) -> int:
     from .core import IpasPipeline
+    from .ir.verifier import VerificationError, verify_module
     from .workloads import get_workload
 
     workload = get_workload(args.workload)
@@ -108,7 +112,13 @@ def cmd_protect(args) -> int:
     data = pipeline.collect_training_data()
     print(f"training campaign: {data.campaign.counts}")
     print(f"SOC-generating fraction: {data.positive_fraction:.1%}")
-    variants = pipeline.protect_all()
+    try:
+        variants = pipeline.protect_all()
+        for variant in variants:
+            verify_module(variant.module)
+    except VerificationError as exc:
+        print(f"error: protected module failed verification:\n{exc}", file=sys.stderr)
+        return 1
     print(f"training time: {pipeline.training_seconds:.1f}s")
     for i, variant in enumerate(variants):
         report = variant.report
@@ -128,9 +138,14 @@ def cmd_evaluate(args) -> int:
         outcome_row,
         run_full_evaluation,
     )
+    from .ir.verifier import VerificationError
 
     scale = _resolve_scale(args)
-    result = run_full_evaluation(args.workload, scale, seed=args.seed)
+    try:
+        result = run_full_evaluation(args.workload, scale, seed=args.seed)
+    except VerificationError as exc:
+        print(f"error: protected module failed verification:\n{exc}", file=sys.stderr)
+        return 1
     headers = ["variant", "symptom", "detected", "masked", "SOC", "slowdown"]
     rows = [
         ["unprotected", *outcome_row(result["unprotected"]["counts"]), "1.00"],
@@ -140,6 +155,15 @@ def cmd_evaluate(args) -> int:
             f"{result['full']['slowdown']:.2f}",
         ],
     ]
+    static = result.get("static")  # absent in result dicts cached by older versions
+    if static is not None:
+        rows.append(
+            [
+                "static risk",
+                *outcome_row(static["counts"]),
+                f"{static['slowdown']:.2f}",
+            ]
+        )
     for bucket, title in (("ipas", "IPAS"), ("baseline", "Baseline")):
         for entry in result[bucket]:
             rows.append(
@@ -156,6 +180,67 @@ def cmd_evaluate(args) -> int:
         f"{best['soc_reduction']:.1f}% SOC reduction at {best['slowdown']:.2f}x"
     )
     return 0
+
+
+def _load_analysis_module(target: str, optimize: bool):
+    """A module for ``analyze``: a workload name or a ``.scil`` file path."""
+    import os
+
+    from . import compile_source
+    from .workloads import get_workload
+    from .workloads.registry import WORKLOAD_CLASSES
+
+    if target.lower() in WORKLOAD_CLASSES:
+        return get_workload(target).compile(optimize=optimize)
+    if os.path.exists(target):
+        with open(target) as fh:
+            return compile_source(fh.read(), name=target, optimize=optimize)
+    raise KeyError(
+        f"unknown analyze target {target!r}: not a workload "
+        f"({', '.join(WORKLOAD_CLASSES)}) and not a file"
+    )
+
+
+def cmd_analyze(args) -> int:
+    from .analysis import StaticRiskModel
+    from .diag import (
+        Diagnostic,
+        DiagnosticReport,
+        Severity,
+        render_json,
+        render_text,
+        run_lints,
+    )
+    from .ir.verifier import VerificationError, verify_module
+
+    module = _load_analysis_module(args.target, optimize=not args.no_opt)
+
+    report = DiagnosticReport()
+    try:
+        verify_module(module)
+    except VerificationError as exc:
+        report.add(Diagnostic("VERIFY", Severity.ERROR, str(exc)))
+    report.extend(run_lints(module, risk_threshold=args.risk_threshold))
+    risk = StaticRiskModel(module).assess_module()
+
+    debug_lines = []
+    if args.debug_passes:
+        from .passes import standard_pipeline
+
+        fresh = _load_analysis_module(args.target, optimize=False)
+        pipeline = standard_pipeline(debug=True)
+        pipeline.run(fresh)
+        for record in pipeline.debug_records:
+            debug_lines.append(record.format())
+
+    if args.format == "json":
+        print(render_json(report, risk, module_name=module.name))
+    else:
+        print(render_text(report, risk, risk_limit=args.top))
+        if debug_lines:
+            print("pass pipeline checkpoints:")
+            print("\n".join(debug_lines))
+    return 1 if report.has_errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +275,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("workload")
     _add_scale_args(p_eval)
 
+    p_analyze = sub.add_parser(
+        "analyze", help="static SOC-risk scores and IR diagnostics (no injection)"
+    )
+    p_analyze.add_argument("target", help="workload name or .scil file path")
+    p_analyze.add_argument("--format", choices=["text", "json"], default="text")
+    p_analyze.add_argument(
+        "--risk-threshold",
+        type=float,
+        default=0.7,
+        help="static risk at which unprotected instructions are flagged",
+    )
+    p_analyze.add_argument(
+        "--top", type=int, default=10, help="risk rows shown in text output"
+    )
+    p_analyze.add_argument(
+        "--debug-passes",
+        action="store_true",
+        help="re-run the optimization pipeline with per-pass verifier+lint checkpoints",
+    )
+    p_analyze.add_argument("--no-opt", action="store_true", help="skip passes")
+
     return parser
 
 
@@ -200,6 +306,7 @@ COMMANDS = {
     "inject": cmd_inject,
     "protect": cmd_protect,
     "evaluate": cmd_evaluate,
+    "analyze": cmd_analyze,
 }
 
 

@@ -1,0 +1,25 @@
+"""repro.diag — structured IR diagnostics: lint rules, reports, renderers.
+
+The first correctness-tooling layer of the codebase: :func:`run_lints`
+checks a module against the registered rules (duplication-path integrity,
+dead stores, unreachable blocks, unprotected high-risk instructions) and
+returns a :class:`DiagnosticReport` that the ``repro analyze`` CLI and the
+pass-manager debug mode render or diff.
+"""
+
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .render import render_json, render_text, severity_filter
+from .rules import (
+    DEFAULT_RISK_THRESHOLD,
+    LintContext,
+    lint_rule,
+    registered_rules,
+    run_lints,
+)
+
+__all__ = [
+    "Diagnostic", "DiagnosticReport", "Severity",
+    "render_json", "render_text", "severity_filter",
+    "DEFAULT_RISK_THRESHOLD", "LintContext", "lint_rule",
+    "registered_rules", "run_lints",
+]

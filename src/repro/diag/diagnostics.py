@@ -1,0 +1,172 @@
+"""Structured diagnostics for the IR tooling layer.
+
+A :class:`Diagnostic` pins a finding to a (function, block, instruction)
+location with a stable rule code and a severity; a
+:class:`DiagnosticReport` aggregates them with the filtering and delta
+operations the pass-manager debug mode and the ``repro analyze`` CLI need.
+
+Severities:
+
+* ``note`` — advisory; expected on healthy modules (e.g. unprotected
+  high-risk instructions on a selectively protected module).
+* ``warning`` — something is almost certainly wasted or wrong (dead
+  store, unreachable block) but the module still runs correctly.
+* ``error`` — a structural integrity violation (broken duplication path);
+  ``repro analyze`` exits non-zero iff one of these is present.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparisons follow the int ordering)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+class Diagnostic:
+    """One finding of one lint rule, anchored to an IR location."""
+
+    __slots__ = ("code", "severity", "message", "function", "block", "index", "name")
+
+    def __init__(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        function: str = "",
+        block: str = "",
+        index: Optional[int] = None,
+        name: str = "",
+    ):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.function = function
+        self.block = block
+        self.index = index
+        self.name = name
+
+    @property
+    def key(self) -> Tuple:
+        """Identity used for delta comparison across pipeline stages."""
+        return (self.code, self.function, self.block, self.name or self.index)
+
+    def location(self) -> str:
+        parts = self.function or "<module>"
+        if self.block:
+            parts += f"/{self.block}"
+        if self.index is not None:
+            parts += f"[{self.index}]"
+        return parts
+
+    def format(self) -> str:
+        suffix = f" (%{self.name})" if self.name else ""
+        return f"{self.severity.label}[{self.code}] {self.location()}: {self.message}{suffix}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "name": self.name,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.format()}>"
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics plus summary queries."""
+
+    def __init__(self, diagnostics: Optional[Iterable[Diagnostic]] = None):
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def sorted(self) -> "DiagnosticReport":
+        """Most severe first, then by location for stable output."""
+        return DiagnosticReport(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (-int(d.severity), d.function, d.block, d.index or 0, d.code),
+            )
+        )
+
+    def filter(self, min_severity: Severity) -> "DiagnosticReport":
+        return DiagnosticReport(
+            d for d in self.diagnostics if d.severity >= min_severity
+        )
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def has_findings(self) -> bool:
+        """Warnings or errors present (notes are advisory)."""
+        return any(d.severity >= Severity.WARNING for d in self.diagnostics)
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts = {s.label: 0 for s in Severity}
+        for d in self.diagnostics:
+            counts[d.severity.label] += 1
+        return counts
+
+    def delta(self, baseline: "DiagnosticReport") -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """``(introduced, fixed)`` relative to ``baseline`` by diagnostic key."""
+        before = {d.key for d in baseline.diagnostics}
+        after = {d.key for d in self.diagnostics}
+        introduced = [d for d in self.diagnostics if d.key not in before]
+        fixed = [d for d in baseline.diagnostics if d.key not in after]
+        return introduced, fixed
+
+    def summary(self) -> str:
+        counts = self.counts_by_severity()
+        parts = [
+            f"{counts[s.label]} {s.label}{'s' if counts[s.label] != 1 else ''}"
+            for s in (Severity.ERROR, Severity.WARNING, Severity.NOTE)
+        ]
+        return ", ".join(parts)
+
+    def to_dicts(self) -> List[Dict]:
+        return [d.to_dict() for d in self.sorted()]
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dicts(), **kwargs)

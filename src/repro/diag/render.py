@@ -1,0 +1,60 @@
+"""Text and JSON renderers for diagnostics and static-risk reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..analysis.risk import StaticRiskReport
+from .diagnostics import DiagnosticReport, Severity
+
+
+def render_text(
+    report: DiagnosticReport,
+    risk: Optional[StaticRiskReport] = None,
+    risk_limit: int = 10,
+) -> str:
+    """Human-readable rendering: diagnostics first, then the top risks."""
+    lines: List[str] = []
+    ordered = report.sorted()
+    for diagnostic in ordered:
+        lines.append(diagnostic.format())
+    lines.append(f"diagnostics: {ordered.summary()}")
+    if risk is not None:
+        ranked = risk.ranked()
+        shown = ranked[:risk_limit] if risk_limit else ranked
+        lines.append(
+            f"static risk: {len(ranked)} duplicable instructions"
+            + (f", top {len(shown)}:" if shown else "")
+        )
+        for a in shown:
+            name = f" %{a.name}" if a.name else ""
+            lines.append(
+                f"  {a.risk:6.3f}  {a.opcode:<8} "
+                f"{a.function}/{a.block}[{a.index}]{name}  "
+                f"(obs {a.observability:.3f}, depth {a.loop_depth})"
+            )
+    return "\n".join(lines)
+
+
+def render_json(
+    report: DiagnosticReport,
+    risk: Optional[StaticRiskReport] = None,
+    module_name: str = "",
+    indent: Optional[int] = 2,
+) -> str:
+    """Machine-readable rendering of one analysis run."""
+    payload: Dict = {
+        "module": module_name,
+        "diagnostics": report.to_dicts(),
+        "summary": report.counts_by_severity(),
+        "exit_ok": not report.has_errors,
+    }
+    if risk is not None:
+        payload["risk"] = [a.to_dict() for a in risk.ranked()]
+    return json.dumps(payload, indent=indent)
+
+
+def severity_filter(report: DiagnosticReport, min_severity: str) -> DiagnosticReport:
+    """Filter helper for CLI ``--min-severity`` style options."""
+    return report.filter(Severity.parse(min_severity))

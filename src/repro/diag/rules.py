@@ -1,0 +1,314 @@
+"""IR lint rules and the rule registry.
+
+Each rule is a function from a shared :class:`LintContext` to an iterable
+of :class:`~repro.diag.diagnostics.Diagnostic`; :func:`lint_rule` registers
+it under a stable code.  :func:`run_lints` is the engine entry point used
+by ``repro analyze`` and the pass-manager debug mode.
+
+Codes:
+
+* ``DS01`` (warning) — dead store: the stored-to object is never loaded
+  and never escapes into a call, and it is not an ``output`` global.
+* ``CF01`` (warning) — basic block unreachable from the function entry.
+* ``DV01`` (note)    — dead value: a pure instruction whose result is
+  never used (DCE fodder; expected mid-pipeline, gone after it).
+* ``RISK01`` (note)  — on *protected* modules only: a duplicable
+  instruction with static risk above the threshold was left unprotected.
+* ``DUP01`` (error)  — duplication-path integrity: a duplicate either
+  leaks into the original dataflow or never reaches an ``ipas.check``.
+* ``DUP02`` (error)  — malformed check: an ``ipas.check`` call whose two
+  operands cannot be an (original, duplicate) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.cfg import reachable_blocks
+from ..analysis.risk import DUPLICABLE_TYPES, StaticRiskModel, StaticRiskReport
+from ..analysis.slicing import SliceContext, underlying_object
+from ..ir.instructions import (
+    AllocaInst,
+    AtomicRMWInst,
+    CallInst,
+    GEPInst,
+    Instruction,
+    StoreInst,
+)
+from ..ir.intrinsics import is_check_intrinsic
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+
+#: RISK01 fires for unprotected instructions at or above this static risk.
+DEFAULT_RISK_THRESHOLD = 0.7
+
+
+class LintContext:
+    """Shared, lazily built analyses for one lint run over one module."""
+
+    def __init__(self, module: Module, risk_threshold: float = DEFAULT_RISK_THRESHOLD):
+        self.module = module
+        self.risk_threshold = risk_threshold
+        self._slice_context: Optional[SliceContext] = None
+        self._risk_report: Optional[StaticRiskReport] = None
+        self._checks: Optional[List[CallInst]] = None
+        self._dups: Optional[List[Instruction]] = None
+
+    @property
+    def slice_context(self) -> SliceContext:
+        if self._slice_context is None:
+            self._slice_context = SliceContext(self.module)
+        return self._slice_context
+
+    @property
+    def risk_report(self) -> StaticRiskReport:
+        if self._risk_report is None:
+            self._risk_report = StaticRiskModel(self.module).assess_module()
+        return self._risk_report
+
+    @property
+    def is_protected(self) -> bool:
+        """Whether the duplication pass has run on this module."""
+        return any(
+            is_check_intrinsic(fn) for fn in self.module.functions.values()
+        )
+
+    @property
+    def checks(self) -> List[CallInst]:
+        if self._checks is None:
+            self._checks = [
+                inst
+                for inst in self.module.instructions()
+                if isinstance(inst, CallInst) and is_check_intrinsic(inst.callee)
+            ]
+        return self._checks
+
+    @property
+    def duplicates(self) -> List[Instruction]:
+        """Clones created by the duplication pass (``*.dup`` names)."""
+        if self._dups is None:
+            self._dups = [
+                inst
+                for inst in self.module.instructions()
+                if inst.name.endswith(".dup")
+            ]
+        return self._dups
+
+    def locate(self, inst: Instruction) -> Dict:
+        block = inst.parent
+        fn = block.parent if block is not None else None
+        return {
+            "function": fn.name if fn is not None else "",
+            "block": block.name if block is not None else "",
+            "index": block.index_of(inst) if block is not None else None,
+            "name": inst.name,
+        }
+
+
+#: code -> (description, rule function)
+LintRule = Callable[[LintContext], Iterable[Diagnostic]]
+_RULES: Dict[str, Tuple[str, LintRule]] = {}
+
+
+def lint_rule(code: str, description: str):
+    """Register a lint rule under ``code`` (codes are unique)."""
+
+    def decorate(fn: LintRule) -> LintRule:
+        if code in _RULES:
+            raise ValueError(f"duplicate lint rule code {code}")
+        _RULES[code] = (description, fn)
+        return fn
+
+    return decorate
+
+
+def registered_rules() -> List[Tuple[str, str]]:
+    """``(code, description)`` pairs of every registered rule."""
+    return [(code, desc) for code, (desc, _) in _RULES.items()]
+
+
+def run_lints(
+    module: Module,
+    codes: Optional[Iterable[str]] = None,
+    risk_threshold: float = DEFAULT_RISK_THRESHOLD,
+) -> DiagnosticReport:
+    """Run all (or the selected) lint rules over ``module``."""
+    context = LintContext(module, risk_threshold=risk_threshold)
+    wanted = set(codes) if codes is not None else None
+    report = DiagnosticReport()
+    for code, (_, rule) in _RULES.items():
+        if wanted is not None and code not in wanted:
+            continue
+        report.extend(rule(context))
+    return report.sorted()
+
+
+# -- rules --------------------------------------------------------------------
+
+
+def _escapes_into_call(obj) -> bool:
+    """Whether the object's address (or a gep off it) reaches a call."""
+    frontier = [obj]
+    seen = set()
+    while frontier:
+        pointer = frontier.pop()
+        if id(pointer) in seen:
+            continue
+        seen.add(id(pointer))
+        for user, _ in pointer.uses:
+            if isinstance(user, CallInst):
+                return True
+            if isinstance(user, GEPInst):
+                frontier.append(user)
+    return False
+
+
+@lint_rule("DS01", "store to an object that is never read")
+def dead_store(context: LintContext) -> Iterable[Diagnostic]:
+    for inst in context.module.instructions():
+        if not isinstance(inst, (StoreInst, AtomicRMWInst)):
+            continue
+        obj = underlying_object(inst.pointer)
+        if obj is None or isinstance(obj, Argument):
+            continue  # unknown or caller-owned memory: assume read
+        if isinstance(obj, GlobalVariable) and obj.is_output:
+            continue
+        if context.slice_context.loads_of(obj) or _escapes_into_call(obj):
+            continue
+        target = obj.ref() if isinstance(obj, GlobalVariable) else f"%{obj.name}"
+        yield Diagnostic(
+            "DS01",
+            Severity.WARNING,
+            f"store to {target}, which is never read",
+            **context.locate(inst),
+        )
+
+
+@lint_rule("CF01", "basic block unreachable from the function entry")
+def unreachable_block(context: LintContext) -> Iterable[Diagnostic]:
+    for fn in context.module.defined_functions():
+        reachable = reachable_blocks(fn)
+        for block in fn.blocks:
+            if block not in reachable:
+                yield Diagnostic(
+                    "CF01",
+                    Severity.WARNING,
+                    "block is unreachable from the entry block",
+                    function=fn.name,
+                    block=block.name,
+                )
+
+
+@lint_rule("DV01", "pure instruction whose result is never used")
+def dead_value(context: LintContext) -> Iterable[Diagnostic]:
+    for inst in context.module.instructions():
+        if not inst.produces_value() or inst.is_used():
+            continue
+        if isinstance(inst, (CallInst, AtomicRMWInst, AllocaInst)):
+            continue  # side effects / address-taken storage have their own rules
+        yield Diagnostic(
+            "DV01",
+            Severity.NOTE,
+            f"result of {inst.opcode} is never used (dead code)",
+            **context.locate(inst),
+        )
+
+
+@lint_rule("RISK01", "high-risk instruction left unprotected")
+def unprotected_high_risk(context: LintContext) -> Iterable[Diagnostic]:
+    if not context.is_protected:
+        return  # advisory only once a protection policy has been applied
+    # A clone sits immediately after its original (see DuplicationPass),
+    # so the protected originals are the predecessors of the clones.
+    protected = set()
+    for dup in context.duplicates:
+        block = dup.parent
+        if block is None:
+            continue
+        position = block.index_of(dup)
+        if position > 0:
+            protected.add(id(block.instructions[position - 1]))
+    dup_ids = {id(d) for d in context.duplicates}
+    for assessment in context.risk_report.ranked():
+        if assessment.risk < context.risk_threshold:
+            break
+        inst = assessment.instruction
+        if id(inst) in protected or id(inst) in dup_ids:
+            continue
+        yield Diagnostic(
+            "RISK01",
+            Severity.NOTE,
+            f"static risk {assessment.risk:.2f} >= "
+            f"{context.risk_threshold:.2f} but not duplicated",
+            **context.locate(inst),
+        )
+
+
+@lint_rule("DUP01", "duplicate not terminated by a check or leaking")
+def duplication_path_integrity(context: LintContext) -> Iterable[Diagnostic]:
+    dup_ids = {id(d) for d in context.duplicates}
+    for dup in context.duplicates:
+        reaches_check = False
+        leaks: Optional[Instruction] = None
+        frontier = [dup]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            for user in current.users:
+                if isinstance(user, CallInst) and is_check_intrinsic(user.callee):
+                    reaches_check = True
+                elif id(user) in dup_ids:
+                    frontier.append(user)
+                else:
+                    leaks = user
+        if leaks is not None:
+            yield Diagnostic(
+                "DUP01",
+                Severity.ERROR,
+                f"duplicate value leaks into original dataflow via {leaks.opcode}",
+                **context.locate(dup),
+            )
+        elif not reaches_check:
+            yield Diagnostic(
+                "DUP01",
+                Severity.ERROR,
+                "duplicate is not compared by any ipas.check",
+                **context.locate(dup),
+            )
+
+
+@lint_rule("DUP02", "malformed ipas.check operand pair")
+def malformed_check(context: LintContext) -> Iterable[Diagnostic]:
+    for check in context.checks:
+        operands = check.operands
+        if len(operands) != 2:
+            yield Diagnostic(
+                "DUP02",
+                Severity.ERROR,
+                f"check takes {len(operands)} operands, expected 2",
+                **context.locate(check),
+            )
+            continue
+        original, duplicate = operands
+        if original is duplicate:
+            yield Diagnostic(
+                "DUP02",
+                Severity.ERROR,
+                "check compares a value against itself",
+                **context.locate(check),
+            )
+        elif (
+            isinstance(original, Instruction)
+            and isinstance(duplicate, Instruction)
+            and original.opcode != duplicate.opcode
+        ):
+            yield Diagnostic(
+                "DUP02",
+                Severity.ERROR,
+                f"check compares {original.opcode} against {duplicate.opcode}",
+                **context.locate(check),
+            )

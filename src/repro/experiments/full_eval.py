@@ -4,6 +4,8 @@ One call produces everything Figs. 5–7 and Table 4 need for a workload:
 
 * unprotected campaign (reference SOC fraction and cycle baseline),
 * full duplication (SWIFT-style),
+* static risk: the injection-free :class:`StaticRiskSelector` baseline
+  (no training campaign at all — pure static analysis),
 * IPAS: top-N (C, γ) configurations, each protected and evaluated,
 * Baseline: the Shoestring-style symptom-trained selector, same top-N —
   sharing the *same* training campaign (only the labels differ) and the
@@ -29,7 +31,7 @@ from ..core.pipeline import (
 from ..core.scale import ExperimentScale
 from ..faults.outcomes import margin_of_error
 from ..protect.duplication import duplicate_instructions
-from ..protect.selectors import FullDuplicationSelector
+from ..protect.selectors import FullDuplicationSelector, StaticRiskSelector
 from ..workloads.registry import get_workload
 from . import cache
 
@@ -114,6 +116,22 @@ def run_full_evaluation(
         full_variant, workload, unprotected, scale, seed, "full"
     )
 
+    # Injection-free static-risk baseline (same duplication machinery,
+    # selection from the IR alone).
+    static_module = workload.compile()
+    t0 = time.perf_counter()
+    static_selector = StaticRiskSelector()
+    static_report = duplicate_instructions(
+        static_module, static_selector.select(static_module)
+    )
+    static_duplication_seconds = time.perf_counter() - t0
+    static_variant = ProtectedVariant(
+        static_module, static_report, "static", None, static_duplication_seconds
+    )
+    static_eval = _evaluate_protected(
+        static_variant, workload, unprotected, scale, seed, static_selector.name
+    )
+
     # Shared training campaign; IPAS and Baseline pipelines on top.
     collection_start = time.perf_counter()
     collected = collect_data(workload, scale.train_samples, seed=seed)
@@ -129,6 +147,7 @@ def run_full_evaluation(
         "training_outcomes": collected.campaign.counts.as_dict(),
         "unprotected": _counts_dict(unprotected),
         "full": full_eval,
+        "static": static_eval,
         "margin_of_error_95": margin_of_error(
             unprotected.soc_fraction, scale.eval_trials
         ),

@@ -4,7 +4,12 @@ from .extract import (
     FEATURE_CATEGORIES,
     FEATURE_NAMES,
     NUM_FEATURES,
+    STATIC_RISK_FEATURE_NAMES,
     FeatureExtractor,
+    feature_names,
 )
 
-__all__ = ["FEATURE_CATEGORIES", "FEATURE_NAMES", "NUM_FEATURES", "FeatureExtractor"]
+__all__ = [
+    "FEATURE_CATEGORIES", "FEATURE_NAMES", "NUM_FEATURES",
+    "STATIC_RISK_FEATURE_NAMES", "FeatureExtractor", "feature_names",
+]

@@ -12,6 +12,11 @@ Four categories, exactly as the paper defines them:
 A :class:`FeatureExtractor` caches the per-function analyses (loop info,
 distance-to-return, reachability) and the module-wide slice context so that
 extracting features for every instruction of a module stays cheap.
+
+Beyond Table 1, ``include_static_risk=True`` appends the three scores of
+the static risk model (:mod:`repro.analysis.risk`) — observability, local
+absorption, combined risk — as features 32–34.  They are off by default so
+the paper-reproduction experiments keep the exact 31-dimensional space.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ import numpy as np
 
 from ..analysis.dataflow import distance_to_return
 from ..analysis.loops import LoopInfo
+from ..analysis.masking import local_absorption
+from ..analysis.risk import ObservabilityAnalysis
 from ..analysis.slicing import SliceContext, SliceStatistics, forward_slice
 from ..ir.block import BasicBlock
 from ..ir.function import Function
@@ -77,6 +84,21 @@ FEATURE_NAMES: List[str] = [
 
 NUM_FEATURES = len(FEATURE_NAMES)
 
+#: Optional injection-free features appended when ``include_static_risk``
+#: is set (indices 31-33).
+STATIC_RISK_FEATURE_NAMES: List[str] = [
+    "static_observability",        # 32
+    "static_absorption",           # 33
+    "static_risk",                 # 34
+]
+
+
+def feature_names(include_static_risk: bool = False) -> List[str]:
+    """Feature names in column order for the chosen feature space."""
+    if include_static_risk:
+        return FEATURE_NAMES + STATIC_RISK_FEATURE_NAMES
+    return list(FEATURE_NAMES)
+
 #: Feature indices (0-based) grouped by Table-1 category, for ablations.
 FEATURE_CATEGORIES: Dict[str, List[int]] = {
     "instruction": list(range(0, 12)),
@@ -122,11 +144,21 @@ def _future_call_index(fn: Function) -> Dict[int, int]:
 class FeatureExtractor:
     """Extracts Table-1 feature vectors for instructions of one module."""
 
-    def __init__(self, module: Module, slice_cap: Optional[int] = 4000):
+    def __init__(
+        self,
+        module: Module,
+        slice_cap: Optional[int] = 4000,
+        include_static_risk: bool = False,
+    ):
         self.module = module
         self.slice_context = SliceContext(module)
         self.slice_cap = slice_cap
+        self.include_static_risk = include_static_risk
+        self.num_features = NUM_FEATURES + (
+            len(STATIC_RISK_FEATURE_NAMES) if include_static_risk else 0
+        )
         self._fn_caches: Dict[int, _FunctionCaches] = {}
+        self._observability: Optional[ObservabilityAnalysis] = None
 
     def _caches_for(self, fn: Function) -> _FunctionCaches:
         cached = self._fn_caches.get(id(fn))
@@ -142,7 +174,7 @@ class FeatureExtractor:
             raise ValueError(f"{inst!r} is not attached to a function")
         fn = block.parent
         caches = self._caches_for(fn)
-        v = np.zeros(NUM_FEATURES, dtype=np.float64)
+        v = np.zeros(self.num_features, dtype=np.float64)
 
         # -- instruction category (1-12)
         if isinstance(inst, BinaryOperator):
@@ -199,11 +231,23 @@ class FeatureExtractor:
         v[28] = float(stats.binary_ops)
         v[29] = float(stats.allocas)
         v[30] = float(stats.geps)
+
+        # -- static-risk category (32-34, optional)
+        if self.include_static_risk:
+            if self._observability is None:
+                self._observability = ObservabilityAnalysis(
+                    self.module, context=self.slice_context
+                )
+            observability = self._observability.score(inst)
+            depth = caches.loop_info.loop_nest_depth(block)
+            v[31] = observability
+            v[32] = local_absorption(inst)
+            v[33] = observability * (1.0 - 2.0 ** -(1 + depth))
         return v
 
     def extract_many(self, instructions) -> np.ndarray:
         """Feature matrix with one row per instruction."""
         rows = [self.extract(inst) for inst in instructions]
         if not rows:
-            return np.zeros((0, NUM_FEATURES), dtype=np.float64)
+            return np.zeros((0, self.num_features), dtype=np.float64)
         return np.vstack(rows)

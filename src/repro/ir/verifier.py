@@ -77,20 +77,46 @@ def verify_function(fn: Function, errors: List[str]) -> None:
             if inst.produces_value():
                 defined.add(id(inst))
 
-    # Phi / predecessor consistency.
+    # Phi / predecessor consistency: the incoming-block set must exactly
+    # match the CFG predecessors — a missing edge would read an undefined
+    # value in the interpreter, an extra one would mask a CFG bug.
     for block in fn.blocks:
         preds = block.predecessors()
         for phi in block.phis():
+            _check(
+                len(phi.operands) == len(phi.incoming_blocks),
+                f"{name}/{block.name}: phi has {len(phi.operands)} values for "
+                f"{len(phi.incoming_blocks)} incoming blocks",
+                errors,
+            )
             _check(
                 len(phi.incoming_blocks) == len(set(map(id, phi.incoming_blocks))),
                 f"{name}/{block.name}: phi has duplicate incoming blocks",
                 errors,
             )
+            for incoming in phi.incoming_blocks:
+                _check(
+                    incoming in blocks,
+                    f"{name}/{block.name}: phi incoming block "
+                    f"{incoming.name} belongs to another function",
+                    errors,
+                )
+            incoming_ids = {id(b) for b in phi.incoming_blocks}
+            pred_ids = {id(p) for p in preds}
+            missing = [p.name for p in preds if id(p) not in incoming_ids]
+            extra = [
+                b.name for b in phi.incoming_blocks if id(b) not in pred_ids
+            ]
             _check(
-                {id(b) for b in phi.incoming_blocks} == {id(p) for p in preds},
-                f"{name}/{block.name}: phi incoming blocks do not match "
-                f"predecessors ({[b.name for b in phi.incoming_blocks]} vs "
-                f"{[p.name for p in preds]})",
+                not missing,
+                f"{name}/{block.name}: phi incoming values missing for "
+                f"predecessor(s) {missing}",
+                errors,
+            )
+            _check(
+                not extra,
+                f"{name}/{block.name}: phi incoming values from "
+                f"non-predecessor block(s) {extra}",
                 errors,
             )
 

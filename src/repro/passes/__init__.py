@@ -2,6 +2,7 @@
 
 from .pass_manager import (
     ModulePass,
+    PassDebugRecord,
     PassManager,
     extended_pipeline,
     optimize_module,
@@ -20,8 +21,8 @@ from .dce import dce_function, dce_module, is_trivially_dead
 from .simplify_cfg import simplify_cfg_function, simplify_cfg_module
 
 __all__ = [
-    "ModulePass", "PassManager", "extended_pipeline", "optimize_module",
-    "standard_pipeline",
+    "ModulePass", "PassDebugRecord", "PassManager", "extended_pipeline",
+    "optimize_module", "standard_pipeline",
     "instsimplify_function", "instsimplify_module", "simplify_instruction",
     "cse_function", "cse_module",
     "mem2reg_module", "promotable_allocas", "promote_allocas",

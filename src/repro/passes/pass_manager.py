@@ -3,25 +3,70 @@
 IPAS runs its duplication "after all user-level optimizations are performed"
 (paper §3, step 4); the pass manager encodes that ordering: a standard
 optimization pipeline first, the protection pass last.
+
+``debug=True`` turns each inter-pass verification into a full diagnostic
+checkpoint: the verifier *and* the lint rules of :mod:`repro.diag` run
+after every pass, and the per-pass introduced/fixed diagnostic deltas are
+recorded in :attr:`PassManager.debug_records` — the quickest way to find
+which pass manufactured a dead store or broke a duplication path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from ..ir.module import Module
 from ..ir.verifier import verify_module
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..diag.diagnostics import Diagnostic, DiagnosticReport
 
 #: A module pass: takes a module, returns True if it changed anything.
 ModulePass = Callable[[Module], bool]
 
 
+@dataclass
+class PassDebugRecord:
+    """Diagnostic checkpoint after one pass in debug mode."""
+
+    pass_name: str
+    changed: bool
+    report: "DiagnosticReport"
+    introduced: List["Diagnostic"] = field(default_factory=list)
+    fixed: List["Diagnostic"] = field(default_factory=list)
+
+    @property
+    def findings(self) -> int:
+        """Warning-or-worse diagnostics present after this pass."""
+        from ..diag.diagnostics import Severity
+
+        return len(self.report.filter(Severity.WARNING))
+
+    def format(self) -> str:
+        mark = "*" if self.changed else " "
+        parts = [f"{mark} {self.pass_name}: {self.report.summary()}"]
+        for diag in self.introduced:
+            parts.append(f"    + {diag.format()}")
+        for diag in self.fixed:
+            parts.append(f"    - {diag.format()}")
+        return "\n".join(parts)
+
+
 class PassManager:
     """Runs an ordered list of module passes, verifying between passes."""
 
-    def __init__(self, verify: bool = True, max_iterations: int = 10):
+    def __init__(
+        self,
+        verify: bool = True,
+        max_iterations: int = 10,
+        debug: bool = False,
+    ):
         self.verify = verify
         self.max_iterations = max_iterations
+        self.debug = debug
+        #: one :class:`PassDebugRecord` per executed pass (debug mode only)
+        self.debug_records: List[PassDebugRecord] = []
         self._passes: List[Tuple[str, ModulePass]] = []
 
     def add(self, name: str, pass_fn: ModulePass) -> "PassManager":
@@ -32,12 +77,29 @@ class PassManager:
         """Run each pass once, in order.  Returns names of passes that
         changed the module."""
         changed_by: List[str] = []
+        baseline = self._lint(module) if self.debug else None
         for name, pass_fn in self._passes:
-            if pass_fn(module):
+            changed = pass_fn(module)
+            if changed:
                 changed_by.append(name)
-            if self.verify:
+            if self.verify or self.debug:
                 verify_module(module)
+            if self.debug:
+                report = self._lint(module)
+                introduced, fixed = report.delta(baseline)
+                self.debug_records.append(
+                    PassDebugRecord(name, changed, report, introduced, fixed)
+                )
+                baseline = report
         return changed_by
+
+    @staticmethod
+    def _lint(module: Module):
+        # Imported lazily: diag builds on analysis, which passes otherwise
+        # never need.
+        from ..diag import run_lints
+
+        return run_lints(module)
 
     def run_to_fixpoint(self, module: Module) -> int:
         """Iterate the pipeline until no pass changes the module.
@@ -51,7 +113,7 @@ class PassManager:
         return self.max_iterations
 
 
-def standard_pipeline(verify: bool = True) -> PassManager:
+def standard_pipeline(verify: bool = True, debug: bool = False) -> PassManager:
     """The default -O pipeline applied before protection.
 
     mem2reg is mandatory for the IPAS experiments: the fault model assumes
@@ -64,7 +126,7 @@ def standard_pipeline(verify: bool = True) -> PassManager:
     from .mem2reg import mem2reg_module
     from .simplify_cfg import simplify_cfg_module
 
-    pm = PassManager(verify=verify)
+    pm = PassManager(verify=verify, debug=debug)
     pm.add("mem2reg", mem2reg_module)
     pm.add("constant-fold", constant_fold_module)
     pm.add("simplify-cfg", simplify_cfg_module)
@@ -72,7 +134,7 @@ def standard_pipeline(verify: bool = True) -> PassManager:
     return pm
 
 
-def extended_pipeline(verify: bool = True) -> PassManager:
+def extended_pipeline(verify: bool = True, debug: bool = False) -> PassManager:
     """The standard pipeline plus instsimplify and block-local CSE.
 
     Not used by the paper-reproduction experiments (so that cached campaign
@@ -83,7 +145,7 @@ def extended_pipeline(verify: bool = True) -> PassManager:
     from .cse import cse_module
     from .instsimplify import instsimplify_module
 
-    pm = standard_pipeline(verify=verify)
+    pm = standard_pipeline(verify=verify, debug=debug)
     pm.add("instsimplify", instsimplify_module)
     pm.add("cse", cse_module)
     return pm

@@ -13,6 +13,7 @@ from .selectors import (
     NoProtectionSelector,
     Selector,
     ShoestringStyleSelector,
+    StaticRiskSelector,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "is_duplicable",
     "FullDuplicationSelector", "IpasSelector", "LearnedSelector",
     "NoProtectionSelector", "Selector", "ShoestringStyleSelector",
+    "StaticRiskSelector",
 ]

@@ -10,6 +10,10 @@
 * :class:`FullDuplicationSelector` — SWIFT-style: protect everything
   eligible ("Full dup." bars of Fig. 5).
 * :class:`NoProtectionSelector` — the unprotected reference.
+* :class:`StaticRiskSelector` — injection-free: protect the instructions
+  the static risk model (:mod:`repro.analysis.risk`) ranks highest.  No
+  training campaign, no classifier — the zero-cost baseline that lets
+  new workloads be protected without re-running fault injection.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..analysis.risk import StaticRiskModel
 from ..features.extract import FeatureExtractor
 from ..ir.instructions import Instruction
 from ..ir.module import Module
@@ -50,6 +55,45 @@ class FullDuplicationSelector(Selector):
 
     def select(self, module: Module) -> List[Instruction]:
         return self.eligible(module)
+
+
+class StaticRiskSelector(Selector):
+    """Protect by static SOC-risk score — zero injections required.
+
+    Either an absolute ``threshold`` on the risk score, or (default) a
+    ``budget_fraction``: the highest-risk fraction of the eligible
+    instructions, mirroring how a user would spend a fixed slowdown
+    budget.  Instructions with zero static risk are never selected.
+    """
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        budget_fraction: float = 0.5,
+    ):
+        if threshold is None and not (0.0 < budget_fraction <= 1.0):
+            raise ValueError("budget_fraction must be in (0, 1]")
+        self.threshold = threshold
+        self.budget_fraction = budget_fraction
+        self.name = (
+            f"static-risk@{threshold:.2f}"
+            if threshold is not None
+            else f"static-risk-top{int(round(budget_fraction * 100))}%"
+        )
+
+    def select(self, module: Module) -> List[Instruction]:
+        candidates = self.eligible(module)
+        if not candidates:
+            return []
+        report = StaticRiskModel(module).assess_many(candidates)
+        if self.threshold is not None:
+            chosen = report.above(self.threshold)
+        else:
+            chosen = report.top_fraction(self.budget_fraction)
+        selected_ids = {id(a.instruction) for a in chosen if a.risk > 0.0}
+        # Preserve module order (the duplication pass sorts per block, but
+        # deterministic selection order keeps reports reproducible).
+        return [inst for inst in candidates if id(inst) in selected_ids]
 
 
 class LearnedSelector(Selector):

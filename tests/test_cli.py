@@ -75,3 +75,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "duplicated" in out
         assert "training campaign" in out
+
+
+class TestAnalyze:
+    def test_analyze_workload_text(self, capsys):
+        assert main(["analyze", "hpccg"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics: 0 errors, 0 warnings, 0 notes" in out
+        assert "static risk:" in out
+
+    def test_analyze_json_covers_every_duplicable_instruction(self, capsys):
+        import json
+
+        from repro.analysis.risk import DUPLICABLE_TYPES
+        from repro.workloads import get_workload
+
+        assert main(["analyze", "is", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_ok"] is True
+        module = get_workload("is").compile()
+        duplicable = sum(
+            isinstance(i, DUPLICABLE_TYPES) for i in module.instructions()
+        )
+        assert len(payload["risk"]) == duplicable
+        for entry in payload["risk"]:
+            assert {"function", "block", "opcode", "risk"} <= set(entry)
+
+    def test_analyze_scil_file(self, tmp_path, capsys):
+        source = tmp_path / "kernel.scil"
+        source.write_text(
+            "output double r[1];\n"
+            "void main() { r[0] = sqrt(2.0); }\n"
+        )
+        assert main(["analyze", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "static risk:" in out
+
+    def test_analyze_unknown_target(self):
+        with pytest.raises(KeyError):
+            main(["analyze", "linpack"])
+
+    def test_analyze_debug_passes(self, capsys):
+        assert main(["analyze", "fft", "--debug-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "pass pipeline checkpoints:" in out
+        for name in ("mem2reg", "constant-fold", "simplify-cfg", "dce"):
+            assert name in out
+
+    def test_analyze_risk_threshold_flag_parses(self):
+        args = build_parser().parse_args(
+            ["analyze", "is", "--risk-threshold", "0.5", "--top", "3"]
+        )
+        assert args.risk_threshold == 0.5 and args.top == 3

@@ -1,0 +1,321 @@
+"""Tests for the diagnostics engine: Diagnostic/DiagnosticReport structure,
+the lint rules, golden diagnostics on built-in workloads, the
+duplication-introduces-no-findings property, and pass-manager debug mode."""
+
+import json
+
+import pytest
+
+from repro.diag import (
+    DEFAULT_RISK_THRESHOLD,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    registered_rules,
+    render_json,
+    render_text,
+    run_lints,
+)
+from repro.ir import (
+    ArrayType,
+    I1,
+    I64,
+    IRBuilder,
+    Module,
+    const_int,
+    verify_module,
+)
+from repro.passes import standard_pipeline
+from repro.protect import FullDuplicationSelector, duplicate_instructions
+from repro.workloads import all_workloads, get_workload
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_labels_and_parse_round_trip(self):
+        for severity in Severity:
+            assert Severity.parse(severity.label) is severity
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestDiagnosticReport:
+    def make_report(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("DV01", Severity.NOTE, "dead", "f", "entry", 0, "v"))
+        report.add(Diagnostic("DS01", Severity.WARNING, "dead store", "f", "entry", 1))
+        report.add(Diagnostic("DUP01", Severity.ERROR, "leak", "g", "body", 2, "x.dup"))
+        return report
+
+    def test_sorted_most_severe_first(self):
+        ordered = self.make_report().sorted()
+        severities = [d.severity for d in ordered]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_filter_and_flags(self):
+        report = self.make_report()
+        assert len(report.filter(Severity.WARNING)) == 2
+        assert report.has_errors and report.has_findings
+        notes_only = DiagnosticReport(report.by_code("DV01"))
+        assert not notes_only.has_findings
+
+    def test_counts_and_summary(self):
+        report = self.make_report()
+        assert report.counts_by_severity() == {"note": 1, "warning": 1, "error": 1}
+        assert report.summary() == "1 error, 1 warning, 1 note"
+
+    def test_delta_introduced_and_fixed(self):
+        before = self.make_report()
+        after = DiagnosticReport(list(before)[:2])  # error fixed
+        after.add(Diagnostic("CF01", Severity.WARNING, "unreachable", "h", "dead"))
+        introduced, fixed = after.delta(before)
+        assert [d.code for d in introduced] == ["CF01"]
+        assert [d.code for d in fixed] == ["DUP01"]
+
+    def test_to_json_parses(self):
+        payload = json.loads(self.make_report().to_json())
+        assert len(payload) == 3
+        assert {d["severity"] for d in payload} == {"note", "warning", "error"}
+
+    def test_format_pins_location(self):
+        diag = Diagnostic("DS01", Severity.WARNING, "msg", "f", "entry", 3, "v")
+        text = diag.format()
+        assert "warning[DS01]" in text and "f/entry[3]" in text and "%v" in text
+
+
+class TestLintRules:
+    def test_rule_registry_covers_documented_codes(self):
+        codes = {code for code, _ in registered_rules()}
+        assert {"DS01", "CF01", "DV01", "RISK01", "DUP01", "DUP02"} <= codes
+
+    def test_dead_store_flagged(self):
+        m = Module("t")
+        scratch = m.add_global("scratch", ArrayType(I64, 2))
+        fn = m.add_function("main", I64, [], [])
+        b = IRBuilder(fn.add_block("entry"))
+        cell = b.gep(scratch, const_int(0))
+        b.store(const_int(7), cell)
+        b.ret(const_int(0))
+        verify_module(m)
+        report = run_lints(m, codes=["DS01"])
+        assert len(report.by_code("DS01")) == 1
+        assert report.has_findings
+
+    def test_output_store_not_a_dead_store(self):
+        m = Module("t")
+        out = m.add_global("out", ArrayType(I64, 2), is_output=True)
+        fn = m.add_function("main", I64, [], [])
+        b = IRBuilder(fn.add_block("entry"))
+        b.store(const_int(7), b.gep(out, const_int(0)))
+        b.ret(const_int(0))
+        assert not run_lints(m, codes=["DS01"]).by_code("DS01")
+
+    def test_unreachable_block_flagged(self):
+        m = Module("t")
+        fn = m.add_function("main", I64, [], [])
+        entry = fn.add_block("entry")
+        orphan = fn.add_block("orphan")
+        IRBuilder(entry).ret(const_int(0))
+        IRBuilder(orphan).ret(const_int(1))
+        report = run_lints(m, codes=["CF01"])
+        found = report.by_code("CF01")
+        assert len(found) == 1 and found[0].block == "orphan"
+
+    def test_dead_value_is_a_note(self):
+        m = Module("t")
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        b.add(fn.args[0], const_int(1))  # never used
+        b.ret(const_int(0))
+        report = run_lints(m, codes=["DV01"])
+        found = report.by_code("DV01")
+        assert len(found) == 1 and found[0].severity == Severity.NOTE
+        assert not report.has_findings  # notes are advisory
+
+    def test_duplication_leak_is_an_error(self):
+        m = Module("t")
+        out = m.add_global("out", ArrayType(I64, 2), is_output=True)
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(fn.args[0], const_int(1), name="v")
+        b.store(v, b.gep(out, const_int(0)))
+        b.ret(const_int(0))
+        duplicate_instructions(m, FullDuplicationSelector().select(m))
+        verify_module(m)
+        assert not run_lints(m).filter(Severity.ERROR).diagnostics
+        # Sabotage: reroute the original store to consume the duplicate.
+        dup = next(i for i in fn.instructions() if i.name.endswith(".dup"))
+        store = next(
+            i for i in fn.instructions() if i.opcode == "store" and i.operands[0] is not dup
+        )
+        store.set_operand(0, dup)
+        report = run_lints(m, codes=["DUP01"])
+        assert report.has_errors
+        assert "leaks" in report.by_code("DUP01")[0].message
+
+    def test_unchecked_duplicate_is_an_error(self):
+        m = Module("t")
+        out = m.add_global("out", ArrayType(I64, 2), is_output=True)
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(fn.args[0], const_int(1), name="v")
+        b.store(v, b.gep(out, const_int(0)))
+        b.ret(const_int(0))
+        duplicate_instructions(m, FullDuplicationSelector().select(m))
+        # Sabotage: drop every check call; duplicates now dead-end.
+        from repro.ir import is_check_intrinsic
+        from repro.ir.instructions import CallInst
+
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, CallInst) and is_check_intrinsic(inst.callee):
+                    block.remove(inst)
+                    inst.drop_operands()
+        report = run_lints(m, codes=["DUP01"])
+        assert report.has_errors
+        assert "not compared" in report.by_code("DUP01")[0].message
+
+    def test_self_compare_check_flagged(self):
+        m = Module("t")
+        out = m.add_global("out", ArrayType(I64, 2), is_output=True)
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(fn.args[0], const_int(1), name="v")
+        b.store(v, b.gep(out, const_int(0)))
+        b.ret(const_int(0))
+        duplicate_instructions(m, FullDuplicationSelector().select(m))
+        from repro.ir import is_check_intrinsic
+        from repro.ir.instructions import CallInst
+
+        check = next(
+            i for i in fn.instructions()
+            if isinstance(i, CallInst) and is_check_intrinsic(i.callee)
+        )
+        check.set_operand(1, check.operands[0])
+        report = run_lints(m, codes=["DUP02"])
+        assert report.has_errors
+        assert "itself" in report.by_code("DUP02")[0].message
+
+    def test_risk01_only_on_protected_modules(self):
+        module = get_workload("is").compile()
+        # Unprotected: advisory rule stays quiet regardless of risk.
+        assert not run_lints(module, codes=["RISK01"]).diagnostics
+        # Protect a single instruction: high-risk leftovers get noted.
+        from repro.analysis import static_risk_report
+
+        ranked = static_risk_report(module).ranked()
+        assert ranked[0].risk >= DEFAULT_RISK_THRESHOLD
+        duplicate_instructions(module, [ranked[-1].instruction])
+        report = run_lints(module, codes=["RISK01"])
+        found = report.by_code("RISK01")
+        assert found and all(d.severity == Severity.NOTE for d in found)
+        assert not report.has_findings
+
+
+class TestGoldenWorkloadDiagnostics:
+    """The bundled workloads are the golden corpus: after the standard
+    pipeline they must lint clean (no warnings, no errors, no notes)."""
+
+    @pytest.mark.parametrize("name", ["hpccg", "is"])
+    def test_optimized_workload_lints_clean(self, name):
+        module = get_workload(name).compile()
+        report = run_lints(module)
+        assert report.summary() == "0 errors, 0 warnings, 0 notes"
+
+    @pytest.mark.parametrize("name", ["hpccg", "is"])
+    def test_fully_protected_workload_lints_clean(self, name):
+        module = get_workload(name).compile()
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+        verify_module(module)
+        report = run_lints(module)
+        assert report.summary() == "0 errors, 0 warnings, 0 notes"
+
+    def test_render_text_shape(self):
+        from repro.analysis import static_risk_report
+
+        module = get_workload("is").compile()
+        text = render_text(run_lints(module), static_risk_report(module), risk_limit=5)
+        assert "diagnostics: 0 errors, 0 warnings, 0 notes" in text
+        assert "static risk:" in text and "top 5:" in text
+
+    def test_render_json_shape(self):
+        from repro.analysis import static_risk_report
+        from repro.analysis.risk import DUPLICABLE_TYPES
+
+        module = get_workload("hpccg").compile()
+        payload = json.loads(
+            render_json(run_lints(module), static_risk_report(module), module.name)
+        )
+        assert payload["exit_ok"] is True
+        assert payload["diagnostics"] == []
+        duplicable = sum(
+            isinstance(i, DUPLICABLE_TYPES) for i in module.instructions()
+        )
+        assert len(payload["risk"]) == duplicable
+        assert all(0.0 <= entry["risk"] <= 1.0 for entry in payload["risk"])
+
+
+class TestDuplicationIntroducesNoFindings:
+    """Property: on every registered workload, the duplication pass adds
+    zero new warning-or-worse findings (the pass is diagnostically inert)."""
+
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_full_duplication_is_lint_neutral(self, workload):
+        module = workload.compile()
+        before = run_lints(module)
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+        verify_module(module)
+        after = run_lints(module)
+        introduced, _ = after.delta(before)
+        findings = [d for d in introduced if d.severity >= Severity.WARNING]
+        assert findings == []
+
+
+class TestPassManagerDebugMode:
+    def test_debug_records_one_per_pass(self):
+        from repro import compile_source
+
+        module = compile_source(
+            "output double r[1];\n"
+            "void main() { double t = 1.5 * 2.0; r[0] = t; }\n",
+            optimize=False,
+        )
+        pipeline = standard_pipeline(debug=True)
+        pipeline.run(module)
+        assert len(pipeline.debug_records) == 4
+        names = [record.pass_name for record in pipeline.debug_records]
+        assert names == ["mem2reg", "constant-fold", "simplify-cfg", "dce"]
+
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_zero_findings_on_builtin_workloads(self, workload):
+        module = workload.compile(optimize=False)
+        pipeline = standard_pipeline(debug=True)
+        pipeline.run_to_fixpoint(module)
+        assert pipeline.debug_records
+        final = pipeline.debug_records[-1]
+        assert final.findings == 0, final.report.summary()
+        for record in pipeline.debug_records:
+            assert record.findings == 0, (
+                f"{record.pass_name} left findings: {record.report.summary()}"
+            )
+
+    def test_debug_record_format_marks_changing_passes(self):
+        from repro import compile_source
+
+        module = compile_source(
+            "output double r[1];\n"
+            "void main() { r[0] = 2.0 + 3.0; }\n",
+            optimize=False,
+        )
+        pipeline = standard_pipeline(debug=True)
+        pipeline.run(module)
+        changed = [r for r in pipeline.debug_records if r.changed]
+        assert changed and changed[0].format().startswith("*")

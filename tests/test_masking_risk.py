@@ -1,0 +1,284 @@
+"""Tests for the static SOC-risk model: bit-masking transfer coefficients,
+the observability fixpoint, risk assessments, and the StaticRiskSelector."""
+
+import pytest
+
+from repro import compile_source
+from repro.analysis import (
+    ObservabilityAnalysis,
+    StaticRiskModel,
+    StaticRiskReport,
+    local_absorption,
+    operand_transfer,
+    static_risk_report,
+)
+from repro.analysis.masking import ADDRESS_TRANSFER, CMP_TRANSFER
+from repro.ir import (
+    ArrayType,
+    F64,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    const_int,
+    verify_module,
+)
+from repro.interp import run_module
+from repro.protect import StaticRiskSelector, duplicate_instructions
+
+
+def build_store_kernel():
+    """A module where %v feeds an output store and %c feeds only a cmp."""
+    m = Module("t")
+    out = m.add_global("out", ArrayType(I64, 4), is_output=True)
+    fn = m.add_function("main", I64, [I64], ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    v = b.add(fn.args[0], const_int(1), name="v")
+    cell = b.gep(out, const_int(0))
+    b.store(v, cell)
+    c = b.mul(fn.args[0], const_int(3), name="c")
+    flag = b.icmp("sgt", c, const_int(10), name="flag")
+    picked = b.select(flag, const_int(1), const_int(0))
+    b.ret(picked)
+    verify_module(m)
+    return m, v, c, flag
+
+
+class TestOperandTransfer:
+    def test_cmp_operands_attenuate(self):
+        m, v, c, flag = build_store_kernel()
+        assert operand_transfer(flag, 0) == CMP_TRANSFER
+
+    def test_store_value_vs_address(self):
+        m = Module("t")
+        out = m.add_global("o", ArrayType(I64, 2), is_output=True)
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        cell = b.gep(out, const_int(0))
+        store = b.store(fn.args[0], cell)
+        b.ret(const_int(0))
+        assert operand_transfer(store, 0) == 1.0
+        assert operand_transfer(store, 1) == ADDRESS_TRANSFER
+
+    def test_and_mask_popcount(self):
+        m = Module("t")
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        masked = b.and_(fn.args[0], const_int(0xFF))
+        b.ret(masked)
+        # 8 of 64 bit positions survive the mask.
+        assert operand_transfer(masked, 0) == pytest.approx(8 / 64)
+
+    def test_trunc_keeps_dst_over_src_bits(self):
+        m = Module("t")
+        fn = m.add_function("main", I32, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        small = b.trunc(fn.args[0], I32)
+        b.ret(small)
+        assert operand_transfer(small, 0) == pytest.approx(32 / 64)
+
+    def test_phi_transfer_splits_across_edges(self):
+        m = Module("t")
+        fn = m.add_function("f", I64, [I1], ["c"])
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        join = fn.add_block("join")
+        IRBuilder(entry).cond_br(fn.args[0], left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        b = IRBuilder(join)
+        phi = b.phi(I64)
+        phi.add_incoming(const_int(1), left)
+        phi.add_incoming(const_int(2), right)
+        b.ret(phi)
+        assert operand_transfer(phi, 0) == pytest.approx(0.5)
+
+    def test_shift_by_constant(self):
+        m = Module("t")
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        shifted = b.lshr(fn.args[0], const_int(16))
+        b.ret(shifted)
+        assert operand_transfer(shifted, 0) == pytest.approx(48 / 64)
+
+    def test_transfer_bounded(self):
+        module = compile_source(
+            "output double r[2];\n"
+            "void main() {\n"
+            "    double s = 0.0;\n"
+            "    for (int i = 0; i < 8; i = i + 1) { s = s + (double)i * 0.5; }\n"
+            "    r[0] = s; r[1] = sqrt(s);\n"
+            "}\n"
+        )
+        for inst in module.instructions():
+            for idx in range(len(inst.operands)):
+                assert 0.0 <= operand_transfer(inst, idx) <= 1.0
+
+
+class TestLocalAbsorption:
+    def test_cmp_bound_value_mostly_absorbed(self):
+        _, _, c, _ = build_store_kernel()
+        assert local_absorption(c) == pytest.approx(1.0 - CMP_TRANSFER)
+
+    def test_stored_value_not_absorbed(self):
+        _, v, _, _ = build_store_kernel()
+        assert local_absorption(v) == 0.0
+
+    def test_unused_value_fully_absorbed(self):
+        m = Module("t")
+        fn = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(fn.add_block("entry"))
+        dead = b.add(fn.args[0], const_int(1))
+        b.ret(const_int(0))
+        assert local_absorption(dead) == 1.0
+
+
+class TestObservability:
+    def test_output_store_feeder_fully_observable(self):
+        m, v, c, _ = build_store_kernel()
+        obs = ObservabilityAnalysis(m)
+        assert obs.score(v) == pytest.approx(1.0)
+
+    def test_cmp_bound_value_weakly_observable(self):
+        m, v, c, _ = build_store_kernel()
+        obs = ObservabilityAnalysis(m)
+        # c funnels through a comparison and a never-consumed return value,
+        # so it must score far below the output-store feeder v.
+        assert obs.score(c) < 0.5
+        assert obs.score(c) < obs.score(v)
+
+    def test_scores_bounded_on_all_workloads_modules(self):
+        module = compile_source(
+            "output double r[1];\n"
+            "double f(double x) { return x * x; }\n"
+            "void main() { r[0] = f(3.0); }\n"
+        )
+        obs = ObservabilityAnalysis(module)
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                if inst.produces_value():
+                    assert 0.0 <= obs.score(inst) <= 1.0
+
+    def test_interprocedural_return_channel(self):
+        module = compile_source(
+            "output double r[1];\n"
+            "double square(double x) { return x * x; }\n"
+            "void main() { r[0] = square(4.0); }\n"
+        )
+        obs = ObservabilityAnalysis(module)
+        square = module.functions["square"]
+        # The formal feeds the returned fmul, which lands in an output store.
+        assert obs.score(square.args[0]) > 0.5
+
+
+class TestRiskModel:
+    def test_risk_combines_observability_and_loop_depth(self):
+        module = compile_source(
+            "output double r[4];\n"
+            "void main() {\n"
+            "    double straight = 2.0 * 3.0;\n"
+            "    r[0] = straight;\n"
+            "    for (int i = 0; i < 4; i = i + 1) {\n"
+            "        r[i] = (double)i * 1.5;\n"
+            "    }\n"
+            "}\n",
+            optimize=True,
+        )
+        report = static_risk_report(module)
+        assert report.assessments, "module should have duplicable instructions"
+        by_depth = {}
+        for a in report.assessments:
+            by_depth.setdefault(a.loop_depth, []).append(a)
+        assert 1 in by_depth, "loop body instructions expected at depth 1"
+        for a in report.assessments:
+            assert 0.0 <= a.risk <= 1.0
+            expected = a.observability * (1.0 - 2.0 ** -(1 + a.loop_depth))
+            assert a.risk == pytest.approx(expected)
+
+    def test_report_ranking_helpers(self):
+        module, *_ = build_store_kernel()
+        report = StaticRiskModel(module).assess_module()
+        ranked = report.ranked()
+        assert ranked == sorted(ranked, key=lambda a: -a.risk)
+        top = report.top_fraction(0.5)
+        assert 1 <= len(top) <= len(ranked)
+        assert all(a.risk >= ranked[len(top) - 1].risk for a in top)
+        threshold = ranked[0].risk
+        assert all(a.risk >= threshold for a in report.above(threshold))
+        assert report.score_of(ranked[0].instruction) == ranked[0].risk
+
+    def test_assessment_to_dict_round_trips(self):
+        module, *_ = build_store_kernel()
+        report = static_risk_report(module)
+        entry = report.ranked()[0].to_dict()
+        for key in (
+            "function", "block", "index", "opcode", "name",
+            "observability", "absorption", "loop_depth", "risk",
+        ):
+            assert key in entry
+
+    def test_every_duplicable_instruction_assessed(self):
+        from repro.analysis.risk import DUPLICABLE_TYPES
+        from repro.workloads import get_workload
+
+        module = get_workload("is").compile()
+        report = static_risk_report(module)
+        duplicable = [
+            inst for inst in module.instructions()
+            if isinstance(inst, DUPLICABLE_TYPES)
+        ]
+        assert len(report.assessments) == len(duplicable)
+
+
+class TestStaticRiskSelector:
+    def test_selects_nonzero_subset(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("hpccg").compile()
+        selected = StaticRiskSelector().select(module)
+        report = static_risk_report(module)
+        nonzero = [a for a in report.assessments if a.risk > 0.0]
+        assert 0 < len(selected) <= len(nonzero)
+
+    def test_threshold_mode_name_and_monotonicity(self):
+        module, *_ = build_store_kernel()
+        strict = StaticRiskSelector(threshold=0.9)
+        loose = StaticRiskSelector(threshold=0.1)
+        assert strict.name == "static-risk@0.90"
+        assert len(strict.select(module)) <= len(loose.select(module))
+
+    def test_budget_mode_name(self):
+        assert StaticRiskSelector(budget_fraction=0.25).name == "static-risk-top25%"
+
+    def test_protection_preserves_semantics(self):
+        source = (
+            "output double result[2];\n"
+            "void main() {\n"
+            "    double s = 0.0;\n"
+            "    for (int i = 0; i < 10; i = i + 1) { s = s + (double)i; }\n"
+            "    result[0] = s;\n"
+            "    result[1] = s * 0.5;\n"
+            "}\n"
+        )
+        clean = compile_source(source)
+        clean_result, clean_interp = run_module(clean)
+        protected = compile_source(source)
+        report = duplicate_instructions(
+            protected, StaticRiskSelector().select(protected)
+        )
+        verify_module(protected)
+        assert report.duplicated > 0
+        result, interp = run_module(protected)
+        assert result.status == "ok"
+        assert interp.read_global("result") == clean_interp.read_global("result")
+
+    def test_duplicated_instructions_ordered_by_module_order(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("fft").compile()
+        selected = StaticRiskSelector().select(module)
+        order = {id(inst): i for i, inst in enumerate(module.instructions())}
+        positions = [order[id(inst)] for inst in selected]
+        assert positions == sorted(positions)
