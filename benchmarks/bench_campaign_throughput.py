@@ -1,0 +1,125 @@
+"""Campaign throughput: serial vs parallel trials/sec.
+
+Measures the fault-injection engine's throughput on two workloads with
+contrasting trial costs (FFT: short trials; HPCCG: longer stencil trials),
+once with ``n_jobs=1`` (in-process loop) and once with ``n_jobs=4``
+(forked persistent workers), and writes ``BENCH_campaign.json`` at the
+repo root.  The determinism contract is asserted along the way: both
+worker counts must produce identical outcome mixes.
+
+Speedup is bounded by the machine: on a single-CPU container the pool
+cannot beat the serial loop (the workers time-slice one core and pay the
+IPC overhead), so the JSON records ``cpu_count`` next to the numbers.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_throughput.py
+
+or as part of the benchmark suite (``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.faults import Campaign
+from repro.workloads import get_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_campaign.json"
+
+WORKLOADS = ("fft", "hpccg")
+TRIALS = 200
+SEED = 0
+PARALLEL_JOBS = 4
+
+
+def measure(workload_name: str, n_jobs: int, trials: int = TRIALS) -> dict:
+    """One timed campaign; compilation and the golden run stay outside."""
+    workload = get_workload(workload_name)
+    campaign = Campaign(
+        workload.make_interpreter(1),
+        verifier=workload.verifier(),
+        entry=workload.entry,
+        budget_factor=workload.budget_factor,
+    )
+    campaign.prepare()
+    result = campaign.run(trials, seed=SEED, n_jobs=n_jobs)
+    return {
+        "outcomes": result.counts.as_dict(),
+        "stats": result.stats.as_dict(),
+    }
+
+
+def run_bench(trials: int = TRIALS) -> dict:
+    report = {
+        "trials": trials,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": {},
+    }
+    for name in WORKLOADS:
+        serial = measure(name, n_jobs=1, trials=trials)
+        parallel = measure(name, n_jobs=PARALLEL_JOBS, trials=trials)
+        if serial["outcomes"] != parallel["outcomes"]:
+            raise AssertionError(
+                f"{name}: outcome mix differs between worker counts — "
+                "the determinism contract is broken"
+            )
+        s_rate = serial["stats"]["trials_per_second"]
+        p_rate = parallel["stats"]["trials_per_second"]
+        report["workloads"][name] = {
+            "serial": serial,
+            "parallel": parallel,
+            "serial_trials_per_second": s_rate,
+            "parallel_trials_per_second": p_rate,
+            "parallel_jobs": PARALLEL_JOBS,
+            "speedup": p_rate / s_rate if s_rate else 0.0,
+        }
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"campaign throughput — {report['trials']} trials, "
+        f"{report['cpu_count']} CPU(s) visible",
+        f"{'workload':>8}  {'serial tr/s':>12}  "
+        f"{'x{} tr/s'.format(PARALLEL_JOBS):>12}  {'speedup':>8}  {'util':>5}",
+    ]
+    for name, entry in report["workloads"].items():
+        util = entry["parallel"]["stats"]["worker_utilization"]
+        lines.append(
+            f"{name:>8}  {entry['serial_trials_per_second']:12.1f}  "
+            f"{entry['parallel_trials_per_second']:12.1f}  "
+            f"{entry['speedup']:7.2f}x  {util:5.0%}"
+        )
+    return "\n".join(lines)
+
+
+def test_campaign_throughput(benchmark, report):
+    from conftest import one_shot
+
+    result = one_shot(benchmark, run_bench)
+    OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+    report("campaign_throughput", format_report(result))
+    for name, entry in result["workloads"].items():
+        assert entry["serial_trials_per_second"] > 0
+        assert entry["parallel_trials_per_second"] > 0
+
+
+def main() -> int:
+    result = run_bench()
+    OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+    print(format_report(result))
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

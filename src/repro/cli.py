@@ -20,6 +20,16 @@ import sys
 from typing import List, Optional
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign worker processes (default: IPAS_JOBS env or 1; 0 = all CPUs)",
+    )
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -92,11 +102,26 @@ def cmd_inject(args) -> int:
     campaign = Campaign(
         interp, verifier=workload.verifier(), budget_factor=workload.budget_factor
     )
-    result = campaign.run(args.trials, seed=args.seed)
+    result = campaign.run(
+        args.trials,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        progress=args.progress,
+    )
     print(f"{args.trials} single-bit faults injected into {workload.name}:")
     for outcome in Outcome:
         count = result.counts.counts[outcome]
         print(f"  {outcome.value:>9}: {count:5d}  ({100*count/args.trials:5.1f}%)")
+    stats = result.stats
+    if stats is not None and stats.completed:
+        print(
+            f"  throughput: {stats.trials_per_second:.1f} trials/s "
+            f"({stats.n_jobs} worker{'s' if stats.n_jobs != 1 else ''}, "
+            f"utilization {stats.utilization:.0%}"
+            + (f", {stats.resumed} resumed from checkpoint" if stats.resumed else "")
+            + ")"
+        )
     return 0
 
 
@@ -142,7 +167,9 @@ def cmd_evaluate(args) -> int:
 
     scale = _resolve_scale(args)
     try:
-        result = run_full_evaluation(args.workload, scale, seed=args.seed)
+        result = run_full_evaluation(
+            args.workload, scale, seed=args.seed, n_jobs=args.jobs
+        )
     except VerificationError as exc:
         print(f"error: protected module failed verification:\n{exc}", file=sys.stderr)
         return 1
@@ -266,6 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
     p_inject.add_argument("--trials", type=int, default=100)
     p_inject.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p_inject)
+    p_inject.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live throughput / ETA to stderr",
+    )
+    p_inject.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint file; an interrupted campaign resumes from it",
+    )
 
     p_protect = sub.add_parser("protect", help="run the IPAS pipeline")
     p_protect.add_argument("workload")
@@ -274,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="full technique comparison")
     p_eval.add_argument("workload")
     _add_scale_args(p_eval)
+    _add_jobs_arg(p_eval)
 
     p_analyze = sub.add_parser(
         "analyze", help="static SOC-risk scores and IR diagnostics (no injection)"

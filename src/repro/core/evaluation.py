@@ -73,6 +73,7 @@ def evaluate_variant(
     seed: int,
     duplicated_fraction: float = 0.0,
     input_id: int = 1,
+    n_jobs: Optional[int] = None,
 ) -> TechniqueEvaluation:
     """Run the evaluation campaign for one module variant."""
     interp = workload.make_interpreter(input_id=input_id, module=module)
@@ -82,7 +83,7 @@ def evaluate_variant(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(trials, seed=seed)
+    result = campaign.run(trials, seed=seed, n_jobs=n_jobs)
     slowdown = (
         campaign.golden_cycles / unprotected_cycles if unprotected_cycles else 1.0
     )
@@ -105,6 +106,7 @@ def evaluate_unprotected(
     trials: int,
     seed: int,
     input_id: int = 1,
+    n_jobs: Optional[int] = None,
 ) -> TechniqueEvaluation:
     """The reference campaign on the clean module."""
     module = workload.compile()
@@ -115,7 +117,7 @@ def evaluate_unprotected(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(trials, seed=seed)
+    result = campaign.run(trials, seed=seed, n_jobs=n_jobs)
     return TechniqueEvaluation(
         "unprotected",
         "-",

@@ -55,7 +55,7 @@ class CollectedData:
 
 
 def collect_data(
-    workload: Workload, n_samples: int, seed: int = 0
+    workload: Workload, n_samples: int, seed: int = 0, n_jobs: Optional[int] = None
 ) -> CollectedData:
     """Step 2 of Fig. 1: statistical fault injection plus feature vectors."""
     module = workload.compile()
@@ -66,7 +66,7 @@ def collect_data(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(n_samples, seed=seed)
+    result = campaign.run(n_samples, seed=seed, n_jobs=n_jobs)
     extractor = FeatureExtractor(module)
     X = extractor.extract_many([r.instruction for r in result.records])
     return CollectedData(module, result, X)
@@ -140,6 +140,7 @@ class IpasPipeline:
         labeling: str = LABEL_SOC,
         seed: int = 0,
         collected: Optional[CollectedData] = None,
+        n_jobs: Optional[int] = None,
     ):
         if labeling not in (LABEL_SOC, LABEL_SYMPTOM):
             raise ValueError(f"unknown labeling {labeling!r}")
@@ -147,6 +148,7 @@ class IpasPipeline:
         self.scale = scale or ExperimentScale.from_env()
         self.labeling = labeling
         self.seed = seed
+        self.n_jobs = n_jobs
         self.training_seconds = 0.0
         self._collected = collected
         self._training_data: Optional[TrainingData] = None
@@ -160,7 +162,8 @@ class IpasPipeline:
             return self._training_data
         if self._collected is None:
             self._collected = collect_data(
-                self.workload, self.scale.train_samples, self.seed
+                self.workload, self.scale.train_samples, self.seed,
+                n_jobs=self.n_jobs,
             )
         collected = self._collected
         y = np.array(

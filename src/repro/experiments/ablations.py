@@ -28,8 +28,13 @@ from .full_eval import best_by_ideal_point, run_full_evaluation
 from .training import get_collection, get_pipeline
 
 
-def _labeled_data(workload_name: str, scale: ExperimentScale, seed: int):
-    pipeline = get_pipeline(workload_name, scale, seed, "soc")
+def _labeled_data(
+    workload_name: str,
+    scale: ExperimentScale,
+    seed: int,
+    n_jobs: Optional[int] = None,
+):
+    pipeline = get_pipeline(workload_name, scale, seed, "soc", n_jobs=n_jobs)
     data = pipeline.collect_training_data()
     return data.X, data.y
 
@@ -51,6 +56,7 @@ def run_classifier_ablation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """SVM vs decision tree vs k-NN on identical data (§4.3.1)."""
     scale = scale or ExperimentScale.from_env()
@@ -59,7 +65,7 @@ def run_classifier_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed)
+    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
     # Give the SVM its tuned hyper-parameters, the comparators reasonable ones.
     best = GridSearch(grid=paper_grid(min(scale.grid_configs, 30)), k=3).top_configs(
         StandardScaler().fit_transform(X), y, n=1
@@ -88,6 +94,7 @@ def run_training_size_ablation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """Learning curve over the number of fault-injection samples."""
     scale = scale or ExperimentScale.from_env()
@@ -99,7 +106,7 @@ def run_training_size_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed)
+    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
     rng = np.random.RandomState(seed)
     points: List[Dict] = []
     for size in sizes:
@@ -135,6 +142,7 @@ def run_feature_ablation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """CV F-score with each Table-1 category removed / used alone."""
     scale = scale or ExperimentScale.from_env()
@@ -143,7 +151,7 @@ def run_feature_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed)
+    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
 
     def score_with(columns: List[int]) -> float:
         Xm = X[:, columns]
@@ -173,10 +181,13 @@ def run_topn_ablation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """§6.1: does top-3 already contain the ideal-point best of top-5?"""
     scale = scale or ExperimentScale.from_env()
-    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    full = run_full_evaluation(
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+    )
     entries = full["ipas"]
     best5 = best_by_ideal_point(entries)
     best3 = best_by_ideal_point(entries[: min(3, len(entries))])

@@ -12,6 +12,7 @@ reads (results are still written).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -32,6 +33,12 @@ def cache_dir() -> Path:
 
 def _path_for(key: str) -> Path:
     safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in key)
+    if safe != key:
+        # Sanitization is lossy ('a/b' and 'a:b' both map to 'a_b'); a short
+        # digest of the raw key keeps distinct keys in distinct files.  Keys
+        # that are already filesystem-safe keep their historical paths.
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+        safe = f"{safe}-{digest}"
     return cache_dir() / f"v{SCHEMA_VERSION}-{safe}.json"
 
 

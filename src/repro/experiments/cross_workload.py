@@ -28,6 +28,7 @@ def run_cross_workload(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """Protect ``test_name`` with a classifier trained on ``train_name``."""
     scale = scale or ExperimentScale.from_env()
@@ -37,7 +38,7 @@ def run_cross_workload(
         if hit is not None:
             return hit
 
-    pipeline = get_pipeline(train_name, scale, seed, "soc")
+    pipeline = get_pipeline(train_name, scale, seed, "soc", n_jobs=n_jobs)
     trained = pipeline.train()[0]
 
     workload = get_workload(test_name)
@@ -46,7 +47,7 @@ def run_cross_workload(
     report = duplicate_instructions(module, selector.select(module))
 
     unprotected = evaluate_unprotected(
-        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs
     )
     evaluation = evaluate_variant(
         module,
@@ -58,6 +59,7 @@ def run_cross_workload(
         scale.eval_trials,
         seed=seed + EVAL_SEED_OFFSET,
         duplicated_fraction=report.duplicated_fraction,
+        n_jobs=n_jobs,
     )
     result = {
         "train": train_name,
@@ -79,13 +81,16 @@ def run_cross_workload_matrix(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """The full train×test SOC-reduction matrix over ``names``."""
     matrix = {}
     for train in names:
         row = {}
         for test in names:
-            row[test] = run_cross_workload(train, test, scale, seed, use_cache)
+            row[test] = run_cross_workload(
+                train, test, scale, seed, use_cache, n_jobs=n_jobs
+            )
         matrix[train] = row
     diagonal = [matrix[n][n]["soc_reduction"] for n in names]
     off_diagonal = [

@@ -57,6 +57,7 @@ def _evaluate_protected(
     scale: ExperimentScale,
     seed: int,
     label: str,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     evaluation = evaluate_variant(
         variant.module,
@@ -68,6 +69,7 @@ def _evaluate_protected(
         scale.eval_trials,
         seed=seed + EVAL_SEED_OFFSET,
         duplicated_fraction=variant.report.duplicated_fraction,
+        n_jobs=n_jobs,
     )
     record = _counts_dict(evaluation)
     record["duplication_seconds"] = variant.duplication_seconds
@@ -85,8 +87,13 @@ def run_full_evaluation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
-    """All techniques on one workload; returns (and caches) a result dict."""
+    """All techniques on one workload; returns (and caches) a result dict.
+
+    ``n_jobs`` parallelises every fault-injection campaign; results (and
+    the cache key) are identical for any worker count.
+    """
     scale = scale or ExperimentScale.from_env()
     key = f"fulleval-{workload_name}-{scale.cache_key()}-s{seed}"
     if use_cache:
@@ -99,7 +106,7 @@ def run_full_evaluation(
 
     # Reference campaign.
     unprotected = evaluate_unprotected(
-        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs
     )
 
     # Full duplication.
@@ -113,7 +120,7 @@ def run_full_evaluation(
         full_module, full_report, "full", None, full_duplication_seconds
     )
     full_eval = _evaluate_protected(
-        full_variant, workload, unprotected, scale, seed, "full"
+        full_variant, workload, unprotected, scale, seed, "full", n_jobs=n_jobs
     )
 
     # Injection-free static-risk baseline (same duplication machinery,
@@ -129,12 +136,15 @@ def run_full_evaluation(
         static_module, static_report, "static", None, static_duplication_seconds
     )
     static_eval = _evaluate_protected(
-        static_variant, workload, unprotected, scale, seed, static_selector.name
+        static_variant, workload, unprotected, scale, seed, static_selector.name,
+        n_jobs=n_jobs,
     )
 
     # Shared training campaign; IPAS and Baseline pipelines on top.
     collection_start = time.perf_counter()
-    collected = collect_data(workload, scale.train_samples, seed=seed)
+    collected = collect_data(
+        workload, scale.train_samples, seed=seed, n_jobs=n_jobs
+    )
     collection_seconds = time.perf_counter() - collection_start
 
     result: Dict = {
@@ -155,14 +165,15 @@ def run_full_evaluation(
 
     for labeling, bucket in ((LABEL_SOC, "ipas"), (LABEL_SYMPTOM, "baseline")):
         pipeline = IpasPipeline(
-            workload, scale, labeling, seed=seed, collected=collected
+            workload, scale, labeling, seed=seed, collected=collected,
+            n_jobs=n_jobs,
         )
         variants = pipeline.protect_all()
         entries: List[Dict] = []
         for i, variant in enumerate(variants):
             label = f"cfg{i + 1}"
             entry = _evaluate_protected(
-                variant, workload, unprotected, scale, seed, label
+                variant, workload, unprotected, scale, seed, label, n_jobs=n_jobs
             )
             entry["label"] = label
             entries.append(entry)

@@ -25,6 +25,7 @@ def run_input_variation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """SOC reduction per input for the input-1-trained best configuration."""
     scale = scale or ExperimentScale.from_env()
@@ -38,10 +39,12 @@ def run_input_variation(
             return hit
 
     workload = get_workload(workload_name)
-    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    full = run_full_evaluation(
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+    )
     best = best_by_ideal_point(full["ipas"])
     variant = best_protected_variant(
-        workload_name, scale, seed, best_config=best.get("config")
+        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs
     )
 
     points: List[Dict] = []
@@ -51,6 +54,7 @@ def run_input_variation(
             scale.eval_trials,
             seed=seed + EVAL_SEED_OFFSET + input_id,
             input_id=input_id,
+            n_jobs=n_jobs,
         )
         protected = evaluate_variant(
             variant.module,
@@ -63,6 +67,7 @@ def run_input_variation(
             seed=seed + EVAL_SEED_OFFSET + input_id,
             duplicated_fraction=variant.report.duplicated_fraction,
             input_id=input_id,
+            n_jobs=n_jobs,
         )
         points.append(
             {

@@ -28,6 +28,7 @@ def run_scalability(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     use_cache: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> Dict:
     """Slowdown vs rank count for one workload's best IPAS configuration."""
     scale = scale or ExperimentScale.from_env()
@@ -42,10 +43,12 @@ def run_scalability(
 
     workload = get_workload(workload_name)
     # Pick the best configuration the full evaluation chose (Table 4).
-    full = run_full_evaluation(workload_name, scale, seed, use_cache=use_cache)
+    full = run_full_evaluation(
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+    )
     best = best_by_ideal_point(full["ipas"])
     variant = best_protected_variant(
-        workload_name, scale, seed, best_config=best.get("config")
+        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs
     )
 
     clean_module = workload.compile()

@@ -22,12 +22,17 @@ _COLLECTIONS: Dict[Tuple, CollectedData] = {}
 
 
 def get_collection(
-    workload_name: str, scale: ExperimentScale, seed: int
+    workload_name: str,
+    scale: ExperimentScale,
+    seed: int,
+    n_jobs: Optional[int] = None,
 ) -> CollectedData:
     key = (workload_name, scale.cache_key(), seed)
     if key not in _COLLECTIONS:
         workload = get_workload(workload_name)
-        _COLLECTIONS[key] = collect_data(workload, scale.train_samples, seed=seed)
+        _COLLECTIONS[key] = collect_data(
+            workload, scale.train_samples, seed=seed, n_jobs=n_jobs
+        )
     return _COLLECTIONS[key]
 
 
@@ -36,11 +41,12 @@ def get_pipeline(
     scale: ExperimentScale,
     seed: int = 0,
     labeling: str = LABEL_SOC,
+    n_jobs: Optional[int] = None,
 ) -> IpasPipeline:
     key = (workload_name, scale.cache_key(), seed, labeling)
     if key not in _PIPELINES:
         workload = get_workload(workload_name)
-        collected = get_collection(workload_name, scale, seed)
+        collected = get_collection(workload_name, scale, seed, n_jobs=n_jobs)
         pipeline = IpasPipeline(
             workload, scale, labeling, seed=seed, collected=collected
         )
@@ -55,11 +61,12 @@ def best_protected_variant(
     seed: int = 0,
     labeling: str = LABEL_SOC,
     best_config: Optional[Dict] = None,
+    n_jobs: Optional[int] = None,
 ):
     """Protect with the trained configuration matching ``best_config``
     (a ``{"C": ..., "gamma": ...}`` dict, e.g. from a cached full
     evaluation), or with the top-F-score configuration when not given."""
-    pipeline = get_pipeline(workload_name, scale, seed, labeling)
+    pipeline = get_pipeline(workload_name, scale, seed, labeling, n_jobs=n_jobs)
     configs = pipeline.train()
     chosen = configs[0]
     if best_config is not None:

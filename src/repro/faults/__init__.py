@@ -14,10 +14,20 @@ from .outcomes import (
 )
 from .campaign import Campaign, CampaignResult, OutputVerifier, TrialRecord
 from .mpi_campaign import MpiCampaign, MpiCampaignResult, MpiTrialRecord
+from .parallel import (
+    CampaignCheckpoint,
+    CampaignStats,
+    campaign_fingerprint,
+    fork_available,
+    resolve_jobs,
+    run_campaign,
+)
 
 __all__ = [
     "FaultSite", "injectable_instructions", "is_injectable", "result_bits",
     "Outcome", "OutcomeCounts", "margin_of_error", "soc_reduction_percent",
     "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",
     "MpiCampaign", "MpiCampaignResult", "MpiTrialRecord",
+    "CampaignCheckpoint", "CampaignStats", "campaign_fingerprint",
+    "fork_available", "resolve_jobs", "run_campaign",
 ]

@@ -12,16 +12,19 @@ many single-fault runs:
 3. the run's outcome is classified per §5.5 using the interpreter status and
    the workload's verification routine.
 
-Determinism: a campaign with the same seed replays identically.
+Determinism: a campaign with the same seed replays identically — for any
+``n_jobs``, because the trial list is pre-sampled serially before execution
+(see :mod:`repro.faults.parallel`).
 """
 
 from __future__ import annotations
 
 import bisect
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..interp.interpreter import Interpreter, RunResult
+from ..ir.module import Module
 from .model import FaultSite, injectable_instructions, is_injectable, result_bits
 from .outcomes import Outcome, OutcomeCounts
 
@@ -62,6 +65,56 @@ class TrialRecord:
     def instruction(self):
         return self.site.instruction
 
+    def to_dict(self, site_index: Optional[int] = None) -> Dict:
+        """JSON-compatible form (checkpoints, training-data export).
+
+        The fault site is identified by its index into the module's stable
+        ``injectable_instructions`` order; pass ``site_index`` when the
+        caller has it precomputed (per-record lookup scans the module).
+        """
+        inst = self.site.instruction
+        if site_index is None:
+            fn = inst.function
+            module = fn.parent if fn is not None else None
+            if module is None:
+                raise ValueError(f"{inst!r} is not attached to a module")
+            for i, candidate in enumerate(injectable_instructions(module)):
+                if candidate is inst:
+                    site_index = i
+                    break
+            else:
+                raise ValueError(f"{inst!r} is not an injectable instruction")
+        fn = inst.function
+        return {
+            "site_index": site_index,
+            "opcode": inst.opcode,
+            "function": fn.name if fn else None,
+            "occurrence": self.site.occurrence,
+            "bit": self.site.bit,
+            "outcome": self.outcome.value,
+            "status": self.status,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict, module_or_sites: Union[Module, Sequence]
+    ) -> "TrialRecord":
+        """Rebuild a record against a module (or a precomputed
+        ``injectable_instructions`` list, for bulk restoration)."""
+        if isinstance(module_or_sites, Module):
+            eligible = injectable_instructions(module_or_sites)
+        else:
+            eligible = module_or_sites
+        inst = eligible[data["site_index"]]
+        if inst.opcode != data["opcode"]:
+            raise ValueError(
+                f"site {data['site_index']} is {inst.opcode!r}, "
+                f"record says {data['opcode']!r}: module mismatch"
+            )
+        site = FaultSite(inst, data["occurrence"], data["bit"])
+        return cls(site, Outcome(data["outcome"]), data["status"], data["cycles"])
+
     def __repr__(self) -> str:
         return f"<TrialRecord {self.outcome.value} at {self.site!r}>"
 
@@ -80,6 +133,8 @@ class CampaignResult:
         self.counts = counts
         self.golden_cycles = golden_cycles
         self.seed = seed
+        #: CampaignStats when run through the parallel engine, else None
+        self.stats = None
 
     def records_with_outcome(self, outcome: Outcome) -> List[TrialRecord]:
         return [r for r in self.records if r.outcome is outcome]
@@ -175,6 +230,17 @@ class Campaign:
         bit = rng.randrange(result_bits(inst))
         return FaultSite(inst, occurrence, bit)
 
+    def sample_trials(self, n_trials: int, seed: int = 0) -> List[FaultSite]:
+        """The full trial plan, pre-sampled serially from the seed.
+
+        This is the determinism anchor of the parallel engine: sampling
+        consumes the RNG exactly as the historical sample-then-run loop did,
+        so the planned sites are bit-identical for every worker count.
+        """
+        self.prepare()
+        rng = random.Random(seed)
+        return [self.sample_site(rng) for _ in range(n_trials)]
+
     # -- execution ---------------------------------------------------------------------
 
     def run_site(self, site: FaultSite) -> TrialRecord:
@@ -199,15 +265,31 @@ class Campaign:
             return Outcome.MASKED
         return Outcome.SOC
 
-    def run(self, n_trials: int, seed: int = 0) -> CampaignResult:
-        """The whole campaign: ``n_trials`` independent single-fault runs."""
-        self.prepare()
-        rng = random.Random(seed)
-        records: List[TrialRecord] = []
-        counts = OutcomeCounts()
-        for _ in range(n_trials):
-            site = self.sample_site(rng)
-            record = self.run_site(site)
-            records.append(record)
-            counts.record(record.outcome)
-        return CampaignResult(records, counts, self.golden_cycles, seed)
+    def run(
+        self,
+        n_trials: int,
+        seed: int = 0,
+        n_jobs: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        progress: bool = False,
+        on_trial: Optional[Callable] = None,
+    ) -> CampaignResult:
+        """The whole campaign: ``n_trials`` independent single-fault runs.
+
+        ``n_jobs`` shards trials over persistent worker processes (default:
+        ``IPAS_JOBS`` env, else in-process); results are bit-identical for
+        every worker count.  ``checkpoint_path`` flushes completed trials to
+        a resumable JSONL file; ``progress`` prints live throughput to
+        stderr; ``on_trial(index, record)`` fires per completed trial.
+        """
+        from .parallel import run_campaign
+
+        return run_campaign(
+            self,
+            n_trials,
+            seed=seed,
+            n_jobs=n_jobs,
+            checkpoint_path=checkpoint_path,
+            progress=progress,
+            on_trial=on_trial,
+        )

@@ -142,14 +142,37 @@ class MpiCampaign:
             return Outcome.MASKED
         return Outcome.SOC
 
-    def run(self, n_trials: int, seed: int = 0) -> MpiCampaignResult:
+    def sample_trials(
+        self, n_trials: int, seed: int = 0
+    ) -> List[Tuple[FaultSite, int]]:
+        """The full (site, rank) plan, pre-sampled serially from the seed."""
         self.prepare()
         rng = random.Random(seed)
-        records: List[MpiTrialRecord] = []
-        counts = OutcomeCounts()
-        for _ in range(n_trials):
-            site, rank = self.sample(rng)
+        return [self.sample(rng) for _ in range(n_trials)]
+
+    def run(
+        self, n_trials: int, seed: int = 0, n_jobs: Optional[int] = None
+    ) -> MpiCampaignResult:
+        from .parallel import fork_map, resolve_jobs
+
+        self.prepare()
+        trials = self.sample_trials(n_trials, seed)
+        n_jobs = resolve_jobs(n_jobs)
+
+        def run_one(indexed):
+            i, (site, rank) = indexed
             record = self.run_site(site, rank)
-            records.append(record)
+            # Only plain values cross the process boundary; the parent
+            # rebuilds records against its own pre-sampled (site, rank) plan.
+            return i, record.outcome.value, record.job_status
+
+        records: List[Optional[MpiTrialRecord]] = [None] * n_trials
+        counts = OutcomeCounts()
+        for i, outcome_value, job_status in fork_map(
+            run_one, list(enumerate(trials)), n_jobs
+        ):
+            site, rank = trials[i]
+            record = MpiTrialRecord(site, rank, Outcome(outcome_value), job_status)
+            records[i] = record
             counts.record(record.outcome)
         return MpiCampaignResult(records, counts, self.golden_cycles)

@@ -1,0 +1,493 @@
+"""Parallel fault-injection campaign engine.
+
+Statistical campaigns are embarrassingly parallel — every trial is an
+independent interpreter run — but naive parallelisation breaks the two
+properties the experiments lean on: *determinism* (a campaign with the same
+seed must replay identically, §5.4) and *amortised compilation* (workers
+must not recompile the module per trial).  This engine keeps both:
+
+* **Deterministic sharding.**  The full trial list (fault sites + bits) is
+  pre-sampled *serially* from the seed before any worker starts, so the
+  sampled faults — and therefore every per-trial outcome — are bit-identical
+  for any worker count, including ``n_jobs=1`` falling back to the plain
+  in-process loop.  Trials are only *executed* out of order; results are
+  reassembled by trial index.
+
+* **Persistent workers.**  Workers are forked from the prepared parent
+  (``fork`` start method), so they inherit the compiled module, the golden
+  capture, and the indexed fault space — zero recompilation, one
+  ``Interpreter`` per worker reused across its whole shard.  Trials travel
+  to workers as compact ``(index, site_index, occurrence, bit)`` tuples and
+  come back as ``(index, outcome, status, cycles, seconds)`` — IR objects
+  never cross the process boundary.  Where ``fork`` is unavailable the
+  engine degrades to the serial path.
+
+* **Checkpointing.**  With a checkpoint path, completed trials are flushed
+  to a JSONL file keyed by a campaign fingerprint (module + trial plan
+  hash).  A restarted campaign with the same fingerprint resumes from the
+  completed set; a mismatched fingerprint discards the stale file.
+
+* **Observability.**  A :class:`CampaignStats` tracks trials/sec,
+  per-outcome latency histograms, worker utilization, and ETA; the CLI's
+  ``--progress`` flag renders it live.
+
+``IPAS_JOBS`` sets the default worker count for every campaign entry point
+(CLI, experiment drivers); ``n_jobs=0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .model import FaultSite
+from .outcomes import Outcome, OutcomeCounts
+
+#: trials handed to a worker per dispatch; large enough to amortise IPC,
+#: small enough to keep the shards balanced and the checkpoint fresh.
+DEFAULT_CHUNK = 16
+
+CHECKPOINT_VERSION = 1
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``IPAS_JOBS``, else 1.
+
+    ``0`` (or any negative value) selects one worker per available CPU.
+    """
+    if n_jobs is None:
+        env = os.environ.get("IPAS_JOBS")
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise ValueError(f"IPAS_JOBS must be an integer, got {env!r}")
+        else:
+            n_jobs = 1
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return n_jobs
+
+
+def fork_available() -> bool:
+    """Whether the persistent-worker pool can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- observability ------------------------------------------------------------
+
+#: latency histogram bucket upper bounds, milliseconds (last bucket open).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)
+
+
+class CampaignStats:
+    """Throughput and latency instrumentation for one campaign run."""
+
+    def __init__(self, n_trials: int, n_jobs: int):
+        self.n_trials = n_trials
+        self.n_jobs = n_jobs
+        self.started = time.perf_counter()
+        self.finished: Optional[float] = None
+        self.completed = 0
+        self.resumed = 0  # trials restored from a checkpoint, not executed
+        self.outcome_counts: Dict[str, int] = {}
+        self.latency_sum: Dict[str, float] = {}
+        self.latency_max: Dict[str, float] = {}
+        self.histograms: Dict[str, List[int]] = {}
+        #: summed per-trial wall time across workers (busy time)
+        self.busy_seconds = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, outcome: Outcome, seconds: float) -> None:
+        key = outcome.value
+        self.completed += 1
+        self.busy_seconds += seconds
+        self.outcome_counts[key] = self.outcome_counts.get(key, 0) + 1
+        self.latency_sum[key] = self.latency_sum.get(key, 0.0) + seconds
+        self.latency_max[key] = max(self.latency_max.get(key, 0.0), seconds)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        ms = seconds * 1000.0
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= bound:
+                hist[i] += 1
+                break
+        else:
+            hist[-1] += 1
+
+    def finish(self) -> None:
+        self.finished = time.perf_counter()
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished if self.finished is not None else time.perf_counter()
+        return max(end - self.started, 1e-9)
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.completed / self.elapsed
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent executing trials (0..1)."""
+        return min(self.busy_seconds / (self.elapsed * max(self.n_jobs, 1)), 1.0)
+
+    @property
+    def remaining(self) -> int:
+        return max(self.n_trials - self.resumed - self.completed, 0)
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.trials_per_second
+        return self.remaining / rate if rate > 0 else float("inf")
+
+    def mean_latency(self, outcome: str) -> float:
+        n = self.outcome_counts.get(outcome, 0)
+        return self.latency_sum.get(outcome, 0.0) / n if n else 0.0
+
+    def as_dict(self) -> Dict:
+        """JSON-compatible snapshot (benchmarks persist this)."""
+        return {
+            "n_trials": self.n_trials,
+            "n_jobs": self.n_jobs,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "elapsed_seconds": self.elapsed,
+            "trials_per_second": self.trials_per_second,
+            "worker_utilization": self.utilization,
+            "busy_seconds": self.busy_seconds,
+            "outcomes": dict(self.outcome_counts),
+            "latency_mean_ms": {
+                k: 1000.0 * self.mean_latency(k) for k in self.outcome_counts
+            },
+            "latency_max_ms": {
+                k: 1000.0 * v for k, v in self.latency_max.items()
+            },
+            "latency_histogram_bounds_ms": list(LATENCY_BUCKETS_MS),
+            "latency_histograms": {k: list(v) for k, v in self.histograms.items()},
+        }
+
+    def progress_line(self) -> str:
+        done = self.resumed + self.completed
+        eta = self.eta_seconds
+        eta_text = f"{eta:5.1f}s" if eta != float("inf") else "   ?  "
+        return (
+            f"[{done}/{self.n_trials}] "
+            f"{self.trials_per_second:7.1f} trials/s  "
+            f"util {self.utilization:4.0%}  eta {eta_text}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CampaignStats {self.completed}/{self.n_trials} "
+            f"{self.trials_per_second:.1f}/s util={self.utilization:.0%}>"
+        )
+
+
+# -- checkpointing -------------------------------------------------------------
+
+
+class CampaignCheckpoint:
+    """JSONL checkpoint of completed trials, keyed by campaign fingerprint.
+
+    Layout: a header line ``{"fingerprint", "n_trials", "seed", "version"}``
+    followed by one line per completed trial
+    ``{"i", "site_index", "occurrence", "bit", "outcome", "status", "cycles"}``.
+    Appending is crash-safe: a torn final line is ignored on load.
+    """
+
+    def __init__(self, path: str, fingerprint: str, n_trials: int, seed: int):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.n_trials = n_trials
+        self.seed = seed
+        self._fh = None
+        self._pending = 0
+
+    def load(self) -> Dict[int, Dict]:
+        """Completed trial dicts by index; ``{}`` if absent or mismatched."""
+        try:
+            fh = open(self.path)
+        except OSError:
+            return {}
+        completed: Dict[int, Dict] = {}
+        with fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError:
+                return {}
+            if (
+                header.get("fingerprint") != self.fingerprint
+                or header.get("n_trials") != self.n_trials
+                or header.get("seed") != self.seed
+                or header.get("version") != CHECKPOINT_VERSION
+            ):
+                return {}
+            for line in fh:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a killed writer
+                i = entry.get("i")
+                if isinstance(i, int) and 0 <= i < self.n_trials:
+                    completed[i] = entry
+        return completed
+
+    def open_for_append(self, fresh: bool) -> None:
+        """Start writing; ``fresh`` truncates (new or mismatched file)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if fresh:
+            self._fh = open(self.path, "w")
+            header = {
+                "version": CHECKPOINT_VERSION,
+                "fingerprint": self.fingerprint,
+                "n_trials": self.n_trials,
+                "seed": self.seed,
+            }
+            self._fh.write(json.dumps(header) + "\n")
+            self._fh.flush()
+        else:
+            self._fh = open(self.path, "a")
+
+    def append(self, index: int, site: FaultSite, site_index: int, record) -> None:
+        assert self._fh is not None
+        entry = {
+            "i": index,
+            "site_index": site_index,
+            "occurrence": site.occurrence,
+            "bit": site.bit,
+            "outcome": record.outcome.value,
+            "status": record.status,
+            "cycles": record.cycles,
+        }
+        self._fh.write(json.dumps(entry) + "\n")
+        self._pending += 1
+        if self._pending >= DEFAULT_CHUNK:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
+    """Stable identity of one campaign's trial plan.
+
+    Hashes the seed, trial count, budget, golden baseline, and the indexed
+    fault space (per-site function, opcode, and dynamic count) — anything
+    that changes the sampled trials or their meaning changes the
+    fingerprint, so a stale checkpoint can never be resumed into a
+    different campaign.
+    """
+    campaign.prepare()
+    h = hashlib.sha256()
+    h.update(
+        (
+            f"{campaign.entry}|{n_trials}|{seed}|{campaign.budget_factor}"
+            f"|{campaign.golden_cycles}|{campaign.total_dynamic_injectable}|"
+        ).encode()
+    )
+    for inst, count in campaign._sites:
+        fn = inst.function
+        h.update(f"{fn.name if fn else '?'}:{inst.opcode}:{count};".encode())
+    return h.hexdigest()[:16]
+
+
+# -- the engine ---------------------------------------------------------------
+
+#: the prepared campaign, inherited by forked workers (never pickled).
+_WORKER_CAMPAIGN = None
+
+
+def _run_chunk(chunk: Sequence[Tuple[int, int, int, int]]) -> List[Tuple]:
+    """Worker body: execute one shard of trials on the inherited campaign."""
+    campaign = _WORKER_CAMPAIGN
+    sites = campaign._sites
+    run_site = campaign.run_site
+    perf = time.perf_counter
+    out = []
+    for index, site_index, occurrence, bit in chunk:
+        inst, _count = sites[site_index]
+        t0 = perf()
+        record = run_site(FaultSite(inst, occurrence, bit))
+        out.append(
+            (index, record.outcome.value, record.status, record.cycles, perf() - t0)
+        )
+    return out
+
+
+def run_campaign(
+    campaign,
+    n_trials: int,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    progress: bool = False,
+    on_trial: Optional[Callable[[int, object], None]] = None,
+    chunk_size: Optional[int] = None,
+):
+    """Execute a campaign's trials, optionally sharded over worker processes.
+
+    Returns the same ``CampaignResult`` (bit-identical records, in trial
+    order) for every ``n_jobs``, with a :class:`CampaignStats` attached as
+    ``result.stats``.  ``on_trial(index, record)`` fires as each trial
+    completes (completion order); an exception raised from it aborts the
+    campaign after flushing the checkpoint, which is how interactive
+    interruption stays resumable.
+    """
+    from .campaign import CampaignResult, TrialRecord
+
+    n_jobs = resolve_jobs(n_jobs)
+    campaign.prepare()
+    sites = campaign.sample_trials(n_trials, seed)
+    stats = CampaignStats(n_trials, n_jobs)
+    records: List[Optional[TrialRecord]] = [None] * n_trials
+    site_index_of = {
+        id(inst): k for k, (inst, _count) in enumerate(campaign._sites)
+    }
+
+    checkpoint = None
+    if checkpoint_path:
+        fingerprint = campaign_fingerprint(campaign, n_trials, seed)
+        checkpoint = CampaignCheckpoint(checkpoint_path, fingerprint, n_trials, seed)
+        completed = checkpoint.load()
+        for i, entry in completed.items():
+            if records[i] is not None:
+                continue
+            site = sites[i]
+            if (
+                entry.get("site_index") != site_index_of[id(site.instruction)]
+                or entry.get("occurrence") != site.occurrence
+                or entry.get("bit") != site.bit
+            ):
+                continue  # does not match the deterministic plan; re-run
+            records[i] = TrialRecord(
+                site, Outcome(entry["outcome"]), entry["status"], entry["cycles"]
+            )
+            stats.resumed += 1
+        checkpoint.open_for_append(fresh=not completed)
+
+    pending = [
+        (i, site_index_of[id(sites[i].instruction)], sites[i].occurrence, sites[i].bit)
+        for i in range(n_trials)
+        if records[i] is None
+    ]
+
+    last_progress = [stats.started]
+
+    def deliver(index: int, record: TrialRecord, seconds: float) -> None:
+        records[index] = record
+        stats.record(record.outcome, seconds)
+        if checkpoint is not None:
+            checkpoint.append(index, sites[index], pending_site_index[index], record)
+        if on_trial is not None:
+            on_trial(index, record)
+        if progress:
+            now = time.perf_counter()
+            if now - last_progress[0] >= 0.5 or stats.remaining == 0:
+                last_progress[0] = now
+                print(stats.progress_line(), file=sys.stderr)
+
+    pending_site_index = {i: si for i, si, _occ, _bit in pending}
+
+    try:
+        if len(pending) == 0:
+            pass
+        elif n_jobs == 1 or len(pending) == 1 or not fork_available():
+            perf = time.perf_counter
+            for i, _si, _occ, _bit in pending:
+                t0 = perf()
+                record = campaign.run_site(sites[i])
+                deliver(i, record, perf() - t0)
+        else:
+            _run_pool(campaign, pending, n_jobs, chunk_size, sites, deliver)
+    finally:
+        stats.finish()
+        if checkpoint is not None:
+            checkpoint.close()
+
+    counts = OutcomeCounts()
+    for record in records:
+        assert record is not None
+        counts.record(record.outcome)
+    result = CampaignResult(records, counts, campaign.golden_cycles, seed)
+    result.stats = stats
+    return result
+
+
+def _run_pool(campaign, pending, n_jobs, chunk_size, sites, deliver) -> None:
+    """Shard ``pending`` trials over a pool of forked persistent workers."""
+    from .campaign import TrialRecord
+
+    global _WORKER_CAMPAIGN
+    if chunk_size is None:
+        chunk_size = max(1, min(DEFAULT_CHUNK, len(pending) // (n_jobs * 2) or 1))
+    chunks = [
+        pending[k : k + chunk_size] for k in range(0, len(pending), chunk_size)
+    ]
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_CAMPAIGN = campaign
+    try:
+        with ctx.Pool(processes=min(n_jobs, len(chunks))) as pool:
+            for shard in pool.imap_unordered(_run_chunk, chunks):
+                for index, outcome_value, status, cycles, seconds in shard:
+                    record = TrialRecord(
+                        sites[index], Outcome(outcome_value), status, cycles
+                    )
+                    deliver(index, record, seconds)
+    finally:
+        _WORKER_CAMPAIGN = None
+
+
+# -- generic fork-mapping (used by the MPI campaign) ---------------------------
+
+_WORKER_FN = None
+
+
+def _fn_chunk(chunk) -> List:
+    return [_WORKER_FN(item) for item in chunk]
+
+
+def fork_map(fn: Callable, items: Sequence, n_jobs: int, chunk_size: int = DEFAULT_CHUNK):
+    """Map ``fn`` over ``items`` with forked workers, yielding results in
+    completion order.  ``fn`` and ``items`` are inherited by fork, so ``fn``
+    may close over arbitrary unpicklable state; each *result* must pickle.
+    Falls back to a plain serial map when fork is unavailable or
+    ``n_jobs <= 1``.
+    """
+    if n_jobs <= 1 or len(items) <= 1 or not fork_available():
+        for item in items:
+            yield fn(item)
+        return
+    global _WORKER_FN
+    chunks = [items[k : k + chunk_size] for k in range(0, len(items), chunk_size)]
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_FN = fn
+    try:
+        with ctx.Pool(processes=min(n_jobs, len(chunks))) as pool:
+            for shard in pool.imap_unordered(_fn_chunk, chunks):
+                for result in shard:
+                    yield result
+    finally:
+        _WORKER_FN = None

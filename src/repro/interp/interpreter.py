@@ -99,6 +99,16 @@ class RunResult:
 class Interpreter:
     """Executes a compiled module; reusable across many runs."""
 
+    # Generated block code hits ``state.cycles`` / ``state.budget`` /
+    # ``state.prof`` / ``state.cells`` on every block; __slots__ turns those
+    # into fixed-offset loads instead of instance-dict lookups.
+    __slots__ = (
+        "cm", "module", "cfuncs", "stack_cells", "mpi", "collect_output",
+        "global_overrides", "_cells_template", "cells", "sp", "cycles",
+        "budget", "ret", "depth", "prof", "output_log", "inj_cfi", "inj_fns",
+        "inj_seen", "inj_occ", "inj_bit", "inj_hit",
+    )
+
     DEFAULT_STACK_CELLS = 1 << 16
     DEFAULT_MAX_DEPTH = 2000
     NO_BUDGET = 1 << 62
@@ -121,6 +131,11 @@ class Interpreter:
         self.mpi = mpi if mpi is not None else SerialMpi()
         self.collect_output = collect_output
         self.global_overrides: Dict[str, Sequence] = {}
+        # Globals + zeroed stack, built once: reset() is one list copy
+        # instead of a fresh 64k-cell extend per run (campaigns reset
+        # thousands of times per second).
+        self._cells_template: List = list(self.cm.global_template)
+        self._cells_template.extend([0] * stack_cells)
 
         # mutable run state (initialised by reset)
         self.cells: List = []
@@ -161,8 +176,7 @@ class Interpreter:
     # -- state management ----------------------------------------------------------
 
     def reset(self) -> None:
-        self.cells = list(self.cm.global_template)
-        self.cells.extend([0] * self.stack_cells)
+        self.cells = self._cells_template.copy()
         self.sp = self.cm.stack_base
         self.cycles = 0
         self.ret = None
@@ -245,22 +259,25 @@ class Interpreter:
         )
 
     def call(self, cfi: int, args: Tuple) -> object:
-        """Invoke compiled function ``cfi`` (used by generated call steps)."""
-        self.depth += 1
-        if self.depth > self.DEFAULT_MAX_DEPTH:
-            self.depth -= 1
+        """Invoke compiled function ``cfi`` (used by generated call steps).
+
+        This is the block-dispatch hot loop: attribute lookups are hoisted
+        into locals and the loop body is a single indexed call per block.
+        """
+        depth = self.depth + 1
+        if depth > self.DEFAULT_MAX_DEPTH:
             raise StackOverflow("call depth limit exceeded")
+        self.depth = depth
         sp0 = self.sp
         cf = self.cfuncs[cfi]
         frame: List = [None] * cf.nslots
         if args:
             frame[: len(args)] = args
-        fns = self.inj_fns if cfi == self.inj_cfi else cf.block_fns
-        assert fns is not None
-        bi = 0
+        fns = cf.block_fns if cfi != self.inj_cfi else self.inj_fns
+        bi = fns[0](frame, self)
         while bi >= 0:
             bi = fns[bi](frame, self)
-        self.depth -= 1
+        self.depth = depth - 1
         self.sp = sp0
         return self.ret
 

@@ -24,7 +24,15 @@ class StandardScaler:
             raise ValueError("expected a 2-D feature matrix")
         self.mean_ = X.mean(axis=0)
         std = X.std(axis=0)
-        std[std == 0.0] = 1.0  # constant feature -> centred to exactly zero
+        # A column of identical large values can yield a tiny nonzero std from
+        # floating-point cancellation; dividing by it would blow the "constant
+        # feature -> exactly zero" guarantee.  Treat std as zero whenever it is
+        # negligible relative to the column magnitude.
+        tiny = 1e-12 * np.maximum(np.abs(self.mean_), 1.0)
+        constant = std <= tiny
+        if len(X):
+            self.mean_[constant] = X[0, constant]
+        std[constant] = 1.0
         self.scale_ = std
         return self
 
