@@ -30,6 +30,52 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per trial; a worker past its chunk deadline "
+        "is killed and its trials requeued (default: IPAS_TRIAL_TIMEOUT env "
+        "or no deadline)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts for a trial whose worker died before it is "
+        "quarantined as a trial_failure (default: IPAS_MAX_RETRIES env or 2)",
+    )
+    parser.add_argument(
+        "--on-worker-failure",
+        choices=["respawn", "serial", "abort"],
+        default=None,
+        help="reaction to a dead/hung worker: respawn it (default), fall "
+        "back to serial execution, or abort (default: IPAS_ON_WORKER_FAILURE "
+        "env or 'respawn')",
+    )
+
+
+def _resolve_supervision(args):
+    """A SupervisorPolicy when any knob was given, else None (env defaults)."""
+    if (
+        args.trial_timeout is None
+        and args.max_retries is None
+        and args.on_worker_failure is None
+    ):
+        return None
+    from .faults import SupervisorPolicy
+
+    return SupervisorPolicy.resolve(
+        None,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
+        on_worker_failure=args.on_worker_failure,
+    )
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -102,16 +148,31 @@ def cmd_inject(args) -> int:
     campaign = Campaign(
         interp, verifier=workload.verifier(), budget_factor=workload.budget_factor
     )
+
+    if args.verify_checkpoint:
+        return _verify_checkpoint_report(args, campaign)
+
+    chaos = None
+    if args.chaos:
+        from .faults.chaos import parse_chaos_spec
+
+        chaos = parse_chaos_spec(args.chaos)
     result = campaign.run(
         args.trials,
         seed=args.seed,
         n_jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         progress=args.progress,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
+        on_worker_failure=args.on_worker_failure,
+        chaos=chaos,
     )
     print(f"{args.trials} single-bit faults injected into {workload.name}:")
     for outcome in Outcome:
         count = result.counts.counts[outcome]
+        if outcome is Outcome.TRIAL_FAILURE and count == 0:
+            continue  # harness-only outcome; hide it for undisturbed runs
         print(f"  {outcome.value:>9}: {count:5d}  ({100*count/args.trials:5.1f}%)")
     stats = result.stats
     if stats is not None and stats.completed:
@@ -122,7 +183,50 @@ def cmd_inject(args) -> int:
             + (f", {stats.resumed} resumed from checkpoint" if stats.resumed else "")
             + ")"
         )
+    if stats is not None and (stats.harness_events or stats.serial_fallback):
+        print(
+            f"  harness: {stats.worker_deaths} worker death"
+            f"{'s' if stats.worker_deaths != 1 else ''} "
+            f"({stats.hangs} hangs), {stats.respawns} respawns, "
+            f"{stats.retries} retries, {stats.quarantined} quarantined"
+            + (", serial fallback" if stats.serial_fallback else "")
+        )
     return 0
+
+
+def _verify_checkpoint_report(args, campaign) -> int:
+    """``inject --verify-checkpoint``: validate CRCs + fingerprint, report
+    recoverable vs. lost trials.  Exit 0 iff the file belongs to this
+    campaign and its header is sound."""
+    from .faults import campaign_fingerprint, verify_checkpoint
+
+    if not args.checkpoint:
+        print("error: --verify-checkpoint requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    fingerprint = campaign_fingerprint(campaign, args.trials, args.seed)
+    report = verify_checkpoint(
+        args.checkpoint,
+        fingerprint=fingerprint,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"checkpoint: {report['path']}")
+    if report["error"]:
+        print(f"  error: {report['error']}")
+        return 1
+    print(f"  version: {report['version']} (ok)")
+    print(
+        f"  fingerprint: {report['fingerprint']} "
+        + ("(matches campaign)" if report["fingerprint_ok"] else "(MISMATCH)")
+    )
+    lost = report["lost"] if report["lost"] is not None else "?"
+    print(
+        f"  recoverable trials: {report['recoverable']}/{args.trials} "
+        f"({lost} must re-run)"
+    )
+    print(f"  corrupted lines: {report['corrupted_lines']}")
+    print(f"  torn tail: {'yes' if report['truncated_tail'] else 'no'}")
+    return 0 if report["fingerprint_ok"] else 1
 
 
 def cmd_protect(args) -> int:
@@ -133,7 +237,13 @@ def cmd_protect(args) -> int:
     workload = get_workload(args.workload)
     scale = _resolve_scale(args)
     print(f"scale: {scale!r}", file=sys.stderr)
-    pipeline = IpasPipeline(workload, scale, seed=args.seed)
+    pipeline = IpasPipeline(
+        workload,
+        scale,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        supervision=_resolve_supervision(args),
+    )
     data = pipeline.collect_training_data()
     print(f"training campaign: {data.campaign.counts}")
     print(f"SOC-generating fraction: {data.positive_fraction:.1%}")
@@ -168,7 +278,11 @@ def cmd_evaluate(args) -> int:
     scale = _resolve_scale(args)
     try:
         result = run_full_evaluation(
-            args.workload, scale, seed=args.seed, n_jobs=args.jobs
+            args.workload,
+            scale,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            supervision=_resolve_supervision(args),
         )
     except VerificationError as exc:
         print(f"error: protected module failed verification:\n{exc}", file=sys.stderr)
@@ -305,15 +419,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSONL checkpoint file; an interrupted campaign resumes from it",
     )
+    _add_supervision_args(p_inject)
+    p_inject.add_argument(
+        "--verify-checkpoint",
+        action="store_true",
+        help="validate the --checkpoint file (CRCs + fingerprint), report "
+        "recoverable vs. lost trials, and exit without injecting",
+    )
+    p_inject.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="failure-injection drill for the harness itself: "
+        "kill@IDX[!] and hang@IDX:SECONDS events, comma-separated "
+        "(e.g. 'kill@7,hang@12:3'); results must stay identical",
+    )
 
     p_protect = sub.add_parser("protect", help="run the IPAS pipeline")
     p_protect.add_argument("workload")
     _add_scale_args(p_protect)
+    _add_jobs_arg(p_protect)
+    _add_supervision_args(p_protect)
 
     p_eval = sub.add_parser("evaluate", help="full technique comparison")
     p_eval.add_argument("workload")
     _add_scale_args(p_eval)
     _add_jobs_arg(p_eval)
+    _add_supervision_args(p_eval)
 
     p_analyze = sub.add_parser(
         "analyze", help="static SOC-risk scores and IR diagnostics (no injection)"

@@ -74,8 +74,13 @@ def evaluate_variant(
     duplicated_fraction: float = 0.0,
     input_id: int = 1,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> TechniqueEvaluation:
-    """Run the evaluation campaign for one module variant."""
+    """Run the evaluation campaign for one module variant.
+
+    ``supervision`` (a ``repro.faults.SupervisorPolicy``) controls worker
+    recovery for the underlying campaign; ``None`` uses the env defaults.
+    """
     interp = workload.make_interpreter(input_id=input_id, module=module)
     campaign = Campaign(
         interp,
@@ -83,7 +88,7 @@ def evaluate_variant(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(trials, seed=seed, n_jobs=n_jobs)
+    result = campaign.run(trials, seed=seed, n_jobs=n_jobs, supervision=supervision)
     slowdown = (
         campaign.golden_cycles / unprotected_cycles if unprotected_cycles else 1.0
     )
@@ -107,6 +112,7 @@ def evaluate_unprotected(
     seed: int,
     input_id: int = 1,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> TechniqueEvaluation:
     """The reference campaign on the clean module."""
     module = workload.compile()
@@ -117,7 +123,7 @@ def evaluate_unprotected(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(trials, seed=seed, n_jobs=n_jobs)
+    result = campaign.run(trials, seed=seed, n_jobs=n_jobs, supervision=supervision)
     return TechniqueEvaluation(
         "unprotected",
         "-",

@@ -55,9 +55,17 @@ class CollectedData:
 
 
 def collect_data(
-    workload: Workload, n_samples: int, seed: int = 0, n_jobs: Optional[int] = None
+    workload: Workload,
+    n_samples: int,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> CollectedData:
-    """Step 2 of Fig. 1: statistical fault injection plus feature vectors."""
+    """Step 2 of Fig. 1: statistical fault injection plus feature vectors.
+
+    ``supervision`` (a ``repro.faults.SupervisorPolicy``) controls worker
+    recovery for the collection campaign; ``None`` uses the env defaults.
+    """
     module = workload.compile()
     interp = workload.make_interpreter(input_id=1, module=module)
     campaign = Campaign(
@@ -66,7 +74,7 @@ def collect_data(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(n_samples, seed=seed, n_jobs=n_jobs)
+    result = campaign.run(n_samples, seed=seed, n_jobs=n_jobs, supervision=supervision)
     extractor = FeatureExtractor(module)
     X = extractor.extract_many([r.instruction for r in result.records])
     return CollectedData(module, result, X)
@@ -141,6 +149,7 @@ class IpasPipeline:
         seed: int = 0,
         collected: Optional[CollectedData] = None,
         n_jobs: Optional[int] = None,
+        supervision=None,
     ):
         if labeling not in (LABEL_SOC, LABEL_SYMPTOM):
             raise ValueError(f"unknown labeling {labeling!r}")
@@ -149,6 +158,7 @@ class IpasPipeline:
         self.labeling = labeling
         self.seed = seed
         self.n_jobs = n_jobs
+        self.supervision = supervision
         self.training_seconds = 0.0
         self._collected = collected
         self._training_data: Optional[TrainingData] = None
@@ -163,7 +173,7 @@ class IpasPipeline:
         if self._collected is None:
             self._collected = collect_data(
                 self.workload, self.scale.train_samples, self.seed,
-                n_jobs=self.n_jobs,
+                n_jobs=self.n_jobs, supervision=self.supervision,
             )
         collected = self._collected
         y = np.array(

@@ -33,8 +33,11 @@ def _labeled_data(
     scale: ExperimentScale,
     seed: int,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ):
-    pipeline = get_pipeline(workload_name, scale, seed, "soc", n_jobs=n_jobs)
+    pipeline = get_pipeline(
+        workload_name, scale, seed, "soc", n_jobs=n_jobs, supervision=supervision
+    )
     data = pipeline.collect_training_data()
     return data.X, data.y
 
@@ -57,6 +60,7 @@ def run_classifier_ablation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """SVM vs decision tree vs k-NN on identical data (§4.3.1)."""
     scale = scale or ExperimentScale.from_env()
@@ -65,7 +69,9 @@ def run_classifier_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
+    X, y = _labeled_data(
+        workload_name, scale, seed, n_jobs=n_jobs, supervision=supervision
+    )
     # Give the SVM its tuned hyper-parameters, the comparators reasonable ones.
     best = GridSearch(grid=paper_grid(min(scale.grid_configs, 30)), k=3).top_configs(
         StandardScaler().fit_transform(X), y, n=1
@@ -95,6 +101,7 @@ def run_training_size_ablation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """Learning curve over the number of fault-injection samples."""
     scale = scale or ExperimentScale.from_env()
@@ -106,7 +113,9 @@ def run_training_size_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
+    X, y = _labeled_data(
+        workload_name, scale, seed, n_jobs=n_jobs, supervision=supervision
+    )
     rng = np.random.RandomState(seed)
     points: List[Dict] = []
     for size in sizes:
@@ -143,6 +152,7 @@ def run_feature_ablation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """CV F-score with each Table-1 category removed / used alone."""
     scale = scale or ExperimentScale.from_env()
@@ -151,7 +161,9 @@ def run_feature_ablation(
         hit = cache.load(key)
         if hit is not None:
             return hit
-    X, y = _labeled_data(workload_name, scale, seed, n_jobs=n_jobs)
+    X, y = _labeled_data(
+        workload_name, scale, seed, n_jobs=n_jobs, supervision=supervision
+    )
 
     def score_with(columns: List[int]) -> float:
         Xm = X[:, columns]
@@ -182,11 +194,13 @@ def run_topn_ablation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """§6.1: does top-3 already contain the ideal-point best of top-5?"""
     scale = scale or ExperimentScale.from_env()
     full = run_full_evaluation(
-        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs,
+        supervision=supervision,
     )
     entries = full["ipas"]
     best5 = best_by_ideal_point(entries)

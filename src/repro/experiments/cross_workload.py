@@ -29,6 +29,7 @@ def run_cross_workload(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """Protect ``test_name`` with a classifier trained on ``train_name``."""
     scale = scale or ExperimentScale.from_env()
@@ -38,7 +39,9 @@ def run_cross_workload(
         if hit is not None:
             return hit
 
-    pipeline = get_pipeline(train_name, scale, seed, "soc", n_jobs=n_jobs)
+    pipeline = get_pipeline(
+        train_name, scale, seed, "soc", n_jobs=n_jobs, supervision=supervision
+    )
     trained = pipeline.train()[0]
 
     workload = get_workload(test_name)
@@ -47,7 +50,8 @@ def run_cross_workload(
     report = duplicate_instructions(module, selector.select(module))
 
     unprotected = evaluate_unprotected(
-        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs,
+        supervision=supervision,
     )
     evaluation = evaluate_variant(
         module,
@@ -60,6 +64,7 @@ def run_cross_workload(
         seed=seed + EVAL_SEED_OFFSET,
         duplicated_fraction=report.duplicated_fraction,
         n_jobs=n_jobs,
+        supervision=supervision,
     )
     result = {
         "train": train_name,
@@ -82,6 +87,7 @@ def run_cross_workload_matrix(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """The full train×test SOC-reduction matrix over ``names``."""
     matrix = {}
@@ -89,7 +95,8 @@ def run_cross_workload_matrix(
         row = {}
         for test in names:
             row[test] = run_cross_workload(
-                train, test, scale, seed, use_cache, n_jobs=n_jobs
+                train, test, scale, seed, use_cache, n_jobs=n_jobs,
+                supervision=supervision,
             )
         matrix[train] = row
     diagonal = [matrix[n][n]["soc_reduction"] for n in names]

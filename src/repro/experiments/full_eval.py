@@ -58,6 +58,7 @@ def _evaluate_protected(
     seed: int,
     label: str,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     evaluation = evaluate_variant(
         variant.module,
@@ -70,6 +71,7 @@ def _evaluate_protected(
         seed=seed + EVAL_SEED_OFFSET,
         duplicated_fraction=variant.report.duplicated_fraction,
         n_jobs=n_jobs,
+        supervision=supervision,
     )
     record = _counts_dict(evaluation)
     record["duplication_seconds"] = variant.duplication_seconds
@@ -88,11 +90,14 @@ def run_full_evaluation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """All techniques on one workload; returns (and caches) a result dict.
 
     ``n_jobs`` parallelises every fault-injection campaign; results (and
-    the cache key) are identical for any worker count.
+    the cache key) are identical for any worker count — including under
+    worker failure, which ``supervision`` (a
+    ``repro.faults.SupervisorPolicy``) recovers from.
     """
     scale = scale or ExperimentScale.from_env()
     key = f"fulleval-{workload_name}-{scale.cache_key()}-s{seed}"
@@ -106,7 +111,8 @@ def run_full_evaluation(
 
     # Reference campaign.
     unprotected = evaluate_unprotected(
-        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs
+        workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs,
+        supervision=supervision,
     )
 
     # Full duplication.
@@ -120,7 +126,8 @@ def run_full_evaluation(
         full_module, full_report, "full", None, full_duplication_seconds
     )
     full_eval = _evaluate_protected(
-        full_variant, workload, unprotected, scale, seed, "full", n_jobs=n_jobs
+        full_variant, workload, unprotected, scale, seed, "full", n_jobs=n_jobs,
+        supervision=supervision,
     )
 
     # Injection-free static-risk baseline (same duplication machinery,
@@ -137,13 +144,14 @@ def run_full_evaluation(
     )
     static_eval = _evaluate_protected(
         static_variant, workload, unprotected, scale, seed, static_selector.name,
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, supervision=supervision,
     )
 
     # Shared training campaign; IPAS and Baseline pipelines on top.
     collection_start = time.perf_counter()
     collected = collect_data(
-        workload, scale.train_samples, seed=seed, n_jobs=n_jobs
+        workload, scale.train_samples, seed=seed, n_jobs=n_jobs,
+        supervision=supervision,
     )
     collection_seconds = time.perf_counter() - collection_start
 
@@ -166,14 +174,15 @@ def run_full_evaluation(
     for labeling, bucket in ((LABEL_SOC, "ipas"), (LABEL_SYMPTOM, "baseline")):
         pipeline = IpasPipeline(
             workload, scale, labeling, seed=seed, collected=collected,
-            n_jobs=n_jobs,
+            n_jobs=n_jobs, supervision=supervision,
         )
         variants = pipeline.protect_all()
         entries: List[Dict] = []
         for i, variant in enumerate(variants):
             label = f"cfg{i + 1}"
             entry = _evaluate_protected(
-                variant, workload, unprotected, scale, seed, label, n_jobs=n_jobs
+                variant, workload, unprotected, scale, seed, label, n_jobs=n_jobs,
+                supervision=supervision,
             )
             entry["label"] = label
             entries.append(entry)

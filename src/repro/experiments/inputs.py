@@ -26,6 +26,7 @@ def run_input_variation(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """SOC reduction per input for the input-1-trained best configuration."""
     scale = scale or ExperimentScale.from_env()
@@ -40,11 +41,13 @@ def run_input_variation(
 
     workload = get_workload(workload_name)
     full = run_full_evaluation(
-        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs,
+        supervision=supervision,
     )
     best = best_by_ideal_point(full["ipas"])
     variant = best_protected_variant(
-        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs
+        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs,
+        supervision=supervision,
     )
 
     points: List[Dict] = []
@@ -55,6 +58,7 @@ def run_input_variation(
             seed=seed + EVAL_SEED_OFFSET + input_id,
             input_id=input_id,
             n_jobs=n_jobs,
+            supervision=supervision,
         )
         protected = evaluate_variant(
             variant.module,
@@ -68,6 +72,7 @@ def run_input_variation(
             duplicated_fraction=variant.report.duplicated_fraction,
             input_id=input_id,
             n_jobs=n_jobs,
+            supervision=supervision,
         )
         points.append(
             {

@@ -29,6 +29,7 @@ def run_scalability(
     seed: int = 0,
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> Dict:
     """Slowdown vs rank count for one workload's best IPAS configuration."""
     scale = scale or ExperimentScale.from_env()
@@ -44,11 +45,13 @@ def run_scalability(
     workload = get_workload(workload_name)
     # Pick the best configuration the full evaluation chose (Table 4).
     full = run_full_evaluation(
-        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs
+        workload_name, scale, seed, use_cache=use_cache, n_jobs=n_jobs,
+        supervision=supervision,
     )
     best = best_by_ideal_point(full["ipas"])
     variant = best_protected_variant(
-        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs
+        workload_name, scale, seed, best_config=best.get("config"), n_jobs=n_jobs,
+        supervision=supervision,
     )
 
     clean_module = workload.compile()

@@ -26,12 +26,14 @@ def get_collection(
     scale: ExperimentScale,
     seed: int,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> CollectedData:
     key = (workload_name, scale.cache_key(), seed)
     if key not in _COLLECTIONS:
         workload = get_workload(workload_name)
         _COLLECTIONS[key] = collect_data(
-            workload, scale.train_samples, seed=seed, n_jobs=n_jobs
+            workload, scale.train_samples, seed=seed, n_jobs=n_jobs,
+            supervision=supervision,
         )
     return _COLLECTIONS[key]
 
@@ -42,11 +44,14 @@ def get_pipeline(
     seed: int = 0,
     labeling: str = LABEL_SOC,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ) -> IpasPipeline:
     key = (workload_name, scale.cache_key(), seed, labeling)
     if key not in _PIPELINES:
         workload = get_workload(workload_name)
-        collected = get_collection(workload_name, scale, seed, n_jobs=n_jobs)
+        collected = get_collection(
+            workload_name, scale, seed, n_jobs=n_jobs, supervision=supervision
+        )
         pipeline = IpasPipeline(
             workload, scale, labeling, seed=seed, collected=collected
         )
@@ -62,11 +67,14 @@ def best_protected_variant(
     labeling: str = LABEL_SOC,
     best_config: Optional[Dict] = None,
     n_jobs: Optional[int] = None,
+    supervision=None,
 ):
     """Protect with the trained configuration matching ``best_config``
     (a ``{"C": ..., "gamma": ...}`` dict, e.g. from a cached full
     evaluation), or with the top-F-score configuration when not given."""
-    pipeline = get_pipeline(workload_name, scale, seed, labeling, n_jobs=n_jobs)
+    pipeline = get_pipeline(
+        workload_name, scale, seed, labeling, n_jobs=n_jobs, supervision=supervision
+    )
     configs = pipeline.train()
     chosen = configs[0]
     if best_config is not None:

@@ -17,10 +17,21 @@ from .mpi_campaign import MpiCampaign, MpiCampaignResult, MpiTrialRecord
 from .parallel import (
     CampaignCheckpoint,
     CampaignStats,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointWarning,
     campaign_fingerprint,
     fork_available,
     resolve_jobs,
     run_campaign,
+    verify_checkpoint,
+)
+from .supervisor import (
+    PoolCollapse,
+    SupervisorPolicy,
+    TrialFailure,
+    WorkerFailureError,
+    run_supervised,
 )
 
 __all__ = [
@@ -29,5 +40,8 @@ __all__ = [
     "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",
     "MpiCampaign", "MpiCampaignResult", "MpiTrialRecord",
     "CampaignCheckpoint", "CampaignStats", "campaign_fingerprint",
-    "fork_available", "resolve_jobs", "run_campaign",
+    "CheckpointError", "CheckpointMismatchError", "CheckpointWarning",
+    "fork_available", "resolve_jobs", "run_campaign", "verify_checkpoint",
+    "PoolCollapse", "SupervisorPolicy", "TrialFailure",
+    "WorkerFailureError", "run_supervised",
 ]

@@ -51,15 +51,28 @@ class OutputVerifier:
 
 
 class TrialRecord:
-    """One fault-injection run."""
+    """One fault-injection run.
 
-    __slots__ = ("site", "outcome", "status", "cycles")
+    ``failure`` is normally ``None``; it carries a
+    :class:`~repro.faults.supervisor.TrialFailure` when the outcome is
+    ``TRIAL_FAILURE`` — the harness, not the program, failed the trial.
+    """
 
-    def __init__(self, site: FaultSite, outcome: Outcome, status: str, cycles: int):
+    __slots__ = ("site", "outcome", "status", "cycles", "failure")
+
+    def __init__(
+        self,
+        site: FaultSite,
+        outcome: Outcome,
+        status: str,
+        cycles: int,
+        failure=None,
+    ):
         self.site = site
         self.outcome = outcome
         self.status = status
         self.cycles = cycles
+        self.failure = failure
 
     @property
     def instruction(self):
@@ -85,7 +98,7 @@ class TrialRecord:
             else:
                 raise ValueError(f"{inst!r} is not an injectable instruction")
         fn = inst.function
-        return {
+        data = {
             "site_index": site_index,
             "opcode": inst.opcode,
             "function": fn.name if fn else None,
@@ -95,6 +108,9 @@ class TrialRecord:
             "status": self.status,
             "cycles": self.cycles,
         }
+        if self.failure is not None:
+            data["failure"] = self.failure.as_dict()
+        return data
 
     @classmethod
     def from_dict(
@@ -113,7 +129,18 @@ class TrialRecord:
                 f"record says {data['opcode']!r}: module mismatch"
             )
         site = FaultSite(inst, data["occurrence"], data["bit"])
-        return cls(site, Outcome(data["outcome"]), data["status"], data["cycles"])
+        failure = None
+        if data.get("failure"):
+            from .supervisor import TrialFailure
+
+            failure = TrialFailure.from_dict(data["failure"])
+        return cls(
+            site,
+            Outcome(data["outcome"]),
+            data["status"],
+            data["cycles"],
+            failure=failure,
+        )
 
     def __repr__(self) -> str:
         return f"<TrialRecord {self.outcome.value} at {self.site!r}>"
@@ -273,14 +300,24 @@ class Campaign:
         checkpoint_path: Optional[str] = None,
         progress: bool = False,
         on_trial: Optional[Callable] = None,
+        trial_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        on_worker_failure: Optional[str] = None,
+        supervision=None,
+        strict_resume: bool = False,
+        chaos=None,
     ) -> CampaignResult:
         """The whole campaign: ``n_trials`` independent single-fault runs.
 
         ``n_jobs`` shards trials over persistent worker processes (default:
         ``IPAS_JOBS`` env, else in-process); results are bit-identical for
-        every worker count.  ``checkpoint_path`` flushes completed trials to
-        a resumable JSONL file; ``progress`` prints live throughput to
-        stderr; ``on_trial(index, record)`` fires per completed trial.
+        every worker count, including under worker failure — dead or hung
+        workers are requeued and respawned per the supervision policy
+        (``trial_timeout``/``max_retries``/``on_worker_failure``, or a full
+        ``supervision=SupervisorPolicy(...)``).  ``checkpoint_path``
+        flushes completed trials to a resumable, CRC-protected JSONL file;
+        ``progress`` prints live throughput to stderr;
+        ``on_trial(index, record)`` fires per completed trial.
         """
         from .parallel import run_campaign
 
@@ -292,4 +329,10 @@ class Campaign:
             checkpoint_path=checkpoint_path,
             progress=progress,
             on_trial=on_trial,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
+            on_worker_failure=on_worker_failure,
+            supervision=supervision,
+            strict_resume=strict_resume,
+            chaos=chaos,
         )

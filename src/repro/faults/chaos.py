@@ -1,0 +1,156 @@
+"""Chaos harness: test-only failure injection for the campaign supervisor.
+
+The supervisor's contract — campaign results bit-identical to an
+undisturbed serial run, even while workers die and checkpoints tear — is
+only worth stating if something exercises it.  :class:`ChaosMonkey` is
+that something: armed inside worker processes (never in the parent), it
+kills the worker or delays a chunk when it reaches a chosen trial index.
+
+Cross-process coordination uses marker files in a state directory: a
+"fire once" event touches its marker atomically (``O_CREAT | O_EXCL``),
+so a *respawned* worker retrying the same trial does not re-fire and the
+retried trial completes normally — which is exactly what keeps the
+results bit-identical.  Events created with ``once=False`` fire every
+time and model genuine poison trials (the quarantine path).
+
+``corrupt_checkpoint`` garbles or truncates checkpoint lines, modelling
+disk-level corruption and mid-write crashes for the recovery tests.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, Iterable, Optional
+
+#: exit code chaos-killed workers die with (distinguishable in waitpid).
+CHAOS_EXIT_CODE = 17
+
+
+class ChaosMonkey:
+    """Deterministic failure injector, inherited by workers at fork.
+
+    ``kill_at`` — trial indexes whose worker calls ``os._exit`` just
+    before executing them.  ``hang_at`` — ``{index: seconds}`` sleeps
+    injected before the trial, used to blow the supervisor's wall-clock
+    deadline.  With ``once=True`` (default) each event fires a single
+    time across all workers and respawns; ``once=False`` makes every
+    attempt fail (a poison trial).
+    """
+
+    def __init__(
+        self,
+        kill_at: Iterable[int] = (),
+        hang_at: Optional[Dict[int, float]] = None,
+        once: bool = True,
+        state_dir: Optional[str] = None,
+    ):
+        self.kill_at = frozenset(kill_at)
+        self.hang_at = dict(hang_at or {})
+        self.once = once
+        self.state_dir = state_dir or tempfile.mkdtemp(prefix="ipas-chaos-")
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._armed = False
+
+    def arm(self) -> None:
+        """Called by the worker main loop after fork.  The parent process
+        never arms, so a serial fallback cannot chaos-kill the campaign."""
+        self._armed = True
+
+    def _fire_once(self, kind: str, index: int) -> bool:
+        if not self.once:
+            return True
+        marker = os.path.join(self.state_dir, f"{kind}-{index}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def before_trial(self, index: int) -> None:
+        if not self._armed:
+            return
+        delay = self.hang_at.get(index)
+        if delay is not None and self._fire_once("hang", index):
+            time.sleep(delay)
+        if index in self.kill_at and self._fire_once("kill", index):
+            os._exit(CHAOS_EXIT_CODE)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChaosMonkey kill={sorted(self.kill_at)} "
+            f"hang={self.hang_at} once={self.once}>"
+        )
+
+
+def parse_chaos_spec(spec: str, state_dir: Optional[str] = None) -> ChaosMonkey:
+    """CLI chaos grammar: comma-separated events.
+
+    * ``kill@IDX`` — kill the worker about to execute trial ``IDX`` (once);
+    * ``kill@IDX!`` — kill on *every* attempt (poison trial → quarantine);
+    * ``hang@IDX:SECONDS`` — sleep before trial ``IDX`` (once).
+
+    ``kill@5,hang@9:2.5`` is a one-worker-killed-one-chunk-delayed run.
+    A ``!`` on any kill event makes all kill events persistent.
+    """
+    kill_at = set()
+    hang_at: Dict[int, float] = {}
+    once = True
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            kind, _, rest = part.partition("@")
+            if kind == "kill":
+                if rest.endswith("!"):
+                    once = False
+                    rest = rest[:-1]
+                kill_at.add(int(rest))
+            elif kind == "hang":
+                index_text, _, seconds_text = rest.partition(":")
+                hang_at[int(index_text)] = float(seconds_text)
+            else:
+                raise ValueError(kind)
+        except (ValueError, TypeError):
+            raise ValueError(
+                f"bad chaos event {part!r}: expected kill@IDX[!] or hang@IDX:SECONDS"
+            )
+    return ChaosMonkey(kill_at=kill_at, hang_at=hang_at, once=once, state_dir=state_dir)
+
+
+def corrupt_checkpoint(path: str, mode: str = "garble", line: int = -1) -> None:
+    """Damage a checkpoint file in place (tests and chaos drills).
+
+    ``mode="garble"`` rewrites the body of the chosen line so its CRC no
+    longer matches; ``mode="truncate"`` cuts the chosen line in half,
+    modelling a crash mid-write.  ``line`` indexes the file's lines
+    (negative counts from the end; the header is line 0).
+    """
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    target = line if line >= 0 else len(lines) + line
+    if not 0 <= target < len(lines):
+        raise ValueError(f"line {line} out of range for {len(lines)} lines")
+    if mode == "garble":
+        # Nudge the first digit so the line stays valid JSON but its CRC
+        # no longer matches — the silent-bit-flip case CRCs exist for.
+        text = lines[target]
+        for k, ch in enumerate(text):
+            if ch.isdigit():
+                text = text[:k] + str((int(ch) + 1) % 10) + text[k + 1 :]
+                break
+        lines[target] = text
+    elif mode == "truncate":
+        lines[target] = lines[target][: max(1, len(lines[target]) // 2)]
+        lines = lines[: target + 1]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))
+        if mode != "truncate":
+            fh.write("\n")

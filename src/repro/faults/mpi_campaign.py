@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 import random
+import time
 from typing import Callable, List, Optional, Tuple
 
 from ..interp.interpreter import Interpreter
@@ -45,6 +46,8 @@ class MpiCampaignResult:
         self.records = records
         self.counts = counts
         self.golden_cycles = golden_cycles
+        #: CampaignStats when run through the supervised pool, else None
+        self.stats = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -151,28 +154,79 @@ class MpiCampaign:
         return [self.sample(rng) for _ in range(n_trials)]
 
     def run(
-        self, n_trials: int, seed: int = 0, n_jobs: Optional[int] = None
+        self,
+        n_trials: int,
+        seed: int = 0,
+        n_jobs: Optional[int] = None,
+        trial_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        on_worker_failure: Optional[str] = None,
+        supervision=None,
+        chaos=None,
     ) -> MpiCampaignResult:
-        from .parallel import fork_map, resolve_jobs
+        from .parallel import CampaignStats, fork_available, resolve_jobs
+        from .supervisor import (
+            PoolCollapse,
+            SupervisorPolicy,
+            TrialFailure,
+            run_supervised,
+        )
 
         self.prepare()
         trials = self.sample_trials(n_trials, seed)
         n_jobs = resolve_jobs(n_jobs)
+        policy = SupervisorPolicy.resolve(
+            supervision,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
+            on_worker_failure=on_worker_failure,
+        )
+        stats = CampaignStats(n_trials, n_jobs)
 
-        def run_one(indexed):
-            i, (site, rank) = indexed
+        def run_one(i):
+            site, rank = trials[i]
             record = self.run_site(site, rank)
             # Only plain values cross the process boundary; the parent
             # rebuilds records against its own pre-sampled (site, rank) plan.
-            return i, record.outcome.value, record.job_status
+            return record.outcome.value, record.job_status
 
         records: List[Optional[MpiTrialRecord]] = [None] * n_trials
         counts = OutcomeCounts()
-        for i, outcome_value, job_status in fork_map(
-            run_one, list(enumerate(trials)), n_jobs
-        ):
+
+        def deliver(i, result, seconds):
             site, rank = trials[i]
-            record = MpiTrialRecord(site, rank, Outcome(outcome_value), job_status)
+            if isinstance(result, TrialFailure):
+                record = MpiTrialRecord(site, rank, Outcome.TRIAL_FAILURE, "harness")
+            else:
+                outcome_value, job_status = result
+                record = MpiTrialRecord(site, rank, Outcome(outcome_value), job_status)
             records[i] = record
             counts.record(record.outcome)
-        return MpiCampaignResult(records, counts, self.golden_cycles)
+            stats.record(record.outcome, seconds)
+
+        perf = time.perf_counter
+        pending = list(range(n_trials))
+        if n_jobs <= 1 or n_trials <= 1 or not fork_available():
+            for i in pending:
+                t0 = perf()
+                deliver(i, run_one(i), perf() - t0)
+        else:
+            try:
+                run_supervised(
+                    run_one,
+                    [(i, i) for i in pending],
+                    n_jobs,
+                    deliver,
+                    policy=policy,
+                    stats=stats,
+                    chaos=chaos,
+                )
+            except PoolCollapse as collapse:
+                stats.serial_fallback = True
+                for i, payload in collapse.remaining:
+                    t0 = perf()
+                    deliver(i, run_one(payload), perf() - t0)
+        stats.finish()
+        result = MpiCampaignResult(records, counts, self.golden_cycles)
+        result.stats = stats
+        return result

@@ -6,6 +6,9 @@
 * ``MASKED`` — the run completed and the verification routine accepted the
   output: the error was absorbed by the algorithm.
 * ``SOC`` — silent output corruption: completed, but the output is wrong.
+* ``TRIAL_FAILURE`` — a harness failure, not a program outcome: the trial
+  was quarantined because every worker that attempted it died or hung (see
+  :mod:`repro.faults.supervisor`).  Never occurs in an undisturbed run.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ class Outcome(str, Enum):
     DETECTED = "detected"
     MASKED = "masked"
     SOC = "soc"
+    TRIAL_FAILURE = "trial_failure"
 
     @property
     def is_symptom(self) -> bool:
@@ -60,11 +64,21 @@ class OutcomeCounts:
     def masked_fraction(self) -> float:
         return self.fraction(Outcome.MASKED)
 
+    def _present(self) -> Iterable[Outcome]:
+        """The scientific outcomes, plus TRIAL_FAILURE only when nonzero.
+
+        Quarantined trials are a harness artifact; undisturbed campaigns
+        keep the five-outcome schema of the paper's figures.
+        """
+        for o in Outcome:
+            if o is not Outcome.TRIAL_FAILURE or self.counts[o]:
+                yield o
+
     def as_dict(self) -> Dict[str, float]:
-        return {o.value: self.fraction(o) for o in Outcome}
+        return {o.value: self.fraction(o) for o in self._present()}
 
     def __repr__(self) -> str:
-        parts = ", ".join(f"{o.value}={self.counts[o]}" for o in Outcome)
+        parts = ", ".join(f"{o.value}={self.counts[o]}" for o in self._present())
         return f"<OutcomeCounts {parts}>"
 
 

@@ -13,26 +13,34 @@ must not recompile the module per trial).  This engine keeps both:
   in-process loop.  Trials are only *executed* out of order; results are
   reassembled by trial index.
 
-* **Persistent workers.**  Workers are forked from the prepared parent
-  (``fork`` start method), so they inherit the compiled module, the golden
-  capture, and the indexed fault space — zero recompilation, one
+* **Persistent, supervised workers.**  Workers are forked from the prepared
+  parent (``fork`` start method), so they inherit the compiled module, the
+  golden capture, and the indexed fault space — zero recompilation, one
   ``Interpreter`` per worker reused across its whole shard.  Trials travel
-  to workers as compact ``(index, site_index, occurrence, bit)`` tuples and
-  come back as ``(index, outcome, status, cycles, seconds)`` — IR objects
-  never cross the process boundary.  Where ``fork`` is unavailable the
-  engine degrades to the serial path.
+  to workers as indexes and come back as ``(outcome, status, cycles)`` —
+  IR objects never cross the process boundary.  The pool is run by
+  :mod:`repro.faults.supervisor`: dead or hung workers are detected, their
+  trials requeued, replacements respawned with capped backoff, poison
+  trials quarantined, and a collapsed pool degrades to in-process serial
+  execution — as does a platform without ``fork``.
 
-* **Checkpointing.**  With a checkpoint path, completed trials are flushed
-  to a JSONL file keyed by a campaign fingerprint (module + trial plan
-  hash).  A restarted campaign with the same fingerprint resumes from the
-  completed set; a mismatched fingerprint discards the stale file.
+* **Checkpointing (format v2).**  With a checkpoint path, completed trials
+  are flushed to a JSONL file keyed by a campaign fingerprint (module +
+  trial plan hash).  Every line carries a CRC32 of its canonical payload;
+  flushes are atomic (tmp + rename), so a reader never observes a torn
+  file; loading tolerates a truncated tail and skips corrupted lines with
+  a warning; a fingerprint mismatch is explicit (warn-and-discard by
+  default, :class:`CheckpointMismatchError` under ``strict_resume``).
 
 * **Observability.**  A :class:`CampaignStats` tracks trials/sec,
-  per-outcome latency histograms, worker utilization, and ETA; the CLI's
+  per-outcome latency histograms, worker utilization, ETA, and harness
+  health (worker deaths, hangs, respawns, retries, quarantines); the CLI's
   ``--progress`` flag renders it live.
 
 ``IPAS_JOBS`` sets the default worker count for every campaign entry point
 (CLI, experiment drivers); ``n_jobs=0`` means one worker per CPU.
+``IPAS_TRIAL_TIMEOUT``, ``IPAS_MAX_RETRIES``, and ``IPAS_ON_WORKER_FAILURE``
+set the supervision defaults the same way.
 """
 
 from __future__ import annotations
@@ -43,16 +51,25 @@ import multiprocessing
 import os
 import sys
 import time
+import warnings
+import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .model import FaultSite
 from .outcomes import Outcome, OutcomeCounts
+from .supervisor import (
+    PoolCollapse,
+    SupervisorPolicy,
+    TrialFailure,
+    WorkerFailureError,
+    run_supervised,
+)
 
 #: trials handed to a worker per dispatch; large enough to amortise IPC,
 #: small enough to keep the shards balanced and the checkpoint fresh.
 DEFAULT_CHUNK = 16
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def resolve_jobs(n_jobs: Optional[int] = None) -> int:
@@ -88,7 +105,7 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 
 
 class CampaignStats:
-    """Throughput and latency instrumentation for one campaign run."""
+    """Throughput, latency, and harness-health instrumentation."""
 
     def __init__(self, n_trials: int, n_jobs: int):
         self.n_trials = n_trials
@@ -103,6 +120,15 @@ class CampaignStats:
         self.histograms: Dict[str, List[int]] = {}
         #: summed per-trial wall time across workers (busy time)
         self.busy_seconds = 0.0
+        # -- harness health (maintained by the supervisor) -----------------
+        self.worker_deaths = 0   # workers lost to crash or hang-kill
+        self.hangs = 0           # of those, deadline kills
+        self.respawns = 0        # replacement workers forked
+        self.retries = 0         # re-dispatches of a failure's suspect trial
+        self.requeued = 0        # innocent chunk-mates returned to the queue
+        self.quarantined = 0     # trials delivered as TrialFailure
+        self.backoff_seconds = 0.0
+        self.serial_fallback = False  # pool collapsed into in-process run
 
     # -- recording ---------------------------------------------------------
 
@@ -125,7 +151,8 @@ class CampaignStats:
             hist[-1] += 1
 
     def finish(self) -> None:
-        self.finished = time.perf_counter()
+        if self.finished is None:
+            self.finished = time.perf_counter()
 
     # -- derived metrics ---------------------------------------------------
 
@@ -152,6 +179,11 @@ class CampaignStats:
         rate = self.trials_per_second
         return self.remaining / rate if rate > 0 else float("inf")
 
+    @property
+    def harness_events(self) -> int:
+        """Total recovery actions — 0 means an undisturbed run."""
+        return self.worker_deaths + self.respawns + self.retries + self.quarantined
+
     def mean_latency(self, outcome: str) -> float:
         n = self.outcome_counts.get(outcome, 0)
         return self.latency_sum.get(outcome, 0.0) / n if n else 0.0
@@ -176,17 +208,35 @@ class CampaignStats:
             },
             "latency_histogram_bounds_ms": list(LATENCY_BUCKETS_MS),
             "latency_histograms": {k: list(v) for k, v in self.histograms.items()},
+            "harness": {
+                "worker_deaths": self.worker_deaths,
+                "hangs": self.hangs,
+                "respawns": self.respawns,
+                "retries": self.retries,
+                "requeued": self.requeued,
+                "quarantined": self.quarantined,
+                "backoff_seconds": self.backoff_seconds,
+                "serial_fallback": self.serial_fallback,
+            },
         }
 
     def progress_line(self) -> str:
         done = self.resumed + self.completed
         eta = self.eta_seconds
         eta_text = f"{eta:5.1f}s" if eta != float("inf") else "   ?  "
-        return (
+        line = (
             f"[{done}/{self.n_trials}] "
             f"{self.trials_per_second:7.1f} trials/s  "
             f"util {self.utilization:4.0%}  eta {eta_text}"
         )
+        if self.harness_events:
+            line += (
+                f"  [deaths {self.worker_deaths} respawns {self.respawns}"
+                f" retries {self.retries} quar {self.quarantined}"
+                + (" serial-fallback" if self.serial_fallback else "")
+                + "]"
+            )
+        return line
 
     def __repr__(self) -> str:
         return (
@@ -198,73 +248,191 @@ class CampaignStats:
 # -- checkpointing -------------------------------------------------------------
 
 
-class CampaignCheckpoint:
-    """JSONL checkpoint of completed trials, keyed by campaign fingerprint.
+class CheckpointWarning(UserWarning):
+    """A checkpoint was discarded, cleaned, or partially recovered."""
 
-    Layout: a header line ``{"fingerprint", "n_trials", "seed", "version"}``
-    followed by one line per completed trial
-    ``{"i", "site_index", "occurrence", "bit", "outcome", "status", "cycles"}``.
-    Appending is crash-safe: a torn final line is ignored on load.
+
+class CheckpointError(RuntimeError):
+    """A checkpoint problem the caller asked to be strict about."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint belongs to a different campaign (or format version)."""
+
+
+def _canonical(entry: Dict) -> str:
+    return json.dumps(
+        {k: entry[k] for k in sorted(entry) if k != "crc"},
+        separators=(",", ":"),
+    )
+
+
+def _entry_crc(entry: Dict) -> int:
+    return zlib.crc32(_canonical(entry).encode()) & 0xFFFFFFFF
+
+
+def _seal(entry: Dict) -> Dict:
+    entry["crc"] = _entry_crc(entry)
+    return entry
+
+
+def _checked_loads(raw: str):
+    """Parse one checkpoint line → ``(entry, None)`` or ``(None, error)``.
+
+    ``error`` is ``"unparseable"`` (torn write) or ``"crc"`` (bit damage
+    to an otherwise well-formed line).
+    """
+    try:
+        entry = json.loads(raw)
+    except json.JSONDecodeError:
+        return None, "unparseable"
+    if not isinstance(entry, dict):
+        return None, "unparseable"
+    if entry.get("crc") != _entry_crc(entry):
+        return None, "crc"
+    return entry, None
+
+
+class CampaignCheckpoint:
+    """Versioned, corruption-resistant JSONL checkpoint (format v2).
+
+    Layout: a header line ``{"version", "fingerprint", "n_trials", "seed",
+    "crc"}`` followed by one line per completed trial, each carrying a
+    ``crc`` — CRC32 of the line's canonical JSON without the ``crc`` field.
+    Flushes write the whole file to ``<path>.tmp`` and atomically rename,
+    so a crash at any instant leaves the previous complete version on
+    disk.  Loading drops a torn final line and skips CRC-damaged lines
+    (each with a :class:`CheckpointWarning`); the affected trials simply
+    re-run.  A header that does not match this campaign is discarded with
+    a warning — or raised as :class:`CheckpointMismatchError` when
+    ``strict`` is set.
     """
 
-    def __init__(self, path: str, fingerprint: str, n_trials: int, seed: int):
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str,
+        n_trials: int,
+        seed: int,
+        flush_interval: int = DEFAULT_CHUNK,
+    ):
         self.path = path
         self.fingerprint = fingerprint
         self.n_trials = n_trials
         self.seed = seed
-        self._fh = None
+        self.flush_interval = flush_interval
+        self._record_lines: List[str] = []
+        self._header_line: Optional[str] = None
         self._pending = 0
+        self._open = False
+        # diagnostics from the last load()
+        self.mismatch: Optional[str] = None
+        self.corrupted_lines = 0
+        self.truncated_tail = False
 
-    def load(self) -> Dict[int, Dict]:
+    def load(self, strict: bool = False) -> Dict[int, Dict]:
         """Completed trial dicts by index; ``{}`` if absent or mismatched."""
+        self.mismatch = None
+        self.corrupted_lines = 0
+        self.truncated_tail = False
         try:
-            fh = open(self.path)
+            with open(self.path) as fh:
+                text = fh.read()
         except OSError:
             return {}
+        lines = text.split("\n")
+        while lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return {}
+        header, error = _checked_loads(lines[0])
+        if header is None:
+            self.mismatch = f"unreadable header ({error})"
+        elif header.get("version") != CHECKPOINT_VERSION:
+            self.mismatch = (
+                f"unsupported checkpoint version {header.get('version')!r} "
+                f"(this engine writes v{CHECKPOINT_VERSION})"
+            )
+        elif header.get("fingerprint") != self.fingerprint:
+            self.mismatch = (
+                f"fingerprint mismatch: checkpoint {header.get('fingerprint')!r} "
+                f"vs campaign {self.fingerprint!r}"
+            )
+        elif header.get("n_trials") != self.n_trials or header.get("seed") != self.seed:
+            self.mismatch = (
+                f"plan mismatch: checkpoint n_trials={header.get('n_trials')} "
+                f"seed={header.get('seed')} vs campaign n_trials={self.n_trials} "
+                f"seed={self.seed}"
+            )
+        if self.mismatch:
+            if strict:
+                raise CheckpointMismatchError(f"{self.path}: {self.mismatch}")
+            warnings.warn(
+                f"discarding checkpoint {self.path}: {self.mismatch}",
+                CheckpointWarning,
+                stacklevel=2,
+            )
+            return {}
         completed: Dict[int, Dict] = {}
-        with fh:
-            header_line = fh.readline()
-            try:
-                header = json.loads(header_line)
-            except json.JSONDecodeError:
-                return {}
-            if (
-                header.get("fingerprint") != self.fingerprint
-                or header.get("n_trials") != self.n_trials
-                or header.get("seed") != self.seed
-                or header.get("version") != CHECKPOINT_VERSION
-            ):
-                return {}
-            for line in fh:
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn tail from a killed writer
-                i = entry.get("i")
-                if isinstance(i, int) and 0 <= i < self.n_trials:
-                    completed[i] = entry
+        keep: List[str] = []
+        last = len(lines) - 1
+        for lineno, raw in enumerate(lines[1:], start=1):
+            entry, error = _checked_loads(raw)
+            if entry is None:
+                if lineno == last and error == "unparseable":
+                    self.truncated_tail = True
+                    warnings.warn(
+                        f"{self.path}: dropping torn final line (crash mid-write); "
+                        f"the trial will re-run",
+                        CheckpointWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    self.corrupted_lines += 1
+                continue
+            i = entry.get("i")
+            if isinstance(i, int) and 0 <= i < self.n_trials:
+                completed[i] = entry
+                keep.append(raw)
+            else:
+                self.corrupted_lines += 1
+        if self.corrupted_lines:
+            warnings.warn(
+                f"{self.path}: skipped {self.corrupted_lines} corrupted "
+                f"checkpoint line(s); the affected trials will re-run",
+                CheckpointWarning,
+                stacklevel=2,
+            )
+        self._record_lines = keep
         return completed
 
     def open_for_append(self, fresh: bool) -> None:
-        """Start writing; ``fresh`` truncates (new or mismatched file)."""
+        """Start writing; ``fresh`` drops any previously loaded records.
+
+        The first flush happens immediately, which also *cleans* a
+        resumed file: torn or corrupted lines the load skipped are gone
+        from the rewritten version.
+        """
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         if fresh:
-            self._fh = open(self.path, "w")
-            header = {
-                "version": CHECKPOINT_VERSION,
-                "fingerprint": self.fingerprint,
-                "n_trials": self.n_trials,
-                "seed": self.seed,
-            }
-            self._fh.write(json.dumps(header) + "\n")
-            self._fh.flush()
-        else:
-            self._fh = open(self.path, "a")
+            self._record_lines = []
+        self._header_line = json.dumps(
+            _seal(
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": self.fingerprint,
+                    "n_trials": self.n_trials,
+                    "seed": self.seed,
+                }
+            )
+        )
+        self._open = True
+        self.flush()
 
     def append(self, index: int, site: FaultSite, site_index: int, record) -> None:
-        assert self._fh is not None
+        assert self._open
         entry = {
             "i": index,
             "site_index": site_index,
@@ -274,21 +442,122 @@ class CampaignCheckpoint:
             "status": record.status,
             "cycles": record.cycles,
         }
-        self._fh.write(json.dumps(entry) + "\n")
+        failure = getattr(record, "failure", None)
+        if failure is not None:
+            entry["failure"] = failure.as_dict()
+        self._record_lines.append(json.dumps(_seal(entry)))
         self._pending += 1
-        if self._pending >= DEFAULT_CHUNK:
+        # An atomic flush rewrites the whole file, so amortise: the
+        # interval grows with the file, keeping total flush work O(n log n).
+        if self._pending >= max(self.flush_interval, len(self._record_lines) // 8):
             self.flush()
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
-            self._pending = 0
+        """Atomically publish the current state (tmp + rename)."""
+        if not self._open or self._header_line is None:
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(self._header_line + "\n")
+            if self._record_lines:
+                fh.write("\n".join(self._record_lines) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._pending = 0
 
     def close(self) -> None:
-        if self._fh is not None:
+        if self._open:
             self.flush()
-            self._fh.close()
-            self._fh = None
+            self._open = False
+
+
+def verify_checkpoint(
+    path: str,
+    fingerprint: Optional[str] = None,
+    n_trials: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict:
+    """Validate a checkpoint file and report what a resume would recover.
+
+    Returns a JSON-compatible report: header validity, the fingerprint
+    match (when an expected ``fingerprint`` is supplied), the number of
+    ``recoverable`` trials, the ``lost`` count (trials a resume must
+    re-run), corrupted lines, and whether the tail was torn.
+    """
+    report: Dict = {
+        "path": path,
+        "exists": False,
+        "header_ok": False,
+        "version": None,
+        "fingerprint": None,
+        "fingerprint_ok": None,
+        "n_trials": None,
+        "seed": None,
+        "records": 0,
+        "recoverable": 0,
+        "lost": None,
+        "corrupted_lines": 0,
+        "truncated_tail": False,
+        "error": None,
+    }
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        report["error"] = str(exc)
+        return report
+    report["exists"] = True
+    lines = text.split("\n")
+    while lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        report["error"] = "empty file"
+        return report
+    header, error = _checked_loads(lines[0])
+    if header is None:
+        report["error"] = f"unreadable header ({error})"
+        return report
+    report["version"] = header.get("version")
+    report["fingerprint"] = header.get("fingerprint")
+    report["n_trials"] = header.get("n_trials")
+    report["seed"] = header.get("seed")
+    if header.get("version") != CHECKPOINT_VERSION:
+        report["error"] = (
+            f"unsupported version {header.get('version')!r} "
+            f"(this engine reads v{CHECKPOINT_VERSION})"
+        )
+        return report
+    report["header_ok"] = True
+    if fingerprint is not None:
+        report["fingerprint_ok"] = (
+            header.get("fingerprint") == fingerprint
+            and (n_trials is None or header.get("n_trials") == n_trials)
+            and (seed is None or header.get("seed") == seed)
+        )
+    expected_trials = n_trials if n_trials is not None else header.get("n_trials")
+    indexes = set()
+    last = len(lines) - 1
+    for lineno, raw in enumerate(lines[1:], start=1):
+        entry, error = _checked_loads(raw)
+        if entry is None:
+            if lineno == last and error == "unparseable":
+                report["truncated_tail"] = True
+            else:
+                report["corrupted_lines"] += 1
+            continue
+        i = entry.get("i")
+        if isinstance(i, int) and (
+            not isinstance(expected_trials, int) or 0 <= i < expected_trials
+        ):
+            report["records"] += 1
+            indexes.add(i)
+        else:
+            report["corrupted_lines"] += 1
+    report["recoverable"] = len(indexes)
+    if isinstance(expected_trials, int):
+        report["lost"] = max(expected_trials - len(indexes), 0)
+    return report
 
 
 def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
@@ -316,26 +585,6 @@ def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
 
 # -- the engine ---------------------------------------------------------------
 
-#: the prepared campaign, inherited by forked workers (never pickled).
-_WORKER_CAMPAIGN = None
-
-
-def _run_chunk(chunk: Sequence[Tuple[int, int, int, int]]) -> List[Tuple]:
-    """Worker body: execute one shard of trials on the inherited campaign."""
-    campaign = _WORKER_CAMPAIGN
-    sites = campaign._sites
-    run_site = campaign.run_site
-    perf = time.perf_counter
-    out = []
-    for index, site_index, occurrence, bit in chunk:
-        inst, _count = sites[site_index]
-        t0 = perf()
-        record = run_site(FaultSite(inst, occurrence, bit))
-        out.append(
-            (index, record.outcome.value, record.status, record.cycles, perf() - t0)
-        )
-    return out
-
 
 def run_campaign(
     campaign,
@@ -346,19 +595,38 @@ def run_campaign(
     progress: bool = False,
     on_trial: Optional[Callable[[int, object], None]] = None,
     chunk_size: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    on_worker_failure: Optional[str] = None,
+    supervision: Optional[SupervisorPolicy] = None,
+    strict_resume: bool = False,
+    chaos=None,
 ):
     """Execute a campaign's trials, optionally sharded over worker processes.
 
     Returns the same ``CampaignResult`` (bit-identical records, in trial
     order) for every ``n_jobs``, with a :class:`CampaignStats` attached as
-    ``result.stats``.  ``on_trial(index, record)`` fires as each trial
-    completes (completion order); an exception raised from it aborts the
-    campaign after flushing the checkpoint, which is how interactive
-    interruption stays resumable.
+    ``result.stats`` — including under worker death and hangs, which the
+    supervisor recovers by requeue + respawn (see
+    :mod:`repro.faults.supervisor`).  ``trial_timeout`` / ``max_retries`` /
+    ``on_worker_failure`` override the supervision policy (or pass a full
+    ``supervision=SupervisorPolicy(...)``).  ``on_trial(index, record)``
+    fires as each trial completes (completion order); an exception raised
+    from it — including ``KeyboardInterrupt`` — aborts the campaign after
+    flushing and closing the checkpoint, which is how interrupted runs stay
+    resumable.  ``strict_resume`` turns a checkpoint/campaign mismatch into
+    a :class:`CheckpointMismatchError` instead of a warn-and-discard.
+    ``chaos`` (tests only) installs a failure injector in the workers.
     """
     from .campaign import CampaignResult, TrialRecord
 
     n_jobs = resolve_jobs(n_jobs)
+    policy = SupervisorPolicy.resolve(
+        supervision,
+        trial_timeout=trial_timeout,
+        max_retries=max_retries,
+        on_worker_failure=on_worker_failure,
+    )
     campaign.prepare()
     sites = campaign.sample_trials(n_trials, seed)
     stats = CampaignStats(n_trials, n_jobs)
@@ -371,7 +639,7 @@ def run_campaign(
     if checkpoint_path:
         fingerprint = campaign_fingerprint(campaign, n_trials, seed)
         checkpoint = CampaignCheckpoint(checkpoint_path, fingerprint, n_trials, seed)
-        completed = checkpoint.load()
+        completed = checkpoint.load(strict=strict_resume)
         for i, entry in completed.items():
             if records[i] is not None:
                 continue
@@ -382,25 +650,30 @@ def run_campaign(
                 or entry.get("bit") != site.bit
             ):
                 continue  # does not match the deterministic plan; re-run
+            failure = (
+                TrialFailure.from_dict(entry["failure"])
+                if entry.get("failure")
+                else None
+            )
             records[i] = TrialRecord(
-                site, Outcome(entry["outcome"]), entry["status"], entry["cycles"]
+                site,
+                Outcome(entry["outcome"]),
+                entry["status"],
+                entry["cycles"],
+                failure=failure,
             )
             stats.resumed += 1
         checkpoint.open_for_append(fresh=not completed)
 
-    pending = [
-        (i, site_index_of[id(sites[i].instruction)], sites[i].occurrence, sites[i].bit)
-        for i in range(n_trials)
-        if records[i] is None
-    ]
-
+    pending = [i for i in range(n_trials) if records[i] is None]
+    trial_site_index = {i: site_index_of[id(sites[i].instruction)] for i in pending}
     last_progress = [stats.started]
 
     def deliver(index: int, record: TrialRecord, seconds: float) -> None:
         records[index] = record
         stats.record(record.outcome, seconds)
         if checkpoint is not None:
-            checkpoint.append(index, sites[index], pending_site_index[index], record)
+            checkpoint.append(index, sites[index], trial_site_index[index], record)
         if on_trial is not None:
             on_trial(index, record)
         if progress:
@@ -409,20 +682,57 @@ def run_campaign(
                 last_progress[0] = now
                 print(stats.progress_line(), file=sys.stderr)
 
-    pending_site_index = {i: si for i, si, _occ, _bit in pending}
+    def run_trial(index: int) -> Tuple[str, str, int]:
+        # Runs in forked workers (which inherit the prepared campaign) and
+        # in the parent for the serial-fallback path; only plain values
+        # are returned, so results pickle across the pipe.
+        record = campaign.run_site(sites[index])
+        return (record.outcome.value, record.status, record.cycles)
+
+    def deliver_wire(index: int, result, seconds: float) -> None:
+        if isinstance(result, TrialFailure):
+            record = TrialRecord(
+                sites[index], Outcome.TRIAL_FAILURE, "harness", 0, failure=result
+            )
+        else:
+            outcome_value, status, cycles = result
+            record = TrialRecord(sites[index], Outcome(outcome_value), status, cycles)
+        deliver(index, record, seconds)
 
     try:
         if len(pending) == 0:
             pass
         elif n_jobs == 1 or len(pending) == 1 or not fork_available():
             perf = time.perf_counter
-            for i, _si, _occ, _bit in pending:
+            for i in pending:
                 t0 = perf()
                 record = campaign.run_site(sites[i])
                 deliver(i, record, perf() - t0)
         else:
-            _run_pool(campaign, pending, n_jobs, chunk_size, sites, deliver)
+            items = [(i, i) for i in pending]
+            try:
+                run_supervised(
+                    run_trial,
+                    items,
+                    n_jobs,
+                    deliver_wire,
+                    policy=policy,
+                    stats=stats,
+                    chaos=chaos,
+                    chunk_size=chunk_size,
+                )
+            except PoolCollapse as collapse:
+                # The pool cannot be sustained — finish what is left
+                # in-process.  Same classification path, same results.
+                stats.serial_fallback = True
+                perf = time.perf_counter
+                for index, payload in collapse.remaining:
+                    t0 = perf()
+                    deliver_wire(index, run_trial(payload), perf() - t0)
     finally:
+        # Runs on success, errors, and KeyboardInterrupt alike: buffered
+        # records are flushed and the checkpoint sealed before anything
+        # propagates, so an interrupted campaign is always resumable.
         stats.finish()
         if checkpoint is not None:
             checkpoint.close()
@@ -436,31 +746,7 @@ def run_campaign(
     return result
 
 
-def _run_pool(campaign, pending, n_jobs, chunk_size, sites, deliver) -> None:
-    """Shard ``pending`` trials over a pool of forked persistent workers."""
-    from .campaign import TrialRecord
-
-    global _WORKER_CAMPAIGN
-    if chunk_size is None:
-        chunk_size = max(1, min(DEFAULT_CHUNK, len(pending) // (n_jobs * 2) or 1))
-    chunks = [
-        pending[k : k + chunk_size] for k in range(0, len(pending), chunk_size)
-    ]
-    ctx = multiprocessing.get_context("fork")
-    _WORKER_CAMPAIGN = campaign
-    try:
-        with ctx.Pool(processes=min(n_jobs, len(chunks))) as pool:
-            for shard in pool.imap_unordered(_run_chunk, chunks):
-                for index, outcome_value, status, cycles, seconds in shard:
-                    record = TrialRecord(
-                        sites[index], Outcome(outcome_value), status, cycles
-                    )
-                    deliver(index, record, seconds)
-    finally:
-        _WORKER_CAMPAIGN = None
-
-
-# -- generic fork-mapping (used by the MPI campaign) ---------------------------
+# -- generic fork-mapping (legacy helper; the MPI campaign is supervised) ------
 
 _WORKER_FN = None
 
@@ -474,7 +760,8 @@ def fork_map(fn: Callable, items: Sequence, n_jobs: int, chunk_size: int = DEFAU
     completion order.  ``fn`` and ``items`` are inherited by fork, so ``fn``
     may close over arbitrary unpicklable state; each *result* must pickle.
     Falls back to a plain serial map when fork is unavailable or
-    ``n_jobs <= 1``.
+    ``n_jobs <= 1``.  No supervision: a worker failure propagates — use
+    :func:`repro.faults.supervisor.run_supervised` for recovery.
     """
     if n_jobs <= 1 or len(items) <= 1 or not fork_available():
         for item in items:
