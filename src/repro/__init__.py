@@ -22,6 +22,7 @@ The heavy lifting lives in the subpackages:
 ``repro.features`` the 31 Table-1 instruction features
 ``repro.ml``       from-scratch SVM (SMO), decision tree, k-NN, CV, grids
 ``repro.protect``  instruction selectors + the duplication pass
+``repro.recover``  rollback re-execution: fired checks become corrected runs
 ``repro.parallel`` simulated MPI (SPMD ranks, collectives, abort semantics)
 ``repro.workloads`` CoMD / HPCCG / AMG / FFT / IS in scil, with verification
 ``repro.core``     the IPAS pipeline (paper Fig. 1 steps 1-4) and evaluation

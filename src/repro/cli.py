@@ -144,9 +144,33 @@ def cmd_inject(args) -> int:
     from .workloads import get_workload
 
     workload = get_workload(args.workload)
-    interp = workload.make_interpreter(args.input)
+    module = None
+    if args.protect == "full":
+        from .protect import FullDuplicationSelector, duplicate_instructions
+
+        module = workload.compile()
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
+    recovery = None
+    if args.recover:
+        if args.protect == "none":
+            print(
+                "error: --recover needs duplication checks to fire; "
+                "combine it with --protect full",
+                file=sys.stderr,
+            )
+            return 2
+        from .recover import RecoveryPolicy
+
+        recovery = RecoveryPolicy(
+            max_rollbacks=args.max_rollbacks,
+            snapshot_period=args.snapshot_period,
+        )
+    interp = workload.make_interpreter(args.input, module=module)
     campaign = Campaign(
-        interp, verifier=workload.verifier(), budget_factor=workload.budget_factor
+        interp,
+        verifier=workload.verifier(),
+        budget_factor=workload.budget_factor,
+        recovery=recovery,
     )
 
     if args.verify_checkpoint:
@@ -191,6 +215,16 @@ def cmd_inject(args) -> int:
             f"{stats.retries} retries, {stats.quarantined} quarantined"
             + (", serial fallback" if stats.serial_fallback else "")
         )
+    if recovery is not None and stats is not None:
+        corrected = result.counts.counts[Outcome.CORRECTED]
+        fired = corrected + result.counts.counts[Outcome.DETECTED]
+        print(
+            f"  recovery: {stats.rollbacks} rollbacks, "
+            f"{corrected}/{fired or 1} fired checks corrected "
+            f"({100 * result.counts.corrected_fraction:.1f}% of trials), "
+            f"mean re-executed cycles {stats.mean_rollback_cycles:.0f}, "
+            f"{stats.escalations} escalations"
+        )
     return 0
 
 
@@ -226,6 +260,11 @@ def _verify_checkpoint_report(args, campaign) -> int:
     )
     print(f"  corrupted lines: {report['corrupted_lines']}")
     print(f"  torn tail: {'yes' if report['truncated_tail'] else 'no'}")
+    for unknown in report["unknown_outcomes"]:
+        print(
+            f"  line {unknown['line']}: unknown outcome "
+            f"{unknown['outcome']!r} (newer engine?); excluded from resume"
+        )
     return 0 if report["fingerprint_ok"] else 1
 
 
@@ -407,6 +446,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
     p_inject.add_argument("--trials", type=int, default=100)
     p_inject.add_argument("--seed", type=int, default=0)
+    p_inject.add_argument(
+        "--protect",
+        choices=["none", "full"],
+        default="none",
+        help="inject into the clean module (default) or one protected by "
+        "full duplication (whose checks can fire)",
+    )
+    p_inject.add_argument(
+        "--recover",
+        action="store_true",
+        help="arm the rollback runtime: a fired check re-executes from the "
+        "last region snapshot instead of fail-stopping (needs --protect full)",
+    )
+    p_inject.add_argument(
+        "--max-rollbacks",
+        type=int,
+        default=8,
+        metavar="N",
+        help="total rollbacks allowed per run before a detection escalates "
+        "to fail-stop (default: 8)",
+    )
+    p_inject.add_argument(
+        "--snapshot-period",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="minimum cycles between region snapshots; 0 snapshots at every "
+        "region boundary (default: 0)",
+    )
     _add_jobs_arg(p_inject)
     p_inject.add_argument(
         "--progress",

@@ -23,11 +23,17 @@ from ..faults.campaign import Campaign
 from ..faults.outcomes import OutcomeCounts, soc_reduction_percent
 from ..interp.interpreter import Interpreter
 from ..ir.module import Module
+from ..recover.runtime import RecoveryPolicy, summarize_telemetry
 from ..workloads.base import Workload
 
 
 class TechniqueEvaluation:
-    """Coverage + performance of one protected (or unprotected) variant."""
+    """Coverage + performance of one protected (or unprotected) variant.
+
+    ``recovery`` is a campaign-level telemetry summary (see
+    :func:`repro.recover.summarize_telemetry`) when the evaluation ran
+    under the rollback runtime, else ``None``.
+    """
 
     def __init__(
         self,
@@ -38,6 +44,7 @@ class TechniqueEvaluation:
         slowdown: float,
         duplicated_fraction: float,
         soc_reduction: float,
+        recovery: Optional[Dict] = None,
     ):
         self.technique = technique
         self.config_label = config_label
@@ -46,10 +53,15 @@ class TechniqueEvaluation:
         self.slowdown = slowdown
         self.duplicated_fraction = duplicated_fraction
         self.soc_reduction = soc_reduction
+        self.recovery = recovery
 
     @property
     def soc_fraction(self) -> float:
         return self.counts.soc_fraction
+
+    @property
+    def corrected_fraction(self) -> float:
+        return self.counts.corrected_fraction
 
     def distance_to_ideal(self) -> float:
         """Euclidean distance to (slowdown=1, reduction=100) in plot units."""
@@ -75,11 +87,15 @@ def evaluate_variant(
     input_id: int = 1,
     n_jobs: Optional[int] = None,
     supervision=None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> TechniqueEvaluation:
     """Run the evaluation campaign for one module variant.
 
     ``supervision`` (a ``repro.faults.SupervisorPolicy``) controls worker
     recovery for the underlying campaign; ``None`` uses the env defaults.
+    ``recovery`` (a ``repro.recover.RecoveryPolicy``) arms rollback
+    re-execution, letting fired checks resolve as CORRECTED instead of
+    fail-stop DETECTED.
     """
     interp = workload.make_interpreter(input_id=input_id, module=module)
     campaign = Campaign(
@@ -87,6 +103,7 @@ def evaluate_variant(
         verifier=workload.verifier(),
         entry=workload.entry,
         budget_factor=workload.budget_factor,
+        recovery=recovery,
     )
     result = campaign.run(trials, seed=seed, n_jobs=n_jobs, supervision=supervision)
     slowdown = (
@@ -94,6 +111,11 @@ def evaluate_variant(
     )
     reduction = soc_reduction_percent(
         unprotected_soc_fraction, result.counts.soc_fraction
+    )
+    recovery_summary = (
+        summarize_telemetry(r.recovery for r in result.records)
+        if recovery is not None
+        else None
     )
     return TechniqueEvaluation(
         technique,
@@ -103,6 +125,7 @@ def evaluate_variant(
         slowdown,
         duplicated_fraction,
         reduction,
+        recovery=recovery_summary,
     )
 
 

@@ -60,11 +60,16 @@ def collect_data(
     seed: int = 0,
     n_jobs: Optional[int] = None,
     supervision=None,
+    recovery=None,
 ) -> CollectedData:
     """Step 2 of Fig. 1: statistical fault injection plus feature vectors.
 
     ``supervision`` (a ``repro.faults.SupervisorPolicy``) controls worker
     recovery for the collection campaign; ``None`` uses the env defaults.
+    ``recovery`` (a ``repro.recover.RecoveryPolicy``) arms rollback
+    re-execution; leave it ``None`` for paper-faithful training labels —
+    the clean training module carries no checks, so enabling it only
+    matters when collecting from an already protected module.
     """
     module = workload.compile()
     interp = workload.make_interpreter(input_id=1, module=module)
@@ -73,6 +78,7 @@ def collect_data(
         verifier=workload.verifier(),
         entry=workload.entry,
         budget_factor=workload.budget_factor,
+        recovery=recovery,
     )
     result = campaign.run(n_samples, seed=seed, n_jobs=n_jobs, supervision=supervision)
     extractor = FeatureExtractor(module)

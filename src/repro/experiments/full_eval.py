@@ -39,7 +39,7 @@ EVAL_SEED_OFFSET = 10_000
 
 
 def _counts_dict(evaluation) -> Dict:
-    return {
+    data = {
         "counts": {k: v for k, v in evaluation.counts.as_dict().items()},
         "soc_fraction": evaluation.soc_fraction,
         "golden_cycles": evaluation.golden_cycles,
@@ -48,6 +48,10 @@ def _counts_dict(evaluation) -> Dict:
         "duplicated_fraction": evaluation.duplicated_fraction,
         "trials": evaluation.counts.total,
     }
+    if getattr(evaluation, "recovery", None) is not None:
+        data["recovery"] = evaluation.recovery
+        data["corrected_fraction"] = evaluation.corrected_fraction
+    return data
 
 
 def _evaluate_protected(
@@ -59,6 +63,7 @@ def _evaluate_protected(
     label: str,
     n_jobs: Optional[int] = None,
     supervision=None,
+    recovery=None,
 ) -> Dict:
     evaluation = evaluate_variant(
         variant.module,
@@ -72,6 +77,7 @@ def _evaluate_protected(
         duplicated_fraction=variant.report.duplicated_fraction,
         n_jobs=n_jobs,
         supervision=supervision,
+        recovery=recovery,
     )
     record = _counts_dict(evaluation)
     record["duplication_seconds"] = variant.duplication_seconds
@@ -91,16 +97,23 @@ def run_full_evaluation(
     use_cache: bool = True,
     n_jobs: Optional[int] = None,
     supervision=None,
+    recovery=None,
 ) -> Dict:
     """All techniques on one workload; returns (and caches) a result dict.
 
     ``n_jobs`` parallelises every fault-injection campaign; results (and
     the cache key) are identical for any worker count — including under
     worker failure, which ``supervision`` (a
-    ``repro.faults.SupervisorPolicy``) recovers from.
+    ``repro.faults.SupervisorPolicy``) recovers from.  ``recovery`` (a
+    ``repro.recover.RecoveryPolicy``) arms rollback re-execution for the
+    *protected* evaluation campaigns (the unprotected reference and the
+    training campaign carry no checks, so they are unaffected); enabling
+    it changes outcomes, so it becomes part of the cache key.
     """
     scale = scale or ExperimentScale.from_env()
     key = f"fulleval-{workload_name}-{scale.cache_key()}-s{seed}"
+    if recovery is not None:
+        key += f"-{recovery.signature().replace('|', '_')}"
     if use_cache:
         hit = cache.load(key)
         if hit is not None:
@@ -127,7 +140,7 @@ def run_full_evaluation(
     )
     full_eval = _evaluate_protected(
         full_variant, workload, unprotected, scale, seed, "full", n_jobs=n_jobs,
-        supervision=supervision,
+        supervision=supervision, recovery=recovery,
     )
 
     # Injection-free static-risk baseline (same duplication machinery,
@@ -144,7 +157,7 @@ def run_full_evaluation(
     )
     static_eval = _evaluate_protected(
         static_variant, workload, unprotected, scale, seed, static_selector.name,
-        n_jobs=n_jobs, supervision=supervision,
+        n_jobs=n_jobs, supervision=supervision, recovery=recovery,
     )
 
     # Shared training campaign; IPAS and Baseline pipelines on top.
@@ -182,7 +195,7 @@ def run_full_evaluation(
             label = f"cfg{i + 1}"
             entry = _evaluate_protected(
                 variant, workload, unprotected, scale, seed, label, n_jobs=n_jobs,
-                supervision=supervision,
+                supervision=supervision, recovery=recovery,
             )
             entry["label"] = label
             entries.append(entry)

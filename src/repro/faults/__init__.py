@@ -10,6 +10,7 @@ from .outcomes import (
     Outcome,
     OutcomeCounts,
     margin_of_error,
+    parse_outcome,
     soc_reduction_percent,
 )
 from .campaign import Campaign, CampaignResult, OutputVerifier, TrialRecord
@@ -36,7 +37,8 @@ from .supervisor import (
 
 __all__ = [
     "FaultSite", "injectable_instructions", "is_injectable", "result_bits",
-    "Outcome", "OutcomeCounts", "margin_of_error", "soc_reduction_percent",
+    "Outcome", "OutcomeCounts", "margin_of_error", "parse_outcome",
+    "soc_reduction_percent",
     "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",
     "MpiCampaign", "MpiCampaignResult", "MpiTrialRecord",
     "CampaignCheckpoint", "CampaignStats", "campaign_fingerprint",

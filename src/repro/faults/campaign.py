@@ -25,8 +25,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..interp.interpreter import Interpreter, RunResult
 from ..ir.module import Module
+from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
 from .model import FaultSite, injectable_instructions, is_injectable, result_bits
-from .outcomes import Outcome, OutcomeCounts
+from .outcomes import Outcome, OutcomeCounts, parse_outcome
 
 
 class OutputVerifier:
@@ -56,9 +57,12 @@ class TrialRecord:
     ``failure`` is normally ``None``; it carries a
     :class:`~repro.faults.supervisor.TrialFailure` when the outcome is
     ``TRIAL_FAILURE`` — the harness, not the program, failed the trial.
+
+    ``recovery`` is a :class:`~repro.recover.RecoveryTelemetry` when the
+    trial executed under the rollback runtime, else ``None``.
     """
 
-    __slots__ = ("site", "outcome", "status", "cycles", "failure")
+    __slots__ = ("site", "outcome", "status", "cycles", "failure", "recovery")
 
     def __init__(
         self,
@@ -67,12 +71,14 @@ class TrialRecord:
         status: str,
         cycles: int,
         failure=None,
+        recovery: Optional[RecoveryTelemetry] = None,
     ):
         self.site = site
         self.outcome = outcome
         self.status = status
         self.cycles = cycles
         self.failure = failure
+        self.recovery = recovery
 
     @property
     def instruction(self):
@@ -110,6 +116,8 @@ class TrialRecord:
         }
         if self.failure is not None:
             data["failure"] = self.failure.as_dict()
+        if self.recovery is not None:
+            data["recovery"] = self.recovery.as_dict()
         return data
 
     @classmethod
@@ -134,12 +142,19 @@ class TrialRecord:
             from .supervisor import TrialFailure
 
             failure = TrialFailure.from_dict(data["failure"])
+        recovery = None
+        if data.get("recovery"):
+            recovery = RecoveryTelemetry.from_dict(data["recovery"])
+        outcome = parse_outcome(
+            data.get("outcome"), f"trial record for site {data['site_index']}"
+        )
         return cls(
             site,
-            Outcome(data["outcome"]),
+            outcome,
             data["status"],
             data["cycles"],
             failure=failure,
+            recovery=recovery,
         )
 
     def __repr__(self) -> str:
@@ -179,11 +194,16 @@ class Campaign:
         verifier: Optional[OutputVerifier] = None,
         entry: str = "main",
         budget_factor: float = 20.0,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.interp = interp
         self.verifier = verifier or OutputVerifier()
         self.entry = entry
         self.budget_factor = budget_factor
+        #: RecoveryPolicy arming rollback re-execution for every trial (and
+        #: the golden run, so snapshot cost lands in the cycle baseline);
+        #: None keeps the historical fail-stop behavior byte-identical.
+        self.recovery = recovery
         self._golden_cycles: Optional[int] = None
         self._golden_capture = None
         self._sites: List = []  # (instruction, dynamic_count)
@@ -196,7 +216,7 @@ class Campaign:
         """Run the golden profiled execution and index the fault space."""
         if self._golden_cycles is not None:
             return
-        result = self.interp.run(self.entry, profile=True)
+        result = self.interp.run(self.entry, profile=True, recovery=self.recovery)
         if result.status != "ok":
             raise RuntimeError(
                 f"golden run failed ({result.status}): {result.error}"
@@ -277,9 +297,12 @@ class Campaign:
             self.entry,
             injection=site.as_injection(),
             cycle_budget=self.cycle_budget,
+            recovery=self.recovery,
         )
         outcome = self.classify(result)
-        return TrialRecord(site, outcome, result.status, result.cycles)
+        return TrialRecord(
+            site, outcome, result.status, result.cycles, recovery=result.recovery
+        )
 
     def classify(self, result: RunResult) -> Outcome:
         if result.status in ("trap", "abort"):
@@ -289,6 +312,11 @@ class Campaign:
         if result.status == "detected":
             return Outcome.DETECTED
         if self.verifier.check(self.interp, self._golden_capture):
+            # A verified-correct completion that needed at least one
+            # rollback is a detection the recovery runtime turned into a
+            # corrected run; without rollbacks it is ordinary masking.
+            if result.recovery is not None and result.recovery.rollbacks:
+                return Outcome.CORRECTED
             return Outcome.MASKED
         return Outcome.SOC
 

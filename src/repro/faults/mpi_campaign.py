@@ -21,21 +21,54 @@ from typing import Callable, List, Optional, Tuple
 
 from ..interp.interpreter import Interpreter
 from ..parallel.mpi import JobResult, MpiJob
+from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
 from .campaign import OutputVerifier
 from .model import FaultSite, injectable_instructions, result_bits
 from .outcomes import Outcome, OutcomeCounts
 
 
+def _aggregate_recovery(result: JobResult) -> Optional[RecoveryTelemetry]:
+    """Sum per-rank recovery telemetry into one job-level record."""
+    total: Optional[RecoveryTelemetry] = None
+    for rank_result in result.rank_results:
+        telemetry = getattr(rank_result, "recovery", None)
+        if telemetry is None:
+            continue
+        if total is None:
+            total = RecoveryTelemetry()
+        total.snapshots += telemetry.snapshots
+        total.rollbacks += telemetry.rollbacks
+        total.reexec_cycles += telemetry.reexec_cycles
+        total.escalations += telemetry.escalations
+        if telemetry.max_rollback_cycles > total.max_rollback_cycles:
+            total.max_rollback_cycles = telemetry.max_rollback_cycles
+        if telemetry.escalation_reason:
+            total.escalation_reason = telemetry.escalation_reason
+    return total
+
+
 class MpiTrialRecord:
-    """One parallel fault-injection run."""
+    """One parallel fault-injection run.
 
-    __slots__ = ("site", "rank", "outcome", "job_status")
+    ``recovery`` aggregates every rank's rollback telemetry when the job
+    ran under the recovery runtime, else ``None``.
+    """
 
-    def __init__(self, site: FaultSite, rank: int, outcome: Outcome, job_status: str):
+    __slots__ = ("site", "rank", "outcome", "job_status", "recovery")
+
+    def __init__(
+        self,
+        site: FaultSite,
+        rank: int,
+        outcome: Outcome,
+        job_status: str,
+        recovery: Optional[RecoveryTelemetry] = None,
+    ):
         self.site = site
         self.rank = rank
         self.outcome = outcome
         self.job_status = job_status
+        self.recovery = recovery
 
     def __repr__(self) -> str:
         return f"<MpiTrialRecord {self.outcome.value} rank={self.rank}>"
@@ -62,11 +95,16 @@ class MpiCampaign:
         verifier: Optional[OutputVerifier] = None,
         entry: str = "main",
         budget_factor: float = 10.0,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.job = job
         self.verifier = verifier or OutputVerifier()
         self.entry = entry
         self.budget_factor = budget_factor
+        #: RecoveryPolicy arming per-rank rollback re-execution; snapshots
+        #: are pinned at every collective, so rollback never replays an
+        #: exchange (see :meth:`repro.parallel.mpi.RankMpi._exchange`).
+        self.recovery = recovery
         self._golden_cycles: Optional[int] = None
         self._golden_capture = None
         # flattened dynamic population: (rank, instruction, count)
@@ -77,7 +115,7 @@ class MpiCampaign:
     def prepare(self) -> None:
         if self._golden_cycles is not None:
             return
-        result = self.job.run(self.entry, profile=True)
+        result = self.job.run(self.entry, profile=True, recovery=self.recovery)
         if result.status != "ok":
             raise RuntimeError(f"golden parallel run failed: {result.status}")
         self._golden_cycles = result.job_cycles
@@ -127,9 +165,12 @@ class MpiCampaign:
             self.entry,
             injection=(site.as_injection(), rank),
             cycle_budget=self.cycle_budget,
+            recovery=self.recovery,
         )
         outcome = self.classify(result)
-        return MpiTrialRecord(site, rank, outcome, result.status)
+        return MpiTrialRecord(
+            site, rank, outcome, result.status, recovery=_aggregate_recovery(result)
+        )
 
     def classify(self, result: JobResult) -> Outcome:
         if result.status == "detected":
@@ -142,6 +183,9 @@ class MpiCampaign:
         # zero-and-allreduce workload pattern; corrupted ranks diverge and
         # the divergence lands in the assembled outputs).
         if self.verifier.check(self.job.interpreters[0], self._golden_capture):
+            recovery = _aggregate_recovery(result)
+            if recovery is not None and recovery.rollbacks:
+                return Outcome.CORRECTED
             return Outcome.MASKED
         return Outcome.SOC
 
@@ -188,7 +232,10 @@ class MpiCampaign:
             record = self.run_site(site, rank)
             # Only plain values cross the process boundary; the parent
             # rebuilds records against its own pre-sampled (site, rank) plan.
-            return record.outcome.value, record.job_status
+            rec_wire = (
+                record.recovery.as_wire() if record.recovery is not None else None
+            )
+            return record.outcome.value, record.job_status, rec_wire
 
         records: List[Optional[MpiTrialRecord]] = [None] * n_trials
         counts = OutcomeCounts()
@@ -198,11 +245,18 @@ class MpiCampaign:
             if isinstance(result, TrialFailure):
                 record = MpiTrialRecord(site, rank, Outcome.TRIAL_FAILURE, "harness")
             else:
-                outcome_value, job_status = result
-                record = MpiTrialRecord(site, rank, Outcome(outcome_value), job_status)
+                outcome_value, job_status, rec_wire = result
+                recovery = (
+                    RecoveryTelemetry.from_wire(rec_wire)
+                    if rec_wire is not None
+                    else None
+                )
+                record = MpiTrialRecord(
+                    site, rank, Outcome(outcome_value), job_status, recovery=recovery
+                )
             records[i] = record
             counts.record(record.outcome)
-            stats.record(record.outcome, seconds)
+            stats.record(record.outcome, seconds, record.recovery)
 
         perf = time.perf_counter
         pending = list(range(n_trials))

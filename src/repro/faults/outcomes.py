@@ -2,7 +2,12 @@
 
 * ``CRASH`` / ``HANG`` — observable symptoms; a real HPC system recovers
   these with checkpoint/restart, so they do not corrupt science.
-* ``DETECTED`` — an inserted duplication check caught the fault.
+* ``DETECTED`` — an inserted duplication check caught the fault and the
+  run fail-stopped (the paper's terminal detection outcome).
+* ``CORRECTED`` — an extension beyond the paper: a duplication check caught
+  the fault and the :mod:`repro.recover` runtime rolled the run back to a
+  region snapshot and re-executed it to a verified-correct completion.
+  Never occurs unless recovery was explicitly enabled.
 * ``MASKED`` — the run completed and the verification routine accepted the
   output: the error was absorbed by the algorithm.
 * ``SOC`` — silent output corruption: completed, but the output is wrong.
@@ -22,6 +27,7 @@ class Outcome(str, Enum):
     CRASH = "crash"
     HANG = "hang"
     DETECTED = "detected"
+    CORRECTED = "corrected"
     MASKED = "masked"
     SOC = "soc"
     TRIAL_FAILURE = "trial_failure"
@@ -29,6 +35,30 @@ class Outcome(str, Enum):
     @property
     def is_symptom(self) -> bool:
         return self in (Outcome.CRASH, Outcome.HANG)
+
+
+#: outcomes hidden from serialized counts when zero, so runs that never
+#: produce them keep the paper's five-outcome schema
+_ELIDE_WHEN_ZERO = (Outcome.CORRECTED, Outcome.TRIAL_FAILURE)
+
+
+def parse_outcome(value, context: str = "") -> Outcome:
+    """``Outcome(value)`` with a diagnosable error for unknown strings.
+
+    Checkpoints and exported records written by a newer engine may carry
+    outcome values this build does not know; the resulting ``ValueError``
+    names the offending value, where it came from (``context``), and the
+    outcomes this engine understands.
+    """
+    try:
+        return Outcome(value)
+    except ValueError:
+        known = ", ".join(o.value for o in Outcome)
+        where = f" ({context})" if context else ""
+        raise ValueError(
+            f"unknown outcome {value!r}{where}; this engine knows: {known}. "
+            f"The record may have been written by a newer engine."
+        ) from None
 
 
 class OutcomeCounts:
@@ -61,21 +91,42 @@ class OutcomeCounts:
         return self.fraction(Outcome.DETECTED)
 
     @property
+    def corrected_fraction(self) -> float:
+        return self.fraction(Outcome.CORRECTED)
+
+    @property
     def masked_fraction(self) -> float:
         return self.fraction(Outcome.MASKED)
 
     def _present(self) -> Iterable[Outcome]:
-        """The scientific outcomes, plus TRIAL_FAILURE only when nonzero.
+        """The scientific outcomes, plus CORRECTED / TRIAL_FAILURE only
+        when nonzero.
 
-        Quarantined trials are a harness artifact; undisturbed campaigns
+        Corrected trials exist only under the opt-in recovery runtime and
+        quarantined trials are a harness artifact; undisturbed campaigns
         keep the five-outcome schema of the paper's figures.
         """
         for o in Outcome:
-            if o is not Outcome.TRIAL_FAILURE or self.counts[o]:
+            if o not in _ELIDE_WHEN_ZERO or self.counts[o]:
                 yield o
 
     def as_dict(self) -> Dict[str, float]:
         return {o.value: self.fraction(o) for o in self._present()}
+
+    def as_counts_dict(self) -> Dict[str, int]:
+        """Raw counts, same presence rules as :meth:`as_dict`."""
+        return {o.value: self.counts[o] for o in self._present()}
+
+    @classmethod
+    def from_counts_dict(cls, data: Dict[str, int]) -> "OutcomeCounts":
+        """Inverse of :meth:`as_counts_dict`; unknown outcome keys raise a
+        clear :class:`ValueError` (see :func:`parse_outcome`)."""
+        counts = cls()
+        for key, value in data.items():
+            counts.counts[parse_outcome(key, "OutcomeCounts.from_counts_dict")] += int(
+                value
+            )
+        return counts
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{o.value}={self.counts[o]}" for o in self._present())

@@ -17,8 +17,8 @@ must not recompile the module per trial).  This engine keeps both:
   parent (``fork`` start method), so they inherit the compiled module, the
   golden capture, and the indexed fault space — zero recompilation, one
   ``Interpreter`` per worker reused across its whole shard.  Trials travel
-  to workers as indexes and come back as ``(outcome, status, cycles)`` —
-  IR objects never cross the process boundary.  The pool is run by
+  to workers as indexes and come back as ``(outcome, status, cycles,
+  recovery)`` — IR objects never cross the process boundary.  The pool is run by
   :mod:`repro.faults.supervisor`: dead or hung workers are detected, their
   trials requeued, replacements respawned with capped backoff, poison
   trials quarantined, and a collapsed pool degrades to in-process serial
@@ -55,8 +55,9 @@ import warnings
 import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..recover.runtime import RecoveryTelemetry
 from .model import FaultSite
-from .outcomes import Outcome, OutcomeCounts
+from .outcomes import Outcome, OutcomeCounts, parse_outcome
 from .supervisor import (
     PoolCollapse,
     SupervisorPolicy,
@@ -129,13 +130,23 @@ class CampaignStats:
         self.quarantined = 0     # trials delivered as TrialFailure
         self.backoff_seconds = 0.0
         self.serial_fallback = False  # pool collapsed into in-process run
+        # -- recovery runtime (nonzero only when trials run with rollback) --
+        self.snapshots = 0       # region snapshots captured across trials
+        self.rollbacks = 0       # rollback re-executions performed
+        self.reexec_cycles = 0   # cycles discarded and re-executed
+        self.escalations = 0     # rollbacks refused (ladder exhausted)
 
     # -- recording ---------------------------------------------------------
 
-    def record(self, outcome: Outcome, seconds: float) -> None:
+    def record(self, outcome: Outcome, seconds: float, recovery=None) -> None:
         key = outcome.value
         self.completed += 1
         self.busy_seconds += seconds
+        if recovery is not None:
+            self.snapshots += recovery.snapshots
+            self.rollbacks += recovery.rollbacks
+            self.reexec_cycles += recovery.reexec_cycles
+            self.escalations += recovery.escalations
         self.outcome_counts[key] = self.outcome_counts.get(key, 0) + 1
         self.latency_sum[key] = self.latency_sum.get(key, 0.0) + seconds
         self.latency_max[key] = max(self.latency_max.get(key, 0.0), seconds)
@@ -181,8 +192,18 @@ class CampaignStats:
 
     @property
     def harness_events(self) -> int:
-        """Total recovery actions — 0 means an undisturbed run."""
+        """Total supervisor actions — 0 means an undisturbed run."""
         return self.worker_deaths + self.respawns + self.retries + self.quarantined
+
+    @property
+    def recovery_events(self) -> int:
+        """Total rollback-runtime activity — 0 when recovery is off."""
+        return self.snapshots + self.rollbacks + self.escalations
+
+    @property
+    def mean_rollback_cycles(self) -> float:
+        """Mean re-executed cycles per rollback (detection distance)."""
+        return self.reexec_cycles / self.rollbacks if self.rollbacks else 0.0
 
     def mean_latency(self, outcome: str) -> float:
         n = self.outcome_counts.get(outcome, 0)
@@ -190,7 +211,7 @@ class CampaignStats:
 
     def as_dict(self) -> Dict:
         """JSON-compatible snapshot (benchmarks persist this)."""
-        return {
+        data: Dict = {
             "n_trials": self.n_trials,
             "n_jobs": self.n_jobs,
             "completed": self.completed,
@@ -219,6 +240,16 @@ class CampaignStats:
                 "serial_fallback": self.serial_fallback,
             },
         }
+        if self.recovery_events:
+            data["recovery"] = {
+                "snapshots": self.snapshots,
+                "rollbacks": self.rollbacks,
+                "reexec_cycles": self.reexec_cycles,
+                "mean_rollback_cycles": self.mean_rollback_cycles,
+                "escalations": self.escalations,
+                "corrected": self.outcome_counts.get(Outcome.CORRECTED.value, 0),
+            }
+        return data
 
     def progress_line(self) -> str:
         done = self.resumed + self.completed
@@ -229,6 +260,12 @@ class CampaignStats:
             f"{self.trials_per_second:7.1f} trials/s  "
             f"util {self.utilization:4.0%}  eta {eta_text}"
         )
+        if self.rollbacks or self.escalations:
+            corrected = self.outcome_counts.get(Outcome.CORRECTED.value, 0)
+            line += (
+                f"  [rollbacks {self.rollbacks} corrected {corrected}"
+                f" escalated {self.escalations}]"
+            )
         if self.harness_events:
             line += (
                 f"  [deaths {self.worker_deaths} respawns {self.respawns}"
@@ -392,6 +429,14 @@ class CampaignCheckpoint:
                 continue
             i = entry.get("i")
             if isinstance(i, int) and 0 <= i < self.n_trials:
+                # Forward-compat guard: an outcome string this engine does
+                # not know (e.g. "corrected" read by a pre-recovery build)
+                # must fail loudly, not as a bare KeyError deep in resume.
+                parse_outcome(
+                    entry.get("outcome"),
+                    f"checkpoint {self.path}:{lineno + 1}, "
+                    f"version {CHECKPOINT_VERSION}",
+                )
                 completed[i] = entry
                 keep.append(raw)
             else:
@@ -445,6 +490,9 @@ class CampaignCheckpoint:
         failure = getattr(record, "failure", None)
         if failure is not None:
             entry["failure"] = failure.as_dict()
+        recovery = getattr(record, "recovery", None)
+        if recovery is not None:
+            entry["recovery"] = recovery.as_dict()
         self._record_lines.append(json.dumps(_seal(entry)))
         self._pending += 1
         # An atomic flush rewrites the whole file, so amortise: the
@@ -483,7 +531,10 @@ def verify_checkpoint(
     Returns a JSON-compatible report: header validity, the fingerprint
     match (when an expected ``fingerprint`` is supplied), the number of
     ``recoverable`` trials, the ``lost`` count (trials a resume must
-    re-run), corrupted lines, and whether the tail was torn.
+    re-run), corrupted lines, whether the tail was torn, and any
+    ``unknown_outcomes`` — structurally valid records whose outcome string
+    this engine does not know (each reported as ``{"line", "outcome"}``
+    and excluded from ``recoverable``, since a resume would reject them).
     """
     report: Dict = {
         "path": path,
@@ -499,6 +550,7 @@ def verify_checkpoint(
         "lost": None,
         "corrupted_lines": 0,
         "truncated_tail": False,
+        "unknown_outcomes": [],
         "error": None,
     }
     try:
@@ -551,6 +603,13 @@ def verify_checkpoint(
             not isinstance(expected_trials, int) or 0 <= i < expected_trials
         ):
             report["records"] += 1
+            try:
+                parse_outcome(entry.get("outcome"))
+            except ValueError:
+                report["unknown_outcomes"].append(
+                    {"line": lineno + 1, "outcome": entry.get("outcome")}
+                )
+                continue
             indexes.add(i)
         else:
             report["corrupted_lines"] += 1
@@ -577,6 +636,11 @@ def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
             f"|{campaign.golden_cycles}|{campaign.total_dynamic_injectable}|"
         ).encode()
     )
+    recovery = getattr(campaign, "recovery", None)
+    if recovery is not None:
+        # Only armed recovery changes outcomes; plain campaigns keep their
+        # historical fingerprints, so old checkpoints stay resumable.
+        h.update(f"{recovery.signature()}|".encode())
     for inst, count in campaign._sites:
         fn = inst.function
         h.update(f"{fn.name if fn else '?'}:{inst.opcode}:{count};".encode())
@@ -655,12 +719,18 @@ def run_campaign(
                 if entry.get("failure")
                 else None
             )
+            recovery = (
+                RecoveryTelemetry.from_dict(entry["recovery"])
+                if entry.get("recovery")
+                else None
+            )
             records[i] = TrialRecord(
                 site,
-                Outcome(entry["outcome"]),
+                parse_outcome(entry["outcome"], f"checkpoint {checkpoint_path}"),
                 entry["status"],
                 entry["cycles"],
                 failure=failure,
+                recovery=recovery,
             )
             stats.resumed += 1
         checkpoint.open_for_append(fresh=not completed)
@@ -671,7 +741,7 @@ def run_campaign(
 
     def deliver(index: int, record: TrialRecord, seconds: float) -> None:
         records[index] = record
-        stats.record(record.outcome, seconds)
+        stats.record(record.outcome, seconds, record.recovery)
         if checkpoint is not None:
             checkpoint.append(index, sites[index], trial_site_index[index], record)
         if on_trial is not None:
@@ -682,12 +752,13 @@ def run_campaign(
                 last_progress[0] = now
                 print(stats.progress_line(), file=sys.stderr)
 
-    def run_trial(index: int) -> Tuple[str, str, int]:
+    def run_trial(index: int) -> Tuple[str, str, int, Optional[Tuple]]:
         # Runs in forked workers (which inherit the prepared campaign) and
         # in the parent for the serial-fallback path; only plain values
         # are returned, so results pickle across the pipe.
         record = campaign.run_site(sites[index])
-        return (record.outcome.value, record.status, record.cycles)
+        rec_wire = record.recovery.as_wire() if record.recovery is not None else None
+        return (record.outcome.value, record.status, record.cycles, rec_wire)
 
     def deliver_wire(index: int, result, seconds: float) -> None:
         if isinstance(result, TrialFailure):
@@ -695,8 +766,17 @@ def run_campaign(
                 sites[index], Outcome.TRIAL_FAILURE, "harness", 0, failure=result
             )
         else:
-            outcome_value, status, cycles = result
-            record = TrialRecord(sites[index], Outcome(outcome_value), status, cycles)
+            outcome_value, status, cycles, rec_wire = result
+            recovery = (
+                RecoveryTelemetry.from_wire(rec_wire) if rec_wire is not None else None
+            )
+            record = TrialRecord(
+                sites[index],
+                Outcome(outcome_value),
+                status,
+                cycles,
+                recovery=recovery,
+            )
         deliver(index, record, seconds)
 
     try:

@@ -146,6 +146,10 @@ class CompiledModule:
         self.records: Dict[int, InstructionRecord] = {}  # id(inst) -> record
         self.block_gids: Dict[int, int] = {}  # id(block) -> gid
         self.total_blocks = 0
+        #: detection context per compiled check call, indexed by the site id
+        #: baked into the generated ``state.check_failed(<site>)``:
+        #: (function name, block name, intrinsic name, checked value name)
+        self.check_sites: List[Tuple[str, str, str, str]] = []
         # memory layout
         self.global_addr: Dict[str, int] = {}
         self.global_template: List = []  # initial cells incl. guards (None = guard)
@@ -547,8 +551,23 @@ class _Compiler:
             return
         name = callee.name
         if name.startswith("ipas.check"):
+            site = len(self.cm.check_sites)
+            fn = inst.function
+            block = inst.parent
+            checked = inst.operands[0]
+            self.cm.check_sites.append(
+                (
+                    fn.name if fn is not None else "?",
+                    block.name if block is not None else "?",
+                    name,
+                    getattr(checked, "name", "") or "<unnamed>",
+                )
+            )
             emit(f"    _x = {args[0]}; _y = {args[1]}")
-            emit("    if _x != _y and not (_x != _x and _y != _y): state.check_failed()")
+            emit(
+                "    if _x != _y and not (_x != _x and _y != _y): "
+                f"state.check_failed({site})"
+            )
             return
         math_fn = _MATH_INTRINSICS.get(name)
         if math_fn is not None:

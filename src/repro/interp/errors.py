@@ -45,11 +45,26 @@ class HangDetected(ExecutionError):
 
 class DetectedByDuplication(ExecutionError):
     """An ``ipas.check.*`` intrinsic observed a divergence between an
-    original instruction and its duplicate — the fault was caught."""
+    original instruction and its duplicate — the fault was caught.
 
-    def __init__(self, message: str = "", check_name: str = ""):
+    Carries the failing check's location (``function``, ``block``) and the
+    name of the checked value (``instruction``) so detections are
+    diagnosable without re-running under a debugger.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        check_name: str = "",
+        function: str = "",
+        block: str = "",
+        instruction: str = "",
+    ):
         super().__init__(message or "duplication check fired")
         self.check_name = check_name
+        self.function = function
+        self.block = block
+        self.instruction = instruction
 
 
 class MpiAbort(ExecutionError):

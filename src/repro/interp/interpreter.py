@@ -17,6 +17,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.instructions import Instruction
 from ..ir.module import Module
+from ..recover.regions import build_plan
+from ..recover.runtime import (
+    RecoveryPolicy,
+    RecoveryState,
+    RecoveryTelemetry,
+    RollbackSignal,
+    Snapshot,
+)
 from .compiler import CompiledModule
 from .costmodel import CostModel
 from .errors import (
@@ -69,7 +77,10 @@ class SerialMpi:
 class RunResult:
     """Outcome of one interpreted execution."""
 
-    __slots__ = ("status", "cycles", "value", "error", "injection_hit", "profile")
+    __slots__ = (
+        "status", "cycles", "value", "error", "injection_hit", "profile",
+        "recovery",
+    )
 
     def __init__(
         self,
@@ -79,6 +90,7 @@ class RunResult:
         error: str = "",
         injection_hit: bool = False,
         profile: Optional[List[int]] = None,
+        recovery: Optional[RecoveryTelemetry] = None,
     ):
         #: 'ok' | 'trap' | 'hang' | 'detected' | 'abort'
         self.status = status
@@ -87,6 +99,8 @@ class RunResult:
         self.error = error
         self.injection_hit = injection_hit
         self.profile = profile
+        #: RecoveryTelemetry when the run executed under a RecoveryPolicy
+        self.recovery = recovery
 
     @property
     def completed(self) -> bool:
@@ -106,7 +120,7 @@ class Interpreter:
         "cm", "module", "cfuncs", "stack_cells", "mpi", "collect_output",
         "global_overrides", "_cells_template", "cells", "sp", "cycles",
         "budget", "ret", "depth", "prof", "output_log", "inj_cfi", "inj_fns",
-        "inj_seen", "inj_occ", "inj_bit", "inj_hit",
+        "inj_seen", "inj_occ", "inj_bit", "inj_hit", "rec", "_rec_plans",
     )
 
     DEFAULT_STACK_CELLS = 1 << 16
@@ -152,6 +166,9 @@ class Interpreter:
         self.inj_occ = 0
         self.inj_bit = 0
         self.inj_hit = False
+        #: RecoveryState while a run executes under a RecoveryPolicy
+        self.rec: Optional[RecoveryState] = None
+        self._rec_plans: Dict[str, Dict[int, frozenset]] = {}
 
     # -- configuration ----------------------------------------------------------
 
@@ -189,6 +206,7 @@ class Interpreter:
         self.inj_occ = 0
         self.inj_bit = 0
         self.inj_hit = False
+        self.rec = None
         for name, value in self.global_overrides.items():
             base = self.cm.global_addr[name]
             if isinstance(value, (list, tuple)):
@@ -205,6 +223,7 @@ class Interpreter:
         injection: Optional[Tuple[Instruction, int, int]] = None,
         profile: bool = False,
         cycle_budget: Optional[int] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> RunResult:
         """Execute ``entry`` from a fresh state.
 
@@ -214,6 +233,13 @@ class Interpreter:
 
         ``cycle_budget`` bounds execution (hang detection); ``None`` means
         effectively unlimited.
+
+        ``recovery`` (a :class:`~repro.recover.RecoveryPolicy`) arms the
+        rollback runtime: fired ``ipas.check.*`` intrinsics restore the
+        most recent region snapshot and re-execute instead of failing the
+        run, escalating to the fail-stop ``detected`` status when the
+        policy's ladder is exhausted.  ``None`` (the default) executes
+        exactly as before — recovery is strictly opt-in.
         """
         self.reset()
         self.budget = cycle_budget if cycle_budget is not None else self.NO_BUDGET
@@ -230,12 +256,22 @@ class Interpreter:
             self.inj_fns = fns
             self.inj_occ = occurrence
             self.inj_bit = bit
+        if recovery is not None:
+            plan = self._rec_plans.get(entry)
+            if plan is None:
+                plan = build_plan(self.cm, entry)
+                self._rec_plans[entry] = plan
+            self.rec = RecoveryState(recovery, plan)
 
         entry_index = self.cm.get_function_index(entry)
         status, error, value = "ok", "", None
         try:
             value = self.call(entry_index, tuple(args))
         except DetectedByDuplication as exc:
+            status, error = "detected", str(exc)
+        except RollbackSignal as exc:
+            # Defensive: a signal escaping every recovery frame degrades to
+            # the fail-stop detection it would have been without recovery.
             status, error = "detected", str(exc)
         except HangDetected as exc:
             status, error = "hang", str(exc) or "cycle budget exceeded"
@@ -256,6 +292,7 @@ class Interpreter:
             error=error,
             injection_hit=self.inj_hit,
             profile=self.prof,
+            recovery=self.rec.telemetry if self.rec is not None else None,
         )
 
     def call(self, cfi: int, args: Tuple) -> object:
@@ -263,7 +300,12 @@ class Interpreter:
 
         This is the block-dispatch hot loop: attribute lookups are hoisted
         into locals and the loop body is a single indexed call per block.
+        With recovery disabled (``self.rec is None``, the default) the loop
+        is byte-identical to the historical one bar the single delegation
+        test below.
         """
+        if self.rec is not None:
+            return self._call_recover(cfi, args)
         depth = self.depth + 1
         if depth > self.DEFAULT_MAX_DEPTH:
             raise StackOverflow("call depth limit exceeded")
@@ -277,6 +319,108 @@ class Interpreter:
         bi = fns[0](frame, self)
         while bi >= 0:
             bi = fns[bi](frame, self)
+        self.depth = depth - 1
+        self.sp = sp0
+        return self.ret
+
+    def _call_recover(self, cfi: int, args: Tuple) -> object:
+        """Recovery-aware twin of :meth:`call`.
+
+        Same dispatch loop, plus two responsibilities: capture a snapshot
+        whenever control reaches one of this function's region boundaries,
+        and handle :class:`RollbackSignal` by restoring the most recent
+        snapshot — or escalating outward when the policy's ladder refuses.
+
+        Each frame keeps at most one live snapshot (``mine``), replaced on
+        recapture; frames push onto ``rec.stack`` in call order and pop on
+        return, so whenever a signal reaches a frame that holds a snapshot,
+        that snapshot is the stack top (deeper frames already unwound and
+        popped theirs).
+        """
+        rec = self.rec
+        depth = self.depth + 1
+        if depth > self.DEFAULT_MAX_DEPTH:
+            raise StackOverflow("call depth limit exceeded")
+        self.depth = depth
+        sp0 = self.sp
+        cf = self.cfuncs[cfi]
+        frame: List = [None] * cf.nslots
+        if args:
+            frame[: len(args)] = args
+        fns = cf.block_fns if cfi != self.inj_cfi else self.inj_fns
+        boundaries = rec.plan.get(cfi)
+        stack = rec.stack
+        mine: Optional[Snapshot] = None
+        bi = 0
+        while True:
+            try:
+                while bi >= 0:
+                    if boundaries is not None and bi in boundaries and (
+                        rec.should_snapshot(self.cycles)
+                    ):
+                        # Only cells[:sp] are defined program state: cells
+                        # past sp are dead residue of returned frames, and
+                        # any live pointer is below sp — copying the prefix
+                        # keeps snapshots proportional to the live stack,
+                        # not the 64k-cell arena.
+                        snap = Snapshot(
+                            cfi,
+                            bi,
+                            self.cells[: self.sp],
+                            self.sp,
+                            self.cycles,
+                            list(frame),
+                            len(self.output_log),
+                            self.inj_seen,
+                            self.inj_hit,
+                        )
+                        if mine is not None:
+                            stack.pop()
+                        stack.append(snap)
+                        mine = snap
+                        rec.telemetry.snapshots += 1
+                        rec.last_snapshot_cycles = self.cycles
+                        if rec.policy.snapshot_cost:
+                            self.cycles += rec.policy.snapshot_cost
+                    bi = fns[bi](frame, self)
+                break
+            except RollbackSignal as signal:
+                if mine is None:
+                    raise  # some enclosing frame owns the nearest snapshot
+                reason = rec.on_detection(mine, self.cycles)
+                if reason is not None:
+                    stack.pop()
+                    mine = None
+                    if stack:
+                        raise  # escalate to the enclosing region
+                    raise DetectedByDuplication(
+                        f"{signal.check_name} failed for "
+                        f"{signal.instruction!r} at "
+                        f"{signal.function}:{signal.block} "
+                        f"(recovery escalated: {reason})",
+                        check_name=signal.check_name,
+                        function=signal.function,
+                        block=signal.block,
+                        instruction=signal.instruction,
+                    ) from None
+                # Roll back: nested frames were unwound by the signal, so
+                # restoring memory, sp, depth, and this frame's registers
+                # re-creates the snapshot instant exactly.  Cycles stay
+                # monotonic — wasted work counts toward the hang budget.
+                self.cells[: mine.sp] = mine.cells
+                self.sp = mine.sp
+                self.depth = depth
+                self.ret = None
+                del stack[stack.index(mine) + 1 :]
+                del self.output_log[mine.out_len :]
+                self.inj_seen = mine.inj_seen
+                if self.inj_hit:
+                    # Transient-fault model: the flip already happened once;
+                    # the re-execution must not replay it.
+                    self.inj_occ = 0
+                bi = mine.bi
+        if mine is not None:
+            stack.pop()
         self.depth = depth - 1
         self.sp = sp0
         return self.ret
@@ -338,8 +482,35 @@ class Interpreter:
     def hang(self) -> None:
         raise HangDetected(f"exceeded cycle budget {self.budget}")
 
-    def check_failed(self) -> None:
-        raise DetectedByDuplication()
+    def check_failed(self, site: int = -1) -> None:
+        """A duplication check diverged (called from generated code).
+
+        ``site`` indexes ``cm.check_sites`` (baked in at compile time) and
+        resolves to the failing check's function, block, and checked value.
+        With recovery armed this raises the non-terminal
+        :class:`RollbackSignal` instead of the fail-stop detection.
+        """
+        if 0 <= site < len(self.cm.check_sites):
+            fn_name, block_name, check_name, value_name = self.cm.check_sites[site]
+        else:
+            fn_name = block_name = value_name = "?"
+            check_name = "ipas.check"
+        if self.rec is not None:
+            raise RollbackSignal(fn_name, block_name, check_name, value_name)
+        raise DetectedByDuplication(
+            f"{check_name} failed for {value_name!r} at {fn_name}:{block_name}",
+            check_name=check_name,
+            function=fn_name,
+            block=block_name,
+            instruction=value_name,
+        )
+
+    def recovery_pin(self) -> None:
+        """Forbid rollback past this instant (irreversible communication —
+        an MPI collective — just executed; replaying it would desynchronise
+        the job)."""
+        if self.rec is not None:
+            self.rec.pin()
 
     # -- I/O and MPI bindings (called from generated code) ------------------------------
 

@@ -98,24 +98,31 @@ class RankMpi:
         self.rank = rank
         self.size = job.n_ranks
 
+    def _exchange(self, interp: Interpreter, value, reduce):
+        # Collectives are irreversible: data left this rank.  Pin every
+        # live recovery snapshot so a later rollback can never replay the
+        # exchange (it would desynchronise the rendezvous generations).
+        interp.recovery_pin()
+        return self.job.rendezvous.exchange(self.rank, value, reduce)
+
     # -- scalar collectives ------------------------------------------------------
 
     def barrier(self, interp: Interpreter) -> None:
-        self.job.rendezvous.exchange(self.rank, None, lambda slots: None)
+        self._exchange(interp, None, lambda slots: None)
 
     def allreduce_sum(self, interp: Interpreter, value):
-        return self.job.rendezvous.exchange(self.rank, value, lambda s: sum(s))
+        return self._exchange(interp, value, lambda s: sum(s))
 
     def allreduce_min(self, interp: Interpreter, value):
-        return self.job.rendezvous.exchange(self.rank, value, lambda s: min(s))
+        return self._exchange(interp, value, lambda s: min(s))
 
     def allreduce_max(self, interp: Interpreter, value):
-        return self.job.rendezvous.exchange(self.rank, value, lambda s: max(s))
+        return self._exchange(interp, value, lambda s: max(s))
 
     def bcast(self, interp: Interpreter, value, root: int):
         if not 0 <= root < self.size:
             interp.trap_mem(root)  # corrupt root rank id -> observable fault
-        return self.job.rendezvous.exchange(self.rank, value, lambda s: s[root])
+        return self._exchange(interp, value, lambda s: s[root])
 
     # -- array collectives ----------------------------------------------------------
 
@@ -131,7 +138,7 @@ class RankMpi:
                     total[i] += other[i]
             return total
 
-        result = self.job.rendezvous.exchange(self.rank, local, reduce)
+        result = self._exchange(interp, local, reduce)
         for i in range(count):
             interp.checked_store(addr + i, result[i])
 
@@ -152,7 +159,7 @@ class RankMpi:
                 inbox[to] = data
             return inbox
 
-        inbox = self.job.rendezvous.exchange(self.rank, (peer, payload), route)
+        inbox = self._exchange(interp, (peer, payload), route)
         received = inbox[self.rank]
         if received is None:
             raise MpiAbort(f"rank {self.rank}: no matching send")
@@ -223,6 +230,7 @@ class MpiJob:
         cycle_budget: Optional[int] = None,
         injection: Optional[Tuple[Tuple, int]] = None,
         profile: bool = False,
+        recovery=None,
     ) -> JobResult:
         """Run all ranks to completion.
 
@@ -231,7 +239,11 @@ class MpiJob:
         does when it picks a random MPI rank.  ``profile=True`` collects
         per-rank block-execution profiles (``JobResult.rank_results[r].profile``),
         which parallel fault campaigns use to enumerate each rank's dynamic
-        fault population.
+        fault population.  ``recovery`` (a
+        :class:`~repro.recover.RecoveryPolicy`) arms per-rank rollback
+        re-execution; snapshots are pinned at every collective, so rollback
+        never crosses communication — detections past the last collective
+        recover, earlier ones escalate to the fail-stop detected status.
         """
         # Fresh rendezvous per run (previous runs may have aborted it).
         self.rendezvous = _Rendezvous(self.n_ranks, self.collective_timeout)
@@ -245,7 +257,8 @@ class MpiJob:
             if injection is not None and injection[1] == rank:
                 inj = injection[0]
             result = interp.run(
-                entry, injection=inj, cycle_budget=cycle_budget, profile=profile
+                entry, injection=inj, cycle_budget=cycle_budget, profile=profile,
+                recovery=recovery,
             )
             results[rank] = result
             if result.status == "ok":

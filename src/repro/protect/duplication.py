@@ -39,6 +39,7 @@ from ..ir.module import Module
 from ..ir.types import Type, VOID
 from ..ir.values import Value
 from ..ir.verifier import verify_module
+from ..recover.regions import compute_regions
 
 
 def is_duplicable(inst: Instruction) -> bool:
@@ -70,6 +71,9 @@ class DuplicationReport:
         self.checks_inserted = 0
         self.paths: int = 0
         self.eligible = 0
+        #: function -> snapshot block names recorded for the recovery
+        #: runtime (loop headers + entry of every check-bearing function)
+        self.regions: Dict[str, Tuple[str, ...]] = {}
 
     @property
     def duplicated_fraction(self) -> float:
@@ -114,6 +118,12 @@ class DuplicationPass:
         for block_id, instructions in by_block.items():
             self._protect_block(block_of[block_id], instructions)
         verify_module(self.module)
+        # Record where the recovery runtime may snapshot: the inserted
+        # checks define which functions can fire, and their loop headers
+        # plus entries are the rollback boundaries (module metadata the
+        # interpreter picks up when recovery is armed).
+        self.report.regions = compute_regions(self.module)
+        self.module.recovery_regions = self.report.regions
         return self.report
 
     # -- per-block transformation -------------------------------------------------------

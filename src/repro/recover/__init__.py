@@ -1,0 +1,37 @@
+"""Detect-and-recover runtime (rollback re-execution).
+
+The paper treats ``DETECTED`` as terminal and assumes an external
+checkpoint/restart system turns it into a recovered run; this package
+closes that loop *inside* the interpreter.  At region boundaries (function
+entry and natural-loop headers) the interpreter snapshots its live state;
+when an ``ipas.check.*`` intrinsic fires, the run rolls back to the most
+recent snapshot and re-executes instead of aborting.  A successful rollback
+under the transient-fault model yields output bit-identical to the
+fault-free run — the campaign layer classifies such trials ``CORRECTED``.
+
+When recovery cannot proceed safely (tainted or pinned snapshots, exhausted
+retry caps), the runtime *escalates* back to the paper's fail-stop
+``DETECTED`` outcome — never a harness crash.
+"""
+
+from .regions import build_plan, compute_regions, function_has_checks
+from .runtime import (
+    RecoveryPolicy,
+    RecoveryState,
+    RecoveryTelemetry,
+    RollbackSignal,
+    Snapshot,
+    summarize_telemetry,
+)
+
+__all__ = [
+    "RecoveryPolicy",
+    "RecoveryState",
+    "RecoveryTelemetry",
+    "RollbackSignal",
+    "Snapshot",
+    "build_plan",
+    "compute_regions",
+    "function_has_checks",
+    "summarize_telemetry",
+]

@@ -1,0 +1,76 @@
+"""Region planning: where snapshots are taken.
+
+A *region boundary* is a block whose entry is a safe restart point: the
+function's entry block, plus every natural-loop header (found with the
+existing dominator/loop machinery).  Only functions that actually contain
+``ipas.check.*`` calls get boundaries — an unchecked function can never
+fire a check of its own, and its caller's snapshot already covers it.
+
+The duplication pass records its regions as module metadata
+(``module.recovery_regions``); :func:`build_plan` prefers that and falls
+back to recomputing from the IR, so recovery also works on modules
+protected outside the pass.  The run's entry function always gets a
+function-entry snapshot: it is the outermost restart point, taken before
+any fault can fire, so escalation always has an untainted floor unless a
+collective pinned it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..analysis.loops import LoopInfo
+from ..ir.function import Function
+from ..ir.instructions import CallInst
+from ..ir.module import Module
+
+
+def function_has_checks(fn: Function) -> bool:
+    """Whether the function contains any ``ipas.check.*`` intrinsic call."""
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, CallInst) and inst.callee.name.startswith(
+                "ipas.check"
+            ):
+                return True
+    return False
+
+
+def compute_regions(module: Module) -> Dict[str, Tuple[str, ...]]:
+    """Snapshot-boundary block names per check-containing function."""
+    regions: Dict[str, Tuple[str, ...]] = {}
+    for fn in module.defined_functions():
+        if not fn.blocks or not function_has_checks(fn):
+            continue
+        entry_name = fn.blocks[0].name
+        names = [entry_name]
+        info = LoopInfo(fn)
+        for header in sorted({loop.header.name for loop in info.loops}):
+            if header != entry_name:
+                names.append(header)
+        regions[fn.name] = tuple(names)
+    return regions
+
+
+def build_plan(cm, entry: str = "main") -> Dict[int, frozenset]:
+    """Resolve region block names to ``cfi -> {local block index}``.
+
+    ``cm`` is a :class:`~repro.interp.compiler.CompiledModule`; the plan is
+    what the interpreter's recovery dispatch loop consults per frame.
+    """
+    regions = getattr(cm.module, "recovery_regions", None)
+    if regions is None:
+        regions = compute_regions(cm.module)
+    plan: Dict[int, frozenset] = {}
+    for fn_name, block_names in regions.items():
+        cfi = cm.func_index.get(fn_name)
+        if cfi is None:
+            continue
+        index = {b.name: i for i, b in enumerate(cm.cfuncs[cfi].fn.blocks)}
+        boundaries = {index[name] for name in block_names if name in index}
+        if boundaries:
+            plan[cfi] = frozenset(boundaries)
+    entry_cfi = cm.func_index.get(entry)
+    if entry_cfi is not None:
+        plan[entry_cfi] = frozenset(plan.get(entry_cfi, frozenset()) | {0})
+    return plan
