@@ -27,6 +27,13 @@ from .slicing import (
     underlying_object,
 )
 from .masking import local_absorption, operand_transfer
+from .coverage import (
+    CoverageAnalysis,
+    CoverageReport,
+    SiteCoverage,
+    Verdict,
+    coverage_report,
+)
 from .risk import (
     ObservabilityAnalysis,
     RiskAssessment,
@@ -44,6 +51,8 @@ __all__ = [
     "SliceContext", "SliceStatistics", "backward_slice", "forward_slice",
     "underlying_object",
     "local_absorption", "operand_transfer",
+    "CoverageAnalysis", "CoverageReport", "SiteCoverage", "Verdict",
+    "coverage_report",
     "ObservabilityAnalysis", "RiskAssessment", "StaticRiskModel",
     "StaticRiskReport", "static_risk_report",
 ]

@@ -1,0 +1,494 @@
+"""Protection-coverage prover: sound per-site SOC-escape classification.
+
+IPAS discovers which instructions produce silent output corruptions by
+*injecting* faults (paper §3) and PR 1's static risk model *estimates* the
+same probabilistically.  This module gives the third, qualitatively
+different answer: a **sound verdict** per static fault site.  For every
+injectable instruction it decides whether a transient single-bit flip in
+the result register is
+
+* ``DETECTED`` — every execution in which the flip changes observable
+  output first runs an ``ipas.check.*`` comparison that must fire (the
+  run aborts as detected; a flip may still be benign and complete
+  cleanly, but it can never complete *silently corrupted*);
+* ``MASKED``  — the flip provably never reaches observable output (dead
+  value, bits killed on every first def-use hop, or a propagation cone
+  that touches neither an output channel nor a check);
+* ``ESCAPES`` — neither proof holds: some def-use path may carry the
+  corruption to output without crossing a must-fire check.
+
+The lattice is ``MASKED < DETECTED < ESCAPES`` in badness; only
+``ESCAPES`` admits a dynamic SOC outcome, which is exactly the contract
+the campaign sanitizer (:mod:`repro.faults.sanitizer`) enforces against
+every real injection result.
+
+Soundness argument (why DETECTED is a proof, not a heuristic)
+-------------------------------------------------------------
+
+The taint cone computed here is a *may-differ* over-approximation: a value
+outside the cone equals its golden (fault-free) value in **every**
+execution.  An ``ipas.check.*`` call compares an original ``x`` against
+its shadow clone ``x.dup``; the interpreter fires on any difference
+(both-NaN exempt).  If exactly one of the two operands lies inside the
+cone, then on any execution where that operand differs from golden the
+other operand is bit-identical to golden, the comparison must fire, and
+the run aborts as detected.  The duplication pass places the check
+immediately after ``x.dup`` (itself immediately after ``x``) in the same
+block, and basic blocks execute atomically in the interpreter, so no
+consumer of ``x`` runs before the check: every execution that survives
+past the check has ``x`` equal to golden.  A *guarded* value therefore
+propagates nothing — the escape analysis cuts the cone there.  Guards are
+judged against the **uncut** cone (if the clone is clean even when taint
+spreads maximally, it is clean under any cut), which keeps the two-pass
+scheme conservative.
+
+Escape sinks mirror the observability model of :mod:`repro.analysis.risk`
+but collapse it to a boolean must/may distinction: stores into globals
+(all globals by default — the output verifier's capture set is not known
+statically), stores through corrupted or unresolvable addresses,
+``print_*`` and MPI data-movement arguments, returns from the entry
+function, and corrupted branch conditions (control divergence can skip or
+re-steer stores) all count as escapes.  First-hop bit masks reuse the
+provable-kill patterns of :mod:`repro.analysis.masking` (``trunc``,
+constant ``and``/``or`` masks, constant shifts) to prove per-bit masking
+without simulating arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import (
+    AtomicRMWInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiNode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.intrinsics import is_check_intrinsic
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .slicing import SliceContext, underlying_object
+
+#: Instruction classes whose result register the fault model may flip
+#: (kept in sync with :func:`repro.faults.model.is_injectable`; the
+#: analysis layer stays import-independent of the faults layer).
+INJECTABLE_TYPES = (
+    BinaryOperator,
+    GEPInst,
+    CastInst,
+    ICmpInst,
+    FCmpInst,
+    SelectInst,
+)
+
+#: Declared intrinsics whose arguments reach an observable channel.
+_OBSERVABLE_CALL_PREFIXES = ("print_", "mpi_allreduce", "mpi_bcast", "mpi_sendrecv")
+
+#: Alias-resolution depth for stores through pointer formals (matches the
+#: observability analysis).
+_ALIAS_DEPTH = 4
+
+
+class Verdict(Enum):
+    """Per-site classification; ordered by badness."""
+
+    MASKED = "masked"
+    DETECTED = "detected"
+    ESCAPES = "escapes"
+
+
+def is_coverage_site(inst: Instruction) -> bool:
+    """Whether the prover classifies this instruction (= fault-model eligible)."""
+    if not inst.produces_value():
+        return False
+    if isinstance(inst, INJECTABLE_TYPES):
+        return True
+    if isinstance(inst, CallInst):
+        return not is_check_intrinsic(inst.callee)
+    return False
+
+
+def _value_bits(inst: Instruction) -> int:
+    t = inst.type
+    if t.is_pointer():
+        return 64
+    return t.bits  # type: ignore[attr-defined]
+
+
+def _surviving_mask(user: Instruction, index: int, bits: int) -> int:
+    """Bit positions of operand ``index`` that can still change ``user``'s
+    result — the provable-kill patterns of the masking model, exact.
+
+    Anything not provably killed survives (conservative all-ones)."""
+    full = (1 << bits) - 1
+    if isinstance(user, CastInst) and user.opcode == "trunc":
+        dst = user.type.bits  # type: ignore[attr-defined]
+        return (1 << dst) - 1
+    if isinstance(user, BinaryOperator):
+        op = user.opcode
+        other = user.operands[1 - index] if op in ("and", "or") else None
+        if op == "and" and isinstance(other, Constant) and other.type.is_integer():
+            return other.value & full
+        if op == "or" and isinstance(other, Constant) and other.type.is_integer():
+            return ~other.value & full
+        if op in ("shl", "lshr", "ashr") and index == 0:
+            amount = user.rhs
+            if isinstance(amount, Constant) and bits:
+                s = amount.value % bits
+                if op == "shl":
+                    # Bit i lands at i + s; the top s bits fall off.
+                    return (1 << (bits - s)) - 1
+                kept = (full >> s) << s  # bits >= s survive the right shift
+                if op == "ashr":
+                    kept |= 1 << (bits - 1)  # the sign bit replicates
+                return kept
+    return full
+
+
+@dataclass
+class SiteCoverage:
+    """The prover's verdict for one static fault site."""
+
+    instruction: Instruction
+    function: str
+    block: str
+    index: int
+    opcode: str
+    name: str
+    verdict: Verdict
+    #: result bits provably killed on every first def-use hop
+    masked_bits: int
+    total_bits: int
+    #: number of must-fire checks the (cut) cone reaches
+    guards: int
+    #: human-readable escape-sink descriptions (capped)
+    escapes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "opcode": self.opcode,
+            "name": self.name,
+            "verdict": self.verdict.value,
+            "masked_bits": self.masked_bits,
+            "total_bits": self.total_bits,
+            "guards": self.guards,
+            "escapes": list(self.escapes),
+        }
+
+
+@dataclass
+class CoverageReport:
+    """All site verdicts of one module."""
+
+    module: Module
+    sites: List[SiteCoverage] = field(default_factory=list)
+
+    def verdict_of(self, inst: Instruction) -> Optional[Verdict]:
+        for s in self.sites:
+            if s.instruction is inst:
+                return s.verdict
+        return None
+
+    def with_verdict(self, verdict: Verdict) -> List[SiteCoverage]:
+        return [s for s in self.sites if s.verdict is verdict]
+
+    def summary(self) -> Dict[str, int]:
+        counts = {v.value: 0 for v in Verdict}
+        for s in self.sites:
+            counts[s.verdict.value] += 1
+        counts["sites"] = len(self.sites)
+        return counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "module": self.module.name,
+            "summary": self.summary(),
+            "sites": [s.to_dict() for s in self.sites],
+        }
+
+
+class _Cone:
+    """One may-differ propagation cone (a single BFS)."""
+
+    __slots__ = ("values", "objects", "escapes", "guards_hit")
+
+    def __init__(self):
+        self.values: Set[int] = set()
+        self.objects: Set[int] = set()
+        self.escapes: List[str] = []
+        self.guards_hit = 0
+
+
+class CoverageAnalysis:
+    """Classifies every fault site of a module (typically a protected one).
+
+    ``observable_globals`` restricts which globals count as output; the
+    default (``None``) treats **every** global store as observable, which
+    is sound for any output verifier.  Check/duplicate pairing comes from
+    the duplication pass's module metadata (``module.check_sites``) when
+    present and is recovered structurally from the IR otherwise, so the
+    prover also works on modules protected out-of-process and round-
+    tripped through the printer.
+    """
+
+    #: cap on recorded escape descriptions per site (the set, not the
+    #: verdict, is truncated)
+    MAX_ESCAPES = 8
+
+    def __init__(
+        self,
+        module: Module,
+        context: Optional[SliceContext] = None,
+        observable_globals: Optional[Iterable[str]] = None,
+        entry: str = "main",
+    ):
+        self.module = module
+        self.context = context if context is not None else SliceContext(module)
+        self.observable_globals = (
+            frozenset(observable_globals) if observable_globals is not None else None
+        )
+        self.entry = entry
+        #: (original, duplicate) value pair per check call
+        self.check_pairs: List[Tuple[Value, Value, CallInst]] = self._check_pairs()
+        self._verdicts: Dict[int, SiteCoverage] = {}
+
+    # -- check discovery ---------------------------------------------------------
+
+    def _check_pairs(self) -> List[Tuple[Value, Value, CallInst]]:
+        sites = getattr(self.module, "check_sites", None)
+        if sites:
+            pairs = []
+            for site in sites:
+                check = site.check
+                # Metadata can outlive the IR it describes (a later pass
+                # may erase the check); trust only attached calls.
+                if check.parent is not None:
+                    pairs.append((site.original, site.duplicate, check))
+            return pairs
+        pairs = []
+        for inst in self.module.instructions():
+            if (
+                isinstance(inst, CallInst)
+                and is_check_intrinsic(inst.callee)
+                and len(inst.operands) == 2
+            ):
+                pairs.append((inst.operands[0], inst.operands[1], inst))
+        return pairs
+
+    # -- public API --------------------------------------------------------------
+
+    def classify(self, inst: Instruction) -> SiteCoverage:
+        cached = self._verdicts.get(id(inst))
+        if cached is None:
+            cached = self._classify(inst)
+            self._verdicts[id(inst)] = cached
+        return cached
+
+    def analyze_module(self) -> CoverageReport:
+        report = CoverageReport(self.module)
+        for inst in self.module.instructions():
+            if is_coverage_site(inst):
+                report.sites.append(self.classify(inst))
+        return report
+
+    # -- classification ----------------------------------------------------------
+
+    def _classify(self, inst: Instruction) -> SiteCoverage:
+        block = inst.parent
+        fn = inst.function
+        bits = _value_bits(inst)
+        meta = dict(
+            instruction=inst,
+            function=fn.name if fn else "?",
+            block=block.name if block else "?",
+            index=block.index_of(inst) if block else -1,
+            opcode=inst.opcode,
+            name=inst.name,
+            total_bits=bits,
+        )
+
+        # First hop, per bit: a flipped bit matters only if some consumer
+        # lets it through.  Check calls compare the full value, so a
+        # directly-checked site keeps every bit alive (toward detection).
+        surviving = 0
+        has_user = False
+        for user, index in inst.uses:
+            has_user = True
+            if isinstance(user, CallInst) and is_check_intrinsic(user.callee):
+                surviving = (1 << bits) - 1
+                break
+            surviving |= _surviving_mask(user, index, bits)
+        masked_bits = bits - bin(surviving).count("1")
+        if not has_user or surviving == 0:
+            return SiteCoverage(
+                verdict=Verdict.MASKED,
+                masked_bits=bits,
+                guards=0,
+                **meta,
+            )
+
+        # Pass 1: the uncut may-differ cone decides which checks are
+        # one-sided (clean duplicate) and therefore must-fire guards.
+        uncut = self._cone(inst, guarded=frozenset())
+        guarded: Set[int] = set()
+        for orig, dup, _check in self.check_pairs:
+            orig_in = id(orig) in uncut.values
+            dup_in = id(dup) in uncut.values
+            if orig_in != dup_in:
+                guarded.add(id(orig) if orig_in else id(dup))
+
+        # Pass 2: guarded values are cut — every surviving execution has
+        # them equal to golden, so they propagate nothing.
+        cone = self._cone(inst, guarded=frozenset(guarded))
+        if cone.escapes:
+            verdict = Verdict.ESCAPES
+        elif cone.guards_hit:
+            verdict = Verdict.DETECTED
+        else:
+            verdict = Verdict.MASKED
+        return SiteCoverage(
+            verdict=verdict,
+            masked_bits=masked_bits,
+            guards=cone.guards_hit,
+            escapes=cone.escapes[: self.MAX_ESCAPES],
+            **meta,
+        )
+
+    # -- cone construction -------------------------------------------------------
+
+    def _cone(self, root: Instruction, guarded: frozenset) -> _Cone:
+        cone = _Cone()
+        worklist: List[Value] = []
+
+        def taint(value: Value) -> None:
+            if id(value) in cone.values:
+                return
+            cone.values.add(id(value))
+            if id(value) in guarded:
+                cone.guards_hit += 1
+                return  # cut: survivors carry the golden value past the check
+            worklist.append(value)
+
+        def escape(what: str) -> None:
+            if len(cone.escapes) < self.MAX_ESCAPES:
+                cone.escapes.append(what)
+
+        taint(root)
+        while worklist:
+            value = worklist.pop()
+            for user, index in value.uses:
+                self._flow(value, user, index, cone, taint, escape)
+        return cone
+
+    def _flow(self, value, user, index, cone, taint, escape) -> None:
+        if isinstance(user, StoreInst):
+            if user.pointer is value:
+                # A corrupted address writes some cell of some object —
+                # statically unresolvable, so observable memory may change.
+                escape(f"wild store in {self._where(user)}")
+            if user.value is value:
+                self._taint_object(
+                    underlying_object(user.pointer), user, cone, taint, escape
+                )
+            return
+        if isinstance(user, AtomicRMWInst):
+            if index == 0:  # pointer operand
+                escape(f"wild atomic in {self._where(user)}")
+            else:
+                self._taint_object(
+                    underlying_object(user.operands[0]), user, cone, taint, escape
+                )
+            taint(user)
+            return
+        if isinstance(user, CallInst):
+            if is_check_intrinsic(user.callee):
+                return  # void; must-fire guards are handled by the cut
+            callee = user.callee
+            if callee.is_declaration:
+                if callee.name.startswith(_OBSERVABLE_CALL_PREFIXES):
+                    escape(f"{callee.name} argument in {self._where(user)}")
+                if user.produces_value():
+                    taint(user)
+                return
+            taint(callee.args[index])
+            if user.produces_value():
+                taint(user)
+            return
+        if isinstance(user, RetInst):
+            fn = user.function
+            if fn is None:
+                return
+            call_sites = self.context.call_sites(fn)
+            if fn.name == self.entry or not call_sites:
+                escape(f"return from {fn.name}")
+            for call in call_sites:
+                if call.produces_value():
+                    taint(call)
+            return
+        if isinstance(user, BranchInst):
+            # Control divergence can skip, repeat, or re-steer stores; the
+            # prover does not model path sensitivity, so a corrupted
+            # condition is an escape.
+            escape(f"branch condition in {self._where(user)}")
+            return
+        if user.produces_value():
+            taint(user)
+
+    def _taint_object(self, obj, store, cone, taint, escape, depth: int = 0) -> None:
+        if obj is None:
+            escape(f"store to unresolved address in {self._where(store)}")
+            return
+        if isinstance(obj, GlobalVariable):
+            observable = (
+                self.observable_globals is None
+                or obj.name in self.observable_globals
+                or getattr(obj, "is_output", False)
+            )
+            if observable:
+                escape(f"store to global {obj.name} in {self._where(store)}")
+                return
+        if isinstance(obj, Argument):
+            if depth >= _ALIAS_DEPTH:
+                escape(f"store through deep pointer formal in {self._where(store)}")
+                return
+            # The formal aliases each caller's actual buffer.
+            for call in self.context.call_sites(obj.parent):
+                actual = underlying_object(call.operands[obj.index])
+                self._taint_object(actual, store, cone, taint, escape, depth + 1)
+        if id(obj) in cone.objects:
+            return
+        cone.objects.add(id(obj))
+        for load in self.context.loads_of(obj):
+            taint(load)
+
+    @staticmethod
+    def _where(inst: Instruction) -> str:
+        fn = inst.function
+        block = inst.parent
+        return f"{fn.name if fn else '?'}/{block.name if block else '?'}"
+
+
+def coverage_report(
+    module: Module,
+    observable_globals: Optional[Iterable[str]] = None,
+    entry: str = "main",
+) -> CoverageReport:
+    """Convenience wrapper: the full coverage report of ``module``."""
+    return CoverageAnalysis(
+        module, observable_globals=observable_globals, entry=entry
+    ).analyze_module()

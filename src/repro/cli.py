@@ -382,6 +382,11 @@ def _load_analysis_module(target: str, optimize: bool):
 
 
 def cmd_analyze(args) -> int:
+    """Exit codes: 0 — no findings at or above the ``--fail-on`` severity;
+    1 — findings at or above it (default: errors); 2 — the target could not
+    be loaded or compiled."""
+    import json as json_module
+
     from .analysis import StaticRiskModel
     from .diag import (
         Diagnostic,
@@ -393,7 +398,17 @@ def cmd_analyze(args) -> int:
     )
     from .ir.verifier import VerificationError, verify_module
 
-    module = _load_analysis_module(args.target, optimize=not args.no_opt)
+    try:
+        module = _load_analysis_module(args.target, optimize=not args.no_opt)
+    except (KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if getattr(args, "protect", "none") == "full":
+        from .protect.duplication import duplicate_instructions
+        from .protect.selectors import FullDuplicationSelector
+
+        duplicate_instructions(module, FullDuplicationSelector().select(module))
 
     report = DiagnosticReport()
     try:
@@ -402,6 +417,12 @@ def cmd_analyze(args) -> int:
         report.add(Diagnostic("VERIFY", Severity.ERROR, str(exc)))
     report.extend(run_lints(module, risk_threshold=args.risk_threshold))
     risk = StaticRiskModel(module).assess_module()
+
+    coverage = None
+    if args.coverage:
+        from .analysis import coverage_report
+
+        coverage = coverage_report(module)
 
     debug_lines = []
     if args.debug_passes:
@@ -414,13 +435,48 @@ def cmd_analyze(args) -> int:
             debug_lines.append(record.format())
 
     if args.format == "json":
-        print(render_json(report, risk, module_name=module.name))
+        payload = json_module.loads(render_json(report, risk, module_name=module.name))
+        if coverage is not None:
+            payload["coverage"] = coverage.to_dict()
+        print(json_module.dumps(payload, indent=2))
     else:
         print(render_text(report, risk, risk_limit=args.top))
+        if coverage is not None:
+            print(_render_coverage(coverage, limit=args.top))
         if debug_lines:
             print("pass pipeline checkpoints:")
             print("\n".join(debug_lines))
-    return 1 if report.has_errors else 0
+
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return 1 if len(report.filter(threshold)) else 0
+
+
+def _render_coverage(coverage, limit: int) -> str:
+    """Text block for ``analyze --coverage``."""
+    from .analysis import Verdict
+    from .experiments import format_table
+
+    summary = coverage.summary()
+    lines = [
+        "",
+        f"coverage prover: {summary['sites']} fault sites — "
+        f"{summary['detected']} detected, {summary['masked']} masked, "
+        f"{summary['escapes']} escape",
+    ]
+    escaping = coverage.with_verdict(Verdict.ESCAPES)
+    if escaping:
+        lines.append(f"escaping sites (first {min(limit, len(escaping))}):")
+        headers = ["site", "opcode", "escapes via"]
+        rows = [
+            [
+                f"{s.function}/{s.block}[{s.index}]",
+                s.opcode,
+                s.escapes[0] if s.escapes else "?",
+            ]
+            for s in escaping[:limit]
+        ]
+        lines.append(format_table(headers, rows))
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -535,6 +591,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the optimization pipeline with per-pass verifier+lint checkpoints",
     )
     p_analyze.add_argument("--no-opt", action="store_true", help="skip passes")
+    p_analyze.add_argument(
+        "--coverage",
+        action="store_true",
+        help="run the protection-coverage prover and report the static "
+        "DETECTED/MASKED/ESCAPES verdict for every fault site",
+    )
+    p_analyze.add_argument(
+        "--protect",
+        choices=["none", "full"],
+        default="none",
+        help="analyze the clean module (default) or one protected by full "
+        "duplication, so coverage and check lints see the protected IR",
+    )
+    p_analyze.add_argument(
+        "--fail-on",
+        choices=["error", "warning"],
+        default="error",
+        help="finding severity that makes the exit status 1 (default: "
+        "error); exit 0 = clean, 1 = findings at/above threshold, "
+        "2 = target failed to load",
+    )
 
     return parser
 

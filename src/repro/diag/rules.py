@@ -18,6 +18,14 @@ Codes:
   leaks into the original dataflow or never reaches an ``ipas.check``.
 * ``DUP02`` (error)  — malformed check: an ``ipas.check`` call whose two
   operands cannot be an (original, duplicate) pair.
+* ``COV01`` (warning) — redundant check: a post-dominating check on a
+  difference-preserving chain subsumes it (check-redundancy elimination,
+  :mod:`repro.passes.check_elim`, would remove it).
+* ``COV02`` (warning) — check that can never fire: its block is
+  unreachable, or its function is never called from the entry point.
+* ``COV03`` (warning) — on protected modules: a high-risk fault site the
+  coverage prover classifies as ``ESCAPES`` — protection was applied but
+  this site can still corrupt output silently.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.cfg import reachable_blocks
+from ..analysis.coverage import CoverageAnalysis, Verdict
 from ..analysis.risk import DUPLICABLE_TYPES, StaticRiskModel, StaticRiskReport
 from ..analysis.slicing import SliceContext, underlying_object
 from ..ir.instructions import (
@@ -54,12 +63,21 @@ class LintContext:
         self._risk_report: Optional[StaticRiskReport] = None
         self._checks: Optional[List[CallInst]] = None
         self._dups: Optional[List[Instruction]] = None
+        self._coverage: Optional[CoverageAnalysis] = None
 
     @property
     def slice_context(self) -> SliceContext:
         if self._slice_context is None:
             self._slice_context = SliceContext(self.module)
         return self._slice_context
+
+    @property
+    def coverage(self) -> CoverageAnalysis:
+        if self._coverage is None:
+            self._coverage = CoverageAnalysis(
+                self.module, context=self.slice_context
+            )
+        return self._coverage
 
     @property
     def risk_report(self) -> StaticRiskReport:
@@ -311,4 +329,87 @@ def malformed_check(context: LintContext) -> Iterable[Diagnostic]:
                 Severity.ERROR,
                 f"check compares {original.opcode} against {duplicate.opcode}",
                 **context.locate(check),
+            )
+
+
+@lint_rule("COV01", "check subsumed by a post-dominating check")
+def redundant_check(context: LintContext) -> Iterable[Diagnostic]:
+    if not context.is_protected:
+        return
+    from ..passes.check_elim import CheckEliminationPass
+
+    # Dry run of the elimination pass: same subsumption search, no edits.
+    elim = CheckEliminationPass(context.module)
+    checks = elim._checks()
+    if not elim.clone_map:
+        for orig, dup, _check in checks:
+            elim.clone_map[id(orig)] = dup
+    pair_index = {(id(o), id(d)): c for o, d, c in checks}
+    for orig, dup, check in checks:
+        subsumer = elim._find_subsumer(orig, dup, check, pair_index)
+        if subsumer is not None:
+            yield Diagnostic(
+                "COV01",
+                Severity.WARNING,
+                f"check on {orig.name or orig.opcode} is subsumed by the "
+                f"post-dominating check in {elim._where(subsumer)}; "
+                "check-redundancy elimination would remove it",
+                **context.locate(check),
+            )
+
+
+@lint_rule("COV02", "check that can never fire")
+def unreachable_check(context: LintContext) -> Iterable[Diagnostic]:
+    if not context.checks:
+        return
+    # A check never fires if its block is unreachable from the function
+    # entry, or its whole function has no call sites and is not itself an
+    # entry point (no callers + not "main" = dead protection weight).
+    called = set()
+    for fn in context.module.defined_functions():
+        for inst in fn.instructions():
+            if isinstance(inst, CallInst) and not inst.callee.is_declaration:
+                called.add(id(inst.callee))
+    reachable_cache: Dict[int, set] = {}
+    for check in context.checks:
+        fn = check.function
+        if fn is None or check.parent is None:
+            continue
+        blocks = reachable_cache.get(id(fn))
+        if blocks is None:
+            blocks = reachable_blocks(fn)
+            reachable_cache[id(fn)] = blocks
+        if check.parent not in blocks:
+            yield Diagnostic(
+                "COV02",
+                Severity.WARNING,
+                "check sits in a block unreachable from the function entry",
+                **context.locate(check),
+            )
+        elif id(fn) not in called and fn.name != "main":
+            yield Diagnostic(
+                "COV02",
+                Severity.WARNING,
+                f"check sits in {fn.name}, which has no callers and is not "
+                "an entry point — it can never fire",
+                **context.locate(check),
+            )
+
+
+@lint_rule("COV03", "protected module still has escaping high-risk sites")
+def escaping_high_risk(context: LintContext) -> Iterable[Diagnostic]:
+    if not context.is_protected:
+        return  # nothing was promised; RISK01 covers unprotected modules
+    for assessment in context.risk_report.ranked():
+        if assessment.risk < context.risk_threshold:
+            break
+        site = context.coverage.classify(assessment.instruction)
+        if site.verdict is Verdict.ESCAPES:
+            reason = site.escapes[0] if site.escapes else "unguarded dataflow"
+            yield Diagnostic(
+                "COV03",
+                Severity.WARNING,
+                f"static risk {assessment.risk:.2f} and the coverage prover "
+                f"classifies this site ESCAPES ({reason})",
+                **context.locate(assessment.instruction),
             )

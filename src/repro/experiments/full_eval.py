@@ -81,6 +81,11 @@ def _evaluate_protected(
     )
     record = _counts_dict(evaluation)
     record["duplication_seconds"] = variant.duplication_seconds
+    # Static coverage verdict counts for the protected module, so the
+    # dynamic SOC numbers above can be read against what the prover says
+    # must be detected.  Readers use ``.get("coverage")``: result dicts
+    # cached by older versions simply lack the key.
+    record["coverage"] = _coverage_summary(variant.module)
     if variant.config is not None:
         record["config"] = {
             "C": variant.config.C,
@@ -88,6 +93,12 @@ def _evaluate_protected(
             "fscore": variant.config.fscore,
         }
     return record
+
+
+def _coverage_summary(module) -> Dict:
+    from ..analysis.coverage import coverage_report
+
+    return coverage_report(module).summary()
 
 
 def run_full_evaluation(

@@ -15,6 +15,12 @@ from .outcomes import (
 )
 from .campaign import Campaign, CampaignResult, OutputVerifier, TrialRecord
 from .mpi_campaign import MpiCampaign, MpiCampaignResult, MpiTrialRecord
+from .sanitizer import (
+    CoverageViolation,
+    module_is_protected,
+    sanitize_records,
+    sanitizer_enabled,
+)
 from .parallel import (
     CampaignCheckpoint,
     CampaignStats,
@@ -41,6 +47,8 @@ __all__ = [
     "soc_reduction_percent",
     "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",
     "MpiCampaign", "MpiCampaignResult", "MpiTrialRecord",
+    "CoverageViolation", "module_is_protected", "sanitize_records",
+    "sanitizer_enabled",
     "CampaignCheckpoint", "CampaignStats", "campaign_fingerprint",
     "CheckpointError", "CheckpointMismatchError", "CheckpointWarning",
     "fork_available", "resolve_jobs", "run_campaign", "verify_checkpoint",

@@ -25,6 +25,7 @@ from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
 from .campaign import OutputVerifier
 from .model import FaultSite, injectable_instructions, result_bits
 from .outcomes import Outcome, OutcomeCounts
+from .sanitizer import sanitize_records
 
 
 def _aggregate_recovery(result: JobResult) -> Optional[RecoveryTelemetry]:
@@ -281,6 +282,9 @@ class MpiCampaign:
                     t0 = perf()
                     deliver(i, run_one(payload), perf() - t0)
         stats.finish()
+        # Same parent-side consistency sweep as the serial/parallel engine:
+        # an SOC at a statically covered site is a harness bug, not data.
+        sanitize_records(records, self.job.cm.module)
         result = MpiCampaignResult(records, counts, self.golden_cycles)
         result.stats = stats
         return result

@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..recover.runtime import RecoveryTelemetry
 from .model import FaultSite
 from .outcomes import Outcome, OutcomeCounts, parse_outcome
+from .sanitizer import sanitize_records
 from .supervisor import (
     PoolCollapse,
     SupervisorPolicy,
@@ -816,6 +817,11 @@ def run_campaign(
         stats.finish()
         if checkpoint is not None:
             checkpoint.close()
+
+    # Static-vs-dynamic consistency sweep, parent-side: a worker exception
+    # would be quarantined as TRIAL_FAILURE, so the impossible-SOC check
+    # must run here, after assembly, where it can actually abort the run.
+    sanitize_records(records, campaign.interp.module)
 
     counts = OutcomeCounts()
     for record in records:

@@ -1,0 +1,106 @@
+"""Static-vs-dynamic consistency sanitizer.
+
+The coverage prover (:mod:`repro.analysis.coverage`) claims that only
+``ESCAPES``-classified fault sites can produce a silent output corruption.
+Every injection campaign is an experiment that can falsify that claim —
+and with it the interpreter's check semantics, the injector's bit
+addressing, or the duplication pass's shadow wiring.  This module turns
+each campaign into that test: after a protected campaign's records are
+assembled, any trial whose dynamic outcome is ``SOC`` but whose static
+verdict is ``DETECTED`` or ``MASKED`` raises :class:`CoverageViolation`
+naming the site, instead of silently polluting the training labels.
+
+Enforcement is deliberately **parent-side** (after record assembly): in
+parallel campaigns a worker exception is quarantined as
+``TRIAL_FAILURE`` by the supervisor, which would swallow exactly the
+signal the sanitizer exists to raise.
+
+The sweep is lazy and cheap: only ``SOC`` records trigger a per-site
+classification (memoised in the analysis), and unprotected modules — no
+``ipas.check.*`` calls — are skipped entirely, since an all-``ESCAPES``
+report can never fire.  Set ``IPAS_SANITIZE=0`` to disable (e.g. when
+deliberately stress-testing the injector against a stale module).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from ..analysis.coverage import CoverageAnalysis, Verdict
+from ..ir.instructions import CallInst
+from ..ir.intrinsics import is_check_intrinsic
+from ..ir.module import Module
+from .outcomes import Outcome
+
+
+class CoverageViolation(AssertionError):
+    """A dynamic SOC at a site the prover classified as covered.
+
+    Raised with the full site identity so the discrepancy is reproducible:
+    either the prover is unsound or the protection/injection machinery is
+    broken — both are bugs, never campaign noise.
+    """
+
+    def __init__(self, record, verdict: Verdict):
+        self.record = record
+        self.verdict = verdict
+        site = record.site
+        inst = site.instruction
+        fn = inst.function
+        super().__init__(
+            f"static/dynamic coverage violation: fault site "
+            f"{fn.name if fn else '?'}/{inst.parent.name if inst.parent else '?'}"
+            f"[{inst.name or inst.opcode}] occ={site.occurrence} "
+            f"bit={site.bit} was classified {verdict.value.upper()} by the "
+            f"coverage prover but the trial completed as SOC — the "
+            f"interpreter, injector, or duplication pass is inconsistent "
+            f"with the static model"
+        )
+
+
+def sanitizer_enabled() -> bool:
+    return os.environ.get("IPAS_SANITIZE", "1") != "0"
+
+
+def module_is_protected(module: Module) -> bool:
+    """Whether the module carries any ``ipas.check.*`` call."""
+    if getattr(module, "check_sites", None):
+        return True
+    for inst in module.instructions():
+        if isinstance(inst, CallInst) and is_check_intrinsic(inst.callee):
+            return True
+    return False
+
+
+def coverage_for(module: Module) -> Optional[CoverageAnalysis]:
+    """A (cached-on-module) coverage analysis, or None when pointless."""
+    if not module_is_protected(module):
+        return None
+    cached = getattr(module, "_coverage_sanitizer", None)
+    if cached is None:
+        cached = CoverageAnalysis(module)
+        module._coverage_sanitizer = cached
+    return cached
+
+
+def sanitize_records(records: Iterable, module: Module) -> None:
+    """Raise :class:`CoverageViolation` on the first impossible SOC record.
+
+    ``records`` may contain ``None`` holes (skipped trials) and records of
+    any campaign flavour — anything with ``.outcome`` and
+    ``.site.instruction`` participates.
+    """
+    if not sanitizer_enabled():
+        return
+    coverage = None
+    for record in records:
+        if record is None or record.outcome is not Outcome.SOC:
+            continue
+        if coverage is None:
+            coverage = coverage_for(module)
+            if coverage is None:
+                return  # unprotected module: every SOC is legitimate
+        verdict = coverage.classify(record.site.instruction).verdict
+        if verdict is not Verdict.ESCAPES:
+            raise CoverageViolation(record, verdict)

@@ -1,6 +1,7 @@
 """repro.features — the 31 Table-1 instruction features."""
 
 from .extract import (
+    COVERAGE_FEATURE_NAMES,
     FEATURE_CATEGORIES,
     FEATURE_NAMES,
     NUM_FEATURES,
@@ -10,6 +11,7 @@ from .extract import (
 )
 
 __all__ = [
-    "FEATURE_CATEGORIES", "FEATURE_NAMES", "NUM_FEATURES",
-    "STATIC_RISK_FEATURE_NAMES", "FeatureExtractor", "feature_names",
+    "COVERAGE_FEATURE_NAMES", "FEATURE_CATEGORIES", "FEATURE_NAMES",
+    "NUM_FEATURES", "STATIC_RISK_FEATURE_NAMES", "FeatureExtractor",
+    "feature_names",
 ]

@@ -17,6 +17,9 @@ Beyond Table 1, ``include_static_risk=True`` appends the three scores of
 the static risk model (:mod:`repro.analysis.risk`) — observability, local
 absorption, combined risk — as features 32–34.  They are off by default so
 the paper-reproduction experiments keep the exact 31-dimensional space.
+``include_coverage=True`` likewise appends two injection-free features from
+the protection-coverage prover (:mod:`repro.analysis.coverage`): the static
+escape verdict and the provably-killed bit fraction.
 """
 
 from __future__ import annotations
@@ -92,12 +95,26 @@ STATIC_RISK_FEATURE_NAMES: List[str] = [
     "static_risk",                 # 34
 ]
 
+#: Optional prover features appended when ``include_coverage`` is set —
+#: the static escape verdict and the provably-killed bit fraction from
+#: :mod:`repro.analysis.coverage`.  Like the risk scores they need zero
+#: injections, so they are legal classifier inputs.
+COVERAGE_FEATURE_NAMES: List[str] = [
+    "static_escapes",              # 1.0 iff the prover verdict is ESCAPES
+    "static_masked_fraction",      # fraction of flipped bits provably killed
+]
 
-def feature_names(include_static_risk: bool = False) -> List[str]:
+
+def feature_names(
+    include_static_risk: bool = False, include_coverage: bool = False
+) -> List[str]:
     """Feature names in column order for the chosen feature space."""
+    names = list(FEATURE_NAMES)
     if include_static_risk:
-        return FEATURE_NAMES + STATIC_RISK_FEATURE_NAMES
-    return list(FEATURE_NAMES)
+        names += STATIC_RISK_FEATURE_NAMES
+    if include_coverage:
+        names += COVERAGE_FEATURE_NAMES
+    return names
 
 #: Feature indices (0-based) grouped by Table-1 category, for ablations.
 FEATURE_CATEGORIES: Dict[str, List[int]] = {
@@ -149,16 +166,19 @@ class FeatureExtractor:
         module: Module,
         slice_cap: Optional[int] = 4000,
         include_static_risk: bool = False,
+        include_coverage: bool = False,
     ):
         self.module = module
         self.slice_context = SliceContext(module)
         self.slice_cap = slice_cap
         self.include_static_risk = include_static_risk
-        self.num_features = NUM_FEATURES + (
-            len(STATIC_RISK_FEATURE_NAMES) if include_static_risk else 0
+        self.include_coverage = include_coverage
+        self.num_features = len(
+            feature_names(include_static_risk, include_coverage)
         )
         self._fn_caches: Dict[int, _FunctionCaches] = {}
         self._observability: Optional[ObservabilityAnalysis] = None
+        self._coverage = None
 
     def _caches_for(self, fn: Function) -> _FunctionCaches:
         cached = self._fn_caches.get(id(fn))
@@ -232,7 +252,11 @@ class FeatureExtractor:
         v[29] = float(stats.allocas)
         v[30] = float(stats.geps)
 
-        # -- static-risk category (32-34, optional)
+        # -- optional categories: indices float after 31 depending on which
+        # extras are enabled, so track a cursor instead of hard-coding.
+        cursor = NUM_FEATURES
+
+        # -- static-risk category (optional)
         if self.include_static_risk:
             if self._observability is None:
                 self._observability = ObservabilityAnalysis(
@@ -240,9 +264,26 @@ class FeatureExtractor:
                 )
             observability = self._observability.score(inst)
             depth = caches.loop_info.loop_nest_depth(block)
-            v[31] = observability
-            v[32] = local_absorption(inst)
-            v[33] = observability * (1.0 - 2.0 ** -(1 + depth))
+            v[cursor] = observability
+            v[cursor + 1] = local_absorption(inst)
+            v[cursor + 2] = observability * (1.0 - 2.0 ** -(1 + depth))
+            cursor += len(STATIC_RISK_FEATURE_NAMES)
+
+        # -- coverage-prover category (optional)
+        if self.include_coverage:
+            from ..analysis.coverage import CoverageAnalysis, Verdict, is_coverage_site
+
+            if self._coverage is None:
+                self._coverage = CoverageAnalysis(
+                    self.module, context=self.slice_context
+                )
+            if is_coverage_site(inst):
+                site = self._coverage.classify(inst)
+                v[cursor] = 1.0 if site.verdict is Verdict.ESCAPES else 0.0
+                v[cursor + 1] = (
+                    site.masked_bits / site.total_bits if site.total_bits else 0.0
+                )
+            cursor += len(COVERAGE_FEATURE_NAMES)
         return v
 
     def extract_many(self, instructions) -> np.ndarray:

@@ -7,6 +7,7 @@ from .pass_manager import (
     extended_pipeline,
     optimize_module,
     standard_pipeline,
+    verify_forced,
 )
 from .instsimplify import instsimplify_function, instsimplify_module, simplify_instruction
 from .cse import cse_function, cse_module
@@ -19,10 +20,15 @@ from .constant_folding import (
 )
 from .dce import dce_function, dce_module, is_trivially_dead
 from .simplify_cfg import simplify_cfg_function, simplify_cfg_module
+from .check_elim import (
+    CheckElimReport,
+    CheckEliminationPass,
+    eliminate_redundant_checks,
+)
 
 __all__ = [
     "ModulePass", "PassDebugRecord", "PassManager", "extended_pipeline",
-    "optimize_module", "standard_pipeline",
+    "optimize_module", "standard_pipeline", "verify_forced",
     "instsimplify_function", "instsimplify_module", "simplify_instruction",
     "cse_function", "cse_module",
     "mem2reg_module", "promotable_allocas", "promote_allocas",
@@ -30,4 +36,5 @@ __all__ = [
     "fold_instruction",
     "dce_function", "dce_module", "is_trivially_dead",
     "simplify_cfg_function", "simplify_cfg_module",
+    "CheckElimReport", "CheckEliminationPass", "eliminate_redundant_checks",
 ]

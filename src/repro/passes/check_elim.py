@@ -1,0 +1,272 @@
+"""Check-redundancy elimination for duplication-protected modules.
+
+The duplication pass inserts one ``ipas.check.*`` per duplication-path
+tail, but with the global shadow dataflow a tail's corruption often flows
+on — through its *clone* — into a later checked pair.  When that flow is
+provably **difference-preserving**, the earlier check is redundant: any
+divergence it would have caught is still present, bit for bit observable,
+at a check that every completing execution must reach.  Removing it
+shrinks the protected run's dynamic instruction stream (the paper's
+runtime-overhead metric, Fig. 5/6) without giving up a single detection.
+
+A check ``c1`` on the pair ``(t1, t1.dup)`` is *subsumed* by a check
+``c2`` on ``(t2, t2.dup)`` when:
+
+1. there is a def-use chain ``t1 → … → t2`` in the original stream whose
+   mirror image ``t1.dup → … → t2.dup`` exists in the shadow stream (each
+   step's clone consumes the clone of the previous step, and every other
+   operand is the *identical* value in both streams);
+2. every step is **injective in the chained operand**: integer
+   ``add``/``sub``/``xor`` (modular arithmetic is a bijection for any
+   fixed other operand — even a corrupted one cannot cancel a difference,
+   because it is the *same* value on both sides), ``gep`` (affine in base
+   and index), and the lossless casts ``zext``/``sext``/``bitcast``.
+   Floating-point arithmetic is excluded: rounding can absorb a
+   difference.  So ``t1 ≠ t1.dup`` forces ``t2 ≠ t2.dup``;
+3. ``c2``'s block post-dominates ``c1``'s block, so every run that
+   executes ``c1`` and completes also executes ``c2`` (same-block chains
+   satisfy this trivially — SSA order puts ``c2`` after ``c1``).
+
+Subsumption chains compose, and the def-use relation is acyclic (phis are
+never chain steps), so the subsumed set is simply every check with at
+least one subsumer: each removed check resolves, transitively, to a kept
+one.  Duplicate clones left dead by a removed check are erased too (they
+existed only to feed it).  The module's ``check_sites`` metadata is
+updated in place so the coverage prover keeps an accurate guard set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.postdom import PostDominatorTree
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    GEPInst,
+    Instruction,
+)
+from ..ir.intrinsics import is_check_intrinsic
+from ..ir.module import Module
+
+#: integer binary opcodes that are bijective in either operand
+_INJECTIVE_BINOPS = frozenset({"add", "sub", "xor"})
+#: cast opcodes that preserve distinctness
+_INJECTIVE_CASTS = frozenset({"zext", "sext", "bitcast"})
+
+
+def _is_injective_step(user: Instruction) -> bool:
+    if isinstance(user, BinaryOperator):
+        return user.opcode in _INJECTIVE_BINOPS and user.type.is_integer()
+    if isinstance(user, GEPInst):
+        return True
+    if isinstance(user, CastInst):
+        return user.opcode in _INJECTIVE_CASTS
+    return False
+
+
+@dataclass
+class CheckElimReport:
+    """What the pass removed, for benchmarks and diagnostics."""
+
+    checks_before: int = 0
+    checks_removed: int = 0
+    duplicates_removed: int = 0
+    #: "function/block name" of every removed check, paired with the
+    #: keeping check that subsumes it
+    removed: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def checks_after(self) -> int:
+        return self.checks_before - self.checks_removed
+
+    def to_dict(self) -> Dict:
+        return {
+            "checks_before": self.checks_before,
+            "checks_removed": self.checks_removed,
+            "checks_after": self.checks_after,
+            "duplicates_removed": self.duplicates_removed,
+            "removed": [list(pair) for pair in self.removed],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CheckElimReport removed={self.checks_removed}/"
+            f"{self.checks_before} checks, {self.duplicates_removed} dups>"
+        )
+
+
+class CheckEliminationPass:
+    """Removes subsumed ``ipas.check.*`` calls from a protected module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.report = CheckElimReport()
+        #: id(original) -> clone, from duplication metadata (empty when the
+        #: module was protected out-of-process; mirrored pairs are then
+        #: recovered from the checks themselves, which still names every
+        #: (original, duplicate) tail pair — interior chain steps without a
+        #: check are only findable via metadata, so recovery is weaker).
+        self.clone_map: Dict[int, Instruction] = dict(
+            getattr(module, "duplicate_map", None) or {}
+        )
+        self._postdom: Dict[int, PostDominatorTree] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> CheckElimReport:
+        checks = self._checks()
+        self.report.checks_before = len(checks)
+        if not self.clone_map:
+            for orig, dup, _check in checks:
+                self.clone_map[id(orig)] = dup
+        pair_index: Dict[Tuple[int, int], CallInst] = {
+            (id(orig), id(dup)): check for orig, dup, check in checks
+        }
+        to_remove: List[Tuple[CallInst, CallInst]] = []
+        for orig, dup, check in checks:
+            subsumer = self._find_subsumer(orig, dup, check, pair_index)
+            if subsumer is not None:
+                to_remove.append((check, subsumer))
+        for check, subsumer in to_remove:
+            self.report.removed.append((self._where(check), self._where(subsumer)))
+            self.report.checks_removed += 1
+            check.erase()
+        self._erase_dead_duplicates()
+        self._refresh_metadata()
+        return self.report
+
+    # -- discovery ---------------------------------------------------------------
+
+    def _checks(self) -> List[Tuple[Instruction, Instruction, CallInst]]:
+        sites = getattr(self.module, "check_sites", None)
+        if sites:
+            return [
+                (s.original, s.duplicate, s.check)
+                for s in sites
+                if s.check.parent is not None
+            ]
+        found = []
+        for inst in self.module.instructions():
+            if (
+                isinstance(inst, CallInst)
+                and is_check_intrinsic(inst.callee)
+                and len(inst.operands) == 2
+                and isinstance(inst.operands[0], Instruction)
+                and isinstance(inst.operands[1], Instruction)
+            ):
+                found.append((inst.operands[0], inst.operands[1], inst))
+        return found
+
+    # -- subsumption search ------------------------------------------------------
+
+    def _find_subsumer(
+        self,
+        orig: Instruction,
+        dup: Instruction,
+        check: CallInst,
+        pair_index: Dict[Tuple[int, int], CallInst],
+    ) -> Optional[CallInst]:
+        """The first check on a mirrored injective chain from ``(orig, dup)``
+        whose block post-dominates ``check``'s block, or None."""
+        fn = orig.function
+        if fn is None or check.parent is None:
+            return None
+        seen: Set[Tuple[int, int]] = {(id(orig), id(dup))}
+        worklist: List[Tuple[Instruction, Instruction]] = [(orig, dup)]
+        while worklist:
+            x, xd = worklist.pop()
+            for user, _index in x.uses:
+                if not _is_injective_step(user) or user.function is not fn:
+                    continue
+                user_dup = self.clone_map.get(id(user))
+                if user_dup is None or user_dup.parent is None:
+                    continue
+                if not self._mirrors(user, user_dup, x, xd):
+                    continue
+                state = (id(user), id(user_dup))
+                if state in seen:
+                    continue
+                seen.add(state)
+                candidate = pair_index.get(state)
+                if (
+                    candidate is not None
+                    and candidate is not check
+                    and candidate.parent is not None
+                    and self._always_reaches(check, candidate)
+                ):
+                    return candidate
+                worklist.append((user, user_dup))
+        return None
+
+    @staticmethod
+    def _mirrors(
+        user: Instruction, user_dup: Instruction, x: Instruction, xd: Instruction
+    ) -> bool:
+        """Shadow step check: ``user_dup`` consumes ``xd`` exactly where
+        ``user`` consumes ``x`` and the identical value everywhere else."""
+        if len(user.operands) != len(user_dup.operands):
+            return False
+        chained = False
+        for op, dop in zip(user.operands, user_dup.operands):
+            if op is x:
+                if dop is not xd:
+                    return False
+                chained = True
+            elif dop is not op:
+                return False
+        return chained
+
+    def _always_reaches(self, check: CallInst, candidate: CallInst) -> bool:
+        b1 = check.parent
+        b2 = candidate.parent
+        if b1 is b2:
+            # SSA order: the subsumer's tail consumes the subsumee's, so it
+            # (and its check) sits later in the block.
+            return True
+        fn = b1.parent
+        tree = self._postdom.get(id(fn))
+        if tree is None:
+            tree = PostDominatorTree(fn)
+            self._postdom[id(fn)] = tree
+        return tree.post_dominates(b2, b1)
+
+    # -- cleanup -----------------------------------------------------------------
+
+    def _erase_dead_duplicates(self) -> None:
+        """Erase shadow clones whose only purpose was a removed check."""
+        progress = True
+        clones = list(self.clone_map.values())
+        while progress:
+            progress = False
+            for clone in clones:
+                if clone.parent is not None and not clone.is_used():
+                    clone.erase()
+                    self.report.duplicates_removed += 1
+                    progress = True
+
+    def _refresh_metadata(self) -> None:
+        sites = getattr(self.module, "check_sites", None)
+        if sites is not None:
+            self.module.check_sites = [
+                s for s in sites if s.check.parent is not None
+            ]
+        dup_map = getattr(self.module, "duplicate_map", None)
+        if dup_map is not None:
+            self.module.duplicate_map = {
+                key: clone for key, clone in dup_map.items() if clone.parent is not None
+            }
+
+    @staticmethod
+    def _where(check: CallInst) -> str:
+        fn = check.function
+        block = check.parent
+        return f"{fn.name if fn else '?'}/{block.name if block else '?'}"
+
+
+def eliminate_redundant_checks(module: Module) -> CheckElimReport:
+    """Convenience wrapper: run check-redundancy elimination on ``module``."""
+    return CheckEliminationPass(module).run()

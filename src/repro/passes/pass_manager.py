@@ -9,9 +9,16 @@ checkpoint: the verifier *and* the lint rules of :mod:`repro.diag` run
 after every pass, and the per-pass introduced/fixed diagnostic deltas are
 recorded in :attr:`PassManager.debug_records` — the quickest way to find
 which pass manufactured a dead store or broke a duplication path.
+
+Setting the ``IPAS_VERIFY_EACH_PASS`` environment variable to a non-empty
+value other than ``0`` forces inter-pass verification even when a caller
+constructed the manager with ``verify=False`` — CI sets it so that every
+pipeline in the test suite runs fully verified without code changes.
 """
 
 from __future__ import annotations
+
+import os
 
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
@@ -24,6 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: A module pass: takes a module, returns True if it changed anything.
 ModulePass = Callable[[Module], bool]
+
+
+def verify_forced() -> bool:
+    """True when ``IPAS_VERIFY_EACH_PASS`` demands inter-pass verification
+    regardless of how the pass manager was constructed."""
+    return os.environ.get("IPAS_VERIFY_EACH_PASS", "0") not in ("", "0")
 
 
 @dataclass
@@ -82,7 +95,7 @@ class PassManager:
             changed = pass_fn(module)
             if changed:
                 changed_by.append(name)
-            if self.verify or self.debug:
+            if self.verify or self.debug or verify_forced():
                 verify_module(module)
             if self.debug:
                 report = self._lint(module)

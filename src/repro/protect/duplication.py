@@ -17,10 +17,22 @@ never re-executed (side effects); both can still *appear* inside a path as
 consumers of checked values.  The transformed module is verified and remains
 semantically identical on fault-free runs — duplicates feed only duplicates
 and checks, never the original dataflow.
+
+The shadow dataflow is **global**: a clone consumes the clone of its
+producer even when the producer lives in another block (SWIFT's redundant
+dataflow; the def of a clone sits right after its original, so dominance
+is inherited).  Only phis, loads, and calls break the shadow chain — their
+consumers' clones read the original value, exactly where a corruption can
+slip between the redundant streams.  The pass records its work as module
+metadata (``module.check_sites``, ``module.duplicate_map``) so the
+coverage prover (:mod:`repro.analysis.coverage`) and the check-redundancy
+eliminator (:mod:`repro.passes.check_elim`) can reason about which check
+guards which fault sites without re-deriving the pairing structurally.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..ir.block import BasicBlock
@@ -62,6 +74,22 @@ def _check_intrinsic_name(type_: Type) -> str:
     return f"ipas.check.{type_}"
 
 
+@dataclass(frozen=True)
+class CheckSite:
+    """One inserted ``ipas.check.*`` call and the value pair it compares.
+
+    ``original`` is the duplication-path tail whose value the check guards;
+    ``duplicate`` is its shadow clone; ``check`` is the comparison call
+    itself.  Recorded on the report and as ``module.check_sites`` so
+    downstream analyses can pair checks with protected values without
+    pattern-matching the IR.
+    """
+
+    original: Instruction
+    duplicate: Instruction
+    check: CallInst
+
+
 class DuplicationReport:
     """What the pass did — feeds Fig. 7 (duplicated-instruction percentages)."""
 
@@ -71,6 +99,10 @@ class DuplicationReport:
         self.checks_inserted = 0
         self.paths: int = 0
         self.eligible = 0
+        #: every inserted check, paired with the value it protects
+        self.check_sites: List[CheckSite] = []
+        #: id(original instruction) -> its shadow clone
+        self.duplicate_map: Dict[int, Instruction] = {}
         #: function -> snapshot block names recorded for the recovery
         #: runtime (loop headers + entry of every check-bearing function)
         self.regions: Dict[str, Tuple[str, ...]] = {}
@@ -87,10 +119,20 @@ class DuplicationReport:
 
 
 class DuplicationPass:
-    """Applies selective duplication to a module, in place."""
+    """Applies selective duplication to a module, in place.
 
-    def __init__(self, module: Module):
+    ``check_placement`` chooses where comparisons go: ``"tails"`` (default)
+    inserts one check per duplication-path tail (paper §4.4); ``"every"``
+    checks after *each* duplicated instruction — naive SWIFT-style
+    placement, kept as the reference point the check-redundancy
+    eliminator (:mod:`repro.passes.check_elim`) is measured against.
+    """
+
+    def __init__(self, module: Module, check_placement: str = "tails"):
+        if check_placement not in ("tails", "every"):
+            raise ValueError(f"unknown check placement: {check_placement!r}")
         self.module = module
+        self.check_placement = check_placement
         self.report = DuplicationReport()
 
     # -- public API -----------------------------------------------------------------
@@ -115,8 +157,48 @@ class DuplicationPass:
                 continue
             by_block.setdefault(id(block), []).append(inst)
             block_of[id(block)] = block
+
+        # Phase 1: create every clone (operands still point at originals).
+        # Clones must all exist before any remapping so a clone can consume
+        # the clone of a producer in *another* block.
+        per_block: Dict[int, List[Instruction]] = {}
+        clones: Dict[int, Instruction] = {}
         for block_id, instructions in by_block.items():
-            self._protect_block(block_of[block_id], instructions)
+            block = block_of[block_id]
+            duplicable = [i for i in instructions if is_duplicable(i)]
+            order = {id(inst): n for n, inst in enumerate(block.instructions)}
+            duplicable.sort(key=lambda i: order[id(i)])
+            per_block[block_id] = duplicable
+            for inst in duplicable:
+                clone = self._clone(inst)
+                block.insert_after(inst, clone)
+                clones[id(inst)] = clone
+                self.report.duplicated += 1
+
+        # Phase 2: rewire the shadow dataflow globally — each clone consumes
+        # the clone of its producer wherever one exists.  A clone sits right
+        # after its original, so it dominates everything the original does
+        # (bar the single slot in between, which holds no consumer).
+        for clone in clones.values():
+            for index, op in enumerate(list(clone.operands)):
+                if isinstance(op, Instruction):
+                    shadow = clones.get(id(op))
+                    if shadow is not None:
+                        clone.set_operand(index, shadow)
+
+        # Phase 3: path construction and check insertion, per block.
+        for block_id, duplicable in per_block.items():
+            block = block_of[block_id]
+            if self.check_placement == "every":
+                paths = [[inst] for inst in duplicable]
+            else:
+                paths = self._duplication_paths(duplicable, clones)
+            self.report.paths += len(paths)
+            for path in paths:
+                tail = path[-1]
+                self._insert_check(block, tail, clones[id(tail)])
+
+        self.report.duplicate_map = dict(clones)
         verify_module(self.module)
         # Record where the recovery runtime may snapshot: the inserted
         # checks define which functions can fire, and their loop headers
@@ -124,47 +206,19 @@ class DuplicationPass:
         # interpreter picks up when recovery is armed).
         self.report.regions = compute_regions(self.module)
         self.module.recovery_regions = self.report.regions
+        # Protection metadata for the coverage prover and check-redundancy
+        # elimination (same precedent as ``recovery_regions``).
+        self.module.check_sites = list(self.report.check_sites)
+        self.module.duplicate_map = dict(clones)
         return self.report
-
-    # -- per-block transformation -------------------------------------------------------
-
-    def _protect_block(self, block: BasicBlock, selected: List[Instruction]) -> None:
-        duplicable = [i for i in selected if is_duplicable(i)]
-        value_checked = [i for i in selected if self._needs_value_check(i)]
-        # Order by position in the block so operand remapping sees producers
-        # before consumers.
-        order = {id(inst): n for n, inst in enumerate(block.instructions)}
-        duplicable.sort(key=lambda i: order[id(i)])
-
-        clones: Dict[int, Instruction] = {}
-        for inst in duplicable:
-            clone = self._clone(inst, clones)
-            block.insert_after(inst, clone)
-            clones[id(inst)] = clone
-            self.report.duplicated += 1
-
-        paths = self._duplication_paths(duplicable, clones)
-        self.report.paths += len(paths)
-        for path in paths:
-            tail = path[-1]
-            self._insert_check(block, tail, clones[id(tail)])
-
-        # Calls selected for protection: compare the returned value against
-        # itself is meaningless (no clone), so the paper's framework treats
-        # the *consumers* of call results through their own duplication; a
-        # call with no duplicated consumer gets no structural protection.
-        # We record them for accounting only.
-        del value_checked
 
     def _needs_value_check(self, inst: Instruction) -> bool:
         return isinstance(inst, CallInst) and inst.produces_value()
 
-    def _clone(self, inst: Instruction, clones: Dict[int, Instruction]) -> Instruction:
+    def _clone(self, inst: Instruction) -> Instruction:
         def remap(v: Value) -> Value:
-            if isinstance(v, Instruction):
-                replacement = clones.get(id(v))
-                if replacement is not None:
-                    return replacement
+            # Operands keep pointing at the originals here; the global
+            # remap (phase 2 of ``run``) rewires them to shadow clones.
             return v
 
         if isinstance(inst, BinaryOperator):
@@ -261,10 +315,13 @@ class DuplicationPass:
         check = CallInst(check_fn, [original, duplicate])
         block.insert_after(duplicate, check)
         self.report.checks_inserted += 1
+        self.report.check_sites.append(CheckSite(original, duplicate, check))
 
 
 def duplicate_instructions(
-    module: Module, selected: Iterable[Instruction]
+    module: Module,
+    selected: Iterable[Instruction],
+    check_placement: str = "tails",
 ) -> DuplicationReport:
     """Convenience wrapper: run the duplication pass on ``module``."""
-    return DuplicationPass(module).run(selected)
+    return DuplicationPass(module, check_placement=check_placement).run(selected)

@@ -111,9 +111,9 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "static risk:" in out
 
-    def test_analyze_unknown_target(self):
-        with pytest.raises(KeyError):
-            main(["analyze", "linpack"])
+    def test_analyze_unknown_target(self, capsys):
+        assert main(["analyze", "linpack"]) == 2
+        assert "unknown analyze target" in capsys.readouterr().err
 
     def test_analyze_debug_passes(self, capsys):
         assert main(["analyze", "fft", "--debug-passes"]) == 0
@@ -121,6 +121,56 @@ class TestAnalyze:
         assert "pass pipeline checkpoints:" in out
         for name in ("mem2reg", "constant-fold", "simplify-cfg", "dce"):
             assert name in out
+
+    def dead_store_kernel(self, tmp_path):
+        source = tmp_path / "deadstore.scil"
+        source.write_text(
+            "int scratch = 0;\n"
+            "output double r[1];\n"
+            "void main() { scratch = 5; r[0] = 1.5; }\n"
+        )
+        return str(source)
+
+    def test_analyze_fail_on_warning(self, tmp_path, capsys):
+        target = self.dead_store_kernel(tmp_path)
+        # A warning finding: exit 0 under the default error gate, exit 1
+        # when warnings gate CI.
+        assert main(["analyze", target]) == 0
+        capsys.readouterr()
+        assert main(["analyze", target, "--fail-on", "warning"]) == 1
+        assert "warning[DS01]" in capsys.readouterr().out
+
+    def test_analyze_fail_on_warning_clean_module(self, capsys):
+        assert main(["analyze", "hpccg", "--fail-on", "warning"]) == 0
+
+    def test_analyze_coverage_text(self, capsys):
+        assert main(["analyze", "hpccg", "--coverage", "--protect", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage prover:" in out
+        assert "detected" in out
+
+    def test_analyze_coverage_json(self, capsys):
+        import json
+
+        assert main(
+            ["analyze", "is", "--coverage", "--protect", "full",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["coverage"]["summary"]
+        assert summary["sites"] == (
+            summary["detected"] + summary["masked"] + summary["escapes"]
+        )
+        assert summary["detected"] > 0  # full duplication must cover sites
+        for site in payload["coverage"]["sites"]:
+            assert site["verdict"] in ("detected", "masked", "escapes")
+
+    def test_analyze_unprotected_coverage_all_escapes_or_masked(self, capsys):
+        import json
+
+        assert main(["analyze", "is", "--coverage", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["coverage"]["summary"]["detected"] == 0
 
     def test_analyze_risk_threshold_flag_parses(self):
         args = build_parser().parse_args(

@@ -319,3 +319,87 @@ class TestPassManagerDebugMode:
         pipeline.run(module)
         changed = [r for r in pipeline.debug_records if r.changed]
         assert changed and changed[0].format().startswith("*")
+
+
+class TestCoverageRules:
+    """COV01/COV02/COV03: the coverage-prover-backed lint rules."""
+
+    SRC = (
+        "int n = 16;\n"
+        "output int result[2];\n"
+        "double helper(double x) { return x * 2.0; }\n"
+        "void main() {\n"
+        "    int acc = 0;\n"
+        "    int mix = 1;\n"
+        "    for (int i = 0; i < n; i = i + 1) {\n"
+        "        acc = acc + i * 3;\n"
+        "        mix = (mix + acc) ^ i;\n"
+        "    }\n"
+        "    result[0] = acc;\n"
+        "    result[1] = mix;\n"
+        "}\n"
+    )
+
+    def naive_protected(self):
+        from repro import compile_source
+        from repro.protect.duplication import DuplicationPass
+
+        module = compile_source(self.SRC, name="naive")
+        dup = DuplicationPass(module, check_placement="every")
+        dup.run(FullDuplicationSelector().select(module))
+        verify_module(module)
+        return module
+
+    def test_cov_rules_are_registered(self):
+        codes = {code for code, _ in registered_rules()}
+        assert {"COV01", "COV02", "COV03"} <= codes
+
+    def test_cov01_flags_subsumed_checks(self):
+        report = run_lints(self.naive_protected(), codes=["COV01"])
+        findings = [d for d in report if d.code == "COV01"]
+        assert findings
+        assert all(d.severity is Severity.WARNING for d in findings)
+        assert "subsumed" in findings[0].message
+
+    def test_cov01_matches_check_elimination(self):
+        from repro.passes import eliminate_redundant_checks
+
+        module = self.naive_protected()
+        flagged = len(run_lints(module, codes=["COV01"]))
+        removed = eliminate_redundant_checks(module).checks_removed
+        assert flagged == removed
+        # After elimination the rule is satisfied.
+        assert not run_lints(module, codes=["COV01"])
+
+    def test_cov02_flags_uncallable_checks(self):
+        report = run_lints(self.naive_protected(), codes=["COV02"])
+        findings = [d for d in report if d.code == "COV02"]
+        assert findings
+        assert any(d.function == "helper" for d in findings)
+
+    def test_cov03_flags_escaping_high_risk_sites(self):
+        report = run_lints(
+            self.naive_protected(), codes=["COV03"], risk_threshold=0.1
+        )
+        findings = [d for d in report if d.code == "COV03"]
+        assert findings
+        assert "ESCAPES" in findings[0].message
+
+    def test_cov_rules_silent_on_unprotected_modules(self):
+        from repro import compile_source
+
+        module = compile_source(self.SRC, name="clean")
+        report = run_lints(
+            module, codes=["COV01", "COV02", "COV03"], risk_threshold=0.1
+        )
+        assert not list(report)
+
+    def test_tail_placement_lints_clean(self):
+        # The paper's default placement: no COV01 redundancy to flag on
+        # a protected workload module.
+        module = get_workload("is").compile()
+        duplicate_instructions(
+            module, FullDuplicationSelector().select(module)
+        )
+        report = run_lints(module, codes=["COV01"])
+        assert not list(report)

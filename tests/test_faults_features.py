@@ -251,3 +251,61 @@ class TestFeatures:
         dangling = BinaryOperator("add", ci(1), ci(2))
         with pytest.raises(ValueError):
             fx.extract(dangling)
+
+
+class TestCoverageFeatures:
+    def test_feature_names_compose(self):
+        from repro.features import (
+            COVERAGE_FEATURE_NAMES,
+            STATIC_RISK_FEATURE_NAMES,
+            feature_names,
+        )
+
+        assert feature_names() == FEATURE_NAMES
+        assert feature_names(include_static_risk=True) == (
+            FEATURE_NAMES + STATIC_RISK_FEATURE_NAMES
+        )
+        assert feature_names(include_coverage=True) == (
+            FEATURE_NAMES + COVERAGE_FEATURE_NAMES
+        )
+        both = feature_names(
+            include_static_risk=True, include_coverage=True
+        )
+        assert both == (
+            FEATURE_NAMES + STATIC_RISK_FEATURE_NAMES + COVERAGE_FEATURE_NAMES
+        )
+
+    def test_coverage_features_on_protected_module(self):
+        from repro.features import feature_names
+        from repro.protect import (
+            FullDuplicationSelector,
+            duplicate_instructions,
+        )
+
+        module = compile_source(KERNEL)
+        duplicate_instructions(
+            module, FullDuplicationSelector().select(module)
+        )
+        fx = FeatureExtractor(module, include_coverage=True)
+        names = feature_names(include_coverage=True)
+        esc_idx = names.index("static_escapes")
+        frac_idx = names.index("static_masked_fraction")
+        insts = injectable_instructions(module)
+        X = fx.extract_many(insts)
+        assert X.shape == (len(insts), len(names))
+        assert set(X[:, esc_idx]) <= {0.0, 1.0}
+        assert all(0.0 <= f <= 1.0 for f in X[:, frac_idx])
+        # Full duplication: some sites must be statically covered.
+        assert (X[:, esc_idx] == 0.0).any()
+
+    def test_unprotected_module_mostly_escapes(self):
+        from repro.features import feature_names
+
+        module = compile_source(KERNEL)
+        fx = FeatureExtractor(module, include_coverage=True)
+        names = feature_names(include_coverage=True)
+        esc_idx = names.index("static_escapes")
+        insts = injectable_instructions(module)
+        X = fx.extract_many(insts)
+        # Without checks nothing can be DETECTED; escapes dominate.
+        assert (X[:, esc_idx] == 1.0).sum() > 0

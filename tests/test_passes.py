@@ -322,3 +322,50 @@ class TestPassManager:
         iterations = pm.run_to_fixpoint(m)
         assert iterations == 1
         assert calls == ["probe"]
+
+
+class TestVerifyEachPassKnob:
+    """IPAS_VERIFY_EACH_PASS forces inter-pass verification even on
+    managers constructed with verify=False (CI sets it globally)."""
+
+    def breaking_pass(self, module):
+        # Detach a terminator: structurally invalid, but only the
+        # verifier notices.
+        fn = next(iter(module.functions.values()))
+        fn.blocks[0].instructions.pop()
+        return True
+
+    def make_module(self):
+        m = Module("knob")
+        fn = m.add_function("main", I64, [])
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(const_int(0))
+        return m
+
+    def test_unverified_manager_misses_breakage(self, monkeypatch):
+        from repro.passes import verify_forced
+
+        monkeypatch.delenv("IPAS_VERIFY_EACH_PASS", raising=False)
+        assert not verify_forced()
+        pm = PassManager(verify=False)
+        pm.add("break", self.breaking_pass)
+        pm.run(self.make_module())  # no verification, no error
+
+    def test_env_knob_forces_verification(self, monkeypatch):
+        from repro.ir.verifier import VerificationError
+        from repro.passes import verify_forced
+
+        monkeypatch.setenv("IPAS_VERIFY_EACH_PASS", "1")
+        assert verify_forced()
+        pm = PassManager(verify=False)
+        pm.add("break", self.breaking_pass)
+        with pytest.raises(VerificationError):
+            pm.run(self.make_module())
+
+    def test_zero_and_empty_disable(self, monkeypatch):
+        from repro.passes import verify_forced
+
+        monkeypatch.setenv("IPAS_VERIFY_EACH_PASS", "0")
+        assert not verify_forced()
+        monkeypatch.setenv("IPAS_VERIFY_EACH_PASS", "")
+        assert not verify_forced()
