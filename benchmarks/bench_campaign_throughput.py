@@ -33,12 +33,27 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT = REPO_ROOT / "BENCH_campaign.json"
 
 WORKLOADS = ("fft", "hpccg")
+#: Warm-start configurations: (workload, input_id, ladder rungs).  Warm
+#: speedup grows with input size — the per-trial fixed costs (restore
+#: copy, rendezvous compares) amortise over longer suffixes — so the
+#: warm bench runs the larger fig8 inputs, where the snapshot ladder
+#: clears 3x serial throughput on fft and comd.  ``is`` rides along as
+#: the shortest-trial stress case.
+WARM_CONFIGS = (("fft", 3, 512), ("comd", 4, 512), ("is", 3, 512))
 TRIALS = 200
+WARM_TRIALS = 150
+#: Best-of-N repeats for the warm bench: cold and warm rates are each
+#: the fastest of N runs, which cancels scheduler noise on shared CI
+#: boxes (single-shot rates swing ±20% on a one-core container).
+WARM_REPEATS = 3
 SEED = 0
 PARALLEL_JOBS = 4
+WARM_OUTPUT = REPO_ROOT / "BENCH_warmstart.json"
 
 
-def measure(workload_name: str, n_jobs: int, trials: int = TRIALS) -> dict:
+def measure(
+    workload_name: str, n_jobs: int, trials: int = TRIALS, warm_start: bool = False
+) -> dict:
     """One timed campaign; compilation and the golden run stay outside."""
     workload = get_workload(workload_name)
     campaign = Campaign(
@@ -46,8 +61,13 @@ def measure(workload_name: str, n_jobs: int, trials: int = TRIALS) -> dict:
         verifier=workload.verifier(),
         entry=workload.entry,
         budget_factor=workload.budget_factor,
+        warm_start=warm_start,
     )
     campaign.prepare()
+    if warm_start:
+        # Ladder capture is a one-time golden-run cost shared by every
+        # trial; build it outside the timed region like prepare().
+        campaign.ensure_ladder()
     result = campaign.run(trials, seed=SEED, n_jobs=n_jobs)
     return {
         "outcomes": result.counts.as_dict(),
@@ -85,6 +105,113 @@ def run_bench(trials: int = TRIALS) -> dict:
     return report
 
 
+def _best_of(campaign, trials: int, repeats: int):
+    """Repeat one campaign, return (best result, best trials/s).
+
+    Every repeat must classify identically — a determinism failure here
+    means the engine, not the clock, is broken.
+    """
+    best, best_rate, key = None, 0.0, None
+    for _ in range(repeats):
+        result = campaign.run(trials, seed=SEED, n_jobs=1)
+        k = [(r.outcome, r.status, r.cycles) for r in result.records]
+        if key is None:
+            key = k
+        elif k != key:
+            raise AssertionError("repeated runs classified differently")
+        rate = result.stats.trials_per_second
+        if rate > best_rate:
+            best, best_rate = result, rate
+    return best, best_rate
+
+
+def measure_warm_pair(
+    name: str, input_id: int, rungs: int, trials: int, repeats: int
+) -> dict:
+    """Cold vs warm-start serial throughput on one workload input."""
+    workload = get_workload(name)
+
+    def build(**kw):
+        campaign = Campaign(
+            workload.make_interpreter(input_id),
+            verifier=workload.verifier(),
+            entry=workload.entry,
+            budget_factor=workload.budget_factor,
+            **kw,
+        )
+        campaign.prepare()
+        return campaign
+
+    cold_campaign = build()
+    stride = max(cold_campaign.golden_cycles // rungs, 1)
+    warm_campaign = build(warm_start=True, snapshot_stride=stride)
+    # Ladder capture and rung signatures are one-time golden-run costs
+    # shared by every trial; build them outside the timed region like
+    # prepare().
+    warm_campaign.ensure_ladder()
+    for snap in warm_campaign._ladder.snapshots:
+        snap.state_signature()
+
+    cold, c_rate = _best_of(cold_campaign, trials, repeats)
+    warm, w_rate = _best_of(warm_campaign, trials, repeats)
+    if cold.counts.as_dict() != warm.counts.as_dict():
+        raise AssertionError(
+            f"{name}: outcome mix differs between cold and warm-start — "
+            "the bit-identity contract is broken"
+        )
+    return {
+        "input_id": input_id,
+        "ladder_rungs": rungs,
+        "snapshot_stride": stride,
+        "golden_cycles": cold_campaign.golden_cycles,
+        "outcomes": cold.counts.as_dict(),
+        "cold": {"stats": cold.stats.as_dict()},
+        "warm": {"stats": warm.stats.as_dict()},
+        "cold_trials_per_second": c_rate,
+        "warm_trials_per_second": w_rate,
+        "speedup": w_rate / c_rate if c_rate else 0.0,
+    }
+
+
+def run_warm_bench(trials: int = WARM_TRIALS) -> dict:
+    """Cold vs warm-start serial throughput; outcome mixes must match."""
+    report = {
+        "trials": trials,
+        "repeats": WARM_REPEATS,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": {},
+    }
+    for name, input_id, rungs in WARM_CONFIGS:
+        report["workloads"][name] = measure_warm_pair(
+            name, input_id, rungs, trials, WARM_REPEATS
+        )
+    return report
+
+
+def format_warm_report(report: dict) -> str:
+    lines = [
+        f"warm-start throughput — {report['trials']} serial trials, "
+        f"best of {report.get('repeats', 1)}",
+        f"{'workload':>8}  {'input':>5}  {'rungs':>5}  {'cold tr/s':>10}  "
+        f"{'warm tr/s':>10}  {'speedup':>8}  {'restores':>8}  {'resyncs':>7}",
+    ]
+    for name, entry in report["workloads"].items():
+        warm_stats = entry["warm"]["stats"].get("warm_start", {})
+        lines.append(
+            f"{name:>8}  {entry.get('input_id', 1):5d}  "
+            f"{entry.get('ladder_rungs', 0):5d}  "
+            f"{entry['cold_trials_per_second']:10.1f}  "
+            f"{entry['warm_trials_per_second']:10.1f}  "
+            f"{entry['speedup']:7.2f}x  "
+            f"{warm_stats.get('restores', 0):8d}  "
+            f"{warm_stats.get('golden_resyncs', 0):7d}"
+        )
+    return "\n".join(lines)
+
+
 def format_report(report: dict) -> str:
     lines = [
         f"campaign throughput — {report['trials']} trials, "
@@ -113,11 +240,29 @@ def test_campaign_throughput(benchmark, report):
         assert entry["parallel_trials_per_second"] > 0
 
 
-def main() -> int:
-    result = run_bench()
-    OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
-    print(format_report(result))
-    print(f"\nwrote {OUTPUT}")
+def test_warmstart_throughput(benchmark, report):
+    from conftest import one_shot
+
+    result = one_shot(benchmark, run_warm_bench)
+    WARM_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+    report("warmstart_throughput", format_warm_report(result))
+    for name, entry in result["workloads"].items():
+        assert entry["cold_trials_per_second"] > 0
+        assert entry["warm_trials_per_second"] > 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--warm-start" in argv:
+        result = run_warm_bench()
+        WARM_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+        print(format_warm_report(result))
+        print(f"\nwrote {WARM_OUTPUT}")
+    else:
+        result = run_bench()
+        OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+        print(format_report(result))
+        print(f"\nwrote {OUTPUT}")
     return 0
 
 

@@ -171,6 +171,8 @@ def cmd_inject(args) -> int:
         verifier=workload.verifier(),
         budget_factor=workload.budget_factor,
         recovery=recovery,
+        warm_start=args.warm_start,
+        snapshot_stride=args.snapshot_stride or None,
     )
 
     if args.verify_checkpoint:
@@ -214,6 +216,13 @@ def cmd_inject(args) -> int:
             f"({stats.hangs} hangs), {stats.respawns} respawns, "
             f"{stats.retries} retries, {stats.quarantined} quarantined"
             + (", serial fallback" if stats.serial_fallback else "")
+        )
+    if args.warm_start and stats is not None:
+        print(
+            f"  warm-start: {stats.warm_restores} trials restored from the "
+            f"snapshot ladder (stride {campaign.effective_stride} cycles), "
+            f"{stats.golden_resyncs} golden resyncs, "
+            f"{stats.warm_cycles_saved} prefix cycles skipped"
         )
     if recovery is not None and stats is not None:
         corrected = result.counts.counts[Outcome.CORRECTED]
@@ -530,6 +539,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="minimum cycles between region snapshots; 0 snapshots at every "
         "region boundary (default: 0)",
+    )
+    p_inject.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="capture a snapshot ladder during the golden run and start each "
+        "trial from the rung just before its injection point, executing only "
+        "the suffix (bit-identical outcomes, same at any --jobs)",
+    )
+    p_inject.add_argument(
+        "--snapshot-stride",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="cycles between warm-start ladder rungs; 0 picks an automatic "
+        "stride of about golden_cycles/128 (default: 0)",
     )
     _add_jobs_arg(p_inject)
     p_inject.add_argument(

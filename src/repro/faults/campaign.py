@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..interp.interpreter import Interpreter, RunResult
 from ..ir.module import Module
 from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
+from ..recover.warm import WarmStart
 from .model import FaultSite, injectable_instructions, is_injectable, result_bits
 from .outcomes import Outcome, OutcomeCounts, parse_outcome
 
@@ -60,9 +61,17 @@ class TrialRecord:
 
     ``recovery`` is a :class:`~repro.recover.RecoveryTelemetry` when the
     trial executed under the rollback runtime, else ``None``.
+
+    ``warm`` is transient execution metadata from warm-start campaigns —
+    a ``(rung_index, resynced, prefix_cycles_saved)`` triple, or ``None``
+    for cold trials.  It describes *how* the trial ran, not what happened,
+    so it is deliberately excluded from ``to_dict``/checkpoints: warm and
+    cold campaigns produce byte-identical records on disk.
     """
 
-    __slots__ = ("site", "outcome", "status", "cycles", "failure", "recovery")
+    __slots__ = (
+        "site", "outcome", "status", "cycles", "failure", "recovery", "warm",
+    )
 
     def __init__(
         self,
@@ -72,6 +81,7 @@ class TrialRecord:
         cycles: int,
         failure=None,
         recovery: Optional[RecoveryTelemetry] = None,
+        warm: Optional[Tuple[int, bool, int]] = None,
     ):
         self.site = site
         self.outcome = outcome
@@ -79,6 +89,7 @@ class TrialRecord:
         self.cycles = cycles
         self.failure = failure
         self.recovery = recovery
+        self.warm = warm
 
     @property
     def instruction(self):
@@ -188,6 +199,12 @@ class CampaignResult:
 class Campaign:
     """Statistical fault injection against one interpreter instance."""
 
+    #: default ladder density: auto stride targets about this many rungs.
+    #: Dense ladders pay off twice — shorter restored prefixes *and* more
+    #: rendezvous points for golden resync — and a rung is only a list of
+    #: cell references, so capture stays cheap well past a hundred rungs.
+    DEFAULT_LADDER_RUNGS = 128
+
     def __init__(
         self,
         interp: Interpreter,
@@ -195,6 +212,8 @@ class Campaign:
         entry: str = "main",
         budget_factor: float = 20.0,
         recovery: Optional[RecoveryPolicy] = None,
+        warm_start: bool = False,
+        snapshot_stride: Optional[int] = None,
     ):
         self.interp = interp
         self.verifier = verifier or OutputVerifier()
@@ -204,8 +223,14 @@ class Campaign:
         #: the golden run, so snapshot cost lands in the cycle baseline);
         #: None keeps the historical fail-stop behavior byte-identical.
         self.recovery = recovery
+        #: execute trials from golden-run ladder rungs (prefix memoization);
+        #: outcome records are bit-identical to cold-start at any n_jobs.
+        self.warm_start = warm_start
+        #: cycles between ladder rungs (None = golden_cycles / 24)
+        self.snapshot_stride = snapshot_stride
         self._golden_cycles: Optional[int] = None
         self._golden_capture = None
+        self._ladder = None
         self._sites: List = []  # (instruction, dynamic_count)
         self._cumulative: List[int] = []
         self._total_weight = 0
@@ -265,6 +290,36 @@ class Campaign:
     def cycle_budget(self) -> int:
         return int(self.budget_factor * self.golden_cycles) + 10_000
 
+    # -- warm-start ladder --------------------------------------------------------
+
+    @property
+    def effective_stride(self) -> int:
+        """The rung spacing actually used (resolves the auto default)."""
+        if self.snapshot_stride is not None:
+            return max(int(self.snapshot_stride), 1)
+        return max(self.golden_cycles // self.DEFAULT_LADDER_RUNGS, 1)
+
+    def ensure_ladder(self):
+        """Capture (once) the golden snapshot ladder for warm-start trials.
+
+        Called by the parallel engine in the parent before forking, so
+        every worker inherits the same rungs copy-on-write.
+        """
+        if self._ladder is None:
+            self.prepare()
+            ladder = self.interp.capture_ladder(
+                self.entry,
+                stride=self.effective_stride,
+                recovery=self.recovery,
+            )
+            if ladder.golden_cycles != self._golden_cycles:
+                raise RuntimeError(
+                    f"ladder capture diverged from the golden run "
+                    f"({ladder.golden_cycles} vs {self._golden_cycles} cycles)"
+                )
+            self._ladder = ladder
+        return self._ladder
+
     # -- sampling -------------------------------------------------------------------
 
     def sample_site(self, rng: random.Random) -> FaultSite:
@@ -293,15 +348,40 @@ class Campaign:
     def run_site(self, site: FaultSite) -> TrialRecord:
         """Execute one injection run and classify its outcome."""
         self.prepare()
+        warm = None
+        if self.warm_start:
+            ladder = self.ensure_ladder()
+            snap, inj_seen = ladder.plan_site(self.interp.cm, site)
+            warm = WarmStart(
+                ladder,
+                snap,
+                inj_seen=inj_seen,
+                # Resync must not shortcut recovery trials: their rollback
+                # telemetry has to replay in full to stay bit-identical.
+                resync=self.recovery is None,
+            )
         result = self.interp.run(
             self.entry,
             injection=site.as_injection(),
             cycle_budget=self.cycle_budget,
             recovery=self.recovery,
+            warm=warm,
         )
         outcome = self.classify(result)
+        warm_info = None
+        if warm is not None:
+            warm_info = (
+                result.warm_index,
+                result.resynced,
+                warm.snapshot.cycles if warm.snapshot is not None else 0,
+            )
         return TrialRecord(
-            site, outcome, result.status, result.cycles, recovery=result.recovery
+            site,
+            outcome,
+            result.status,
+            result.cycles,
+            recovery=result.recovery,
+            warm=warm_info,
         )
 
     def classify(self, result: RunResult) -> Outcome:
@@ -311,6 +391,11 @@ class Campaign:
             return Outcome.HANG
         if result.status == "detected":
             return Outcome.DETECTED
+        if result.resynced:
+            # The run's state re-converged bit-exactly with the golden run
+            # after the flip fired, so its outputs equal the golden outputs
+            # — any verifier accepts its own golden capture.
+            return Outcome.MASKED
         if self.verifier.check(self.interp, self._golden_capture):
             # A verified-correct completion that needed at least one
             # rollback is a detection the recovery runtime turned into a

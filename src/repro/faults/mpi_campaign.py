@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 import random
 import time
+import warnings
 from typing import Callable, List, Optional, Tuple
 
 from ..interp.interpreter import Interpreter
@@ -97,7 +98,20 @@ class MpiCampaign:
         entry: str = "main",
         budget_factor: float = 10.0,
         recovery: Optional[RecoveryPolicy] = None,
+        warm_start: bool = False,
     ):
+        if warm_start:
+            # A multi-rank job has no consistent cross-rank snapshot: rank
+            # threads rendezvous inside collectives, so a cycle-stride ladder
+            # captured on one rank is meaningless to the others.  Degrade
+            # loudly rather than silently changing semantics.
+            warnings.warn(
+                "warm-start snapshot ladders are single-process only; "
+                "MpiCampaign runs trials cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.warm_start = False
         self.job = job
         self.verifier = verifier or OutputVerifier()
         self.entry = entry

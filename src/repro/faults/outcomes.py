@@ -64,6 +64,8 @@ def parse_outcome(value, context: str = "") -> Outcome:
 class OutcomeCounts:
     """Aggregated outcome proportions of a campaign (one Fig. 5 bar)."""
 
+    __slots__ = ("counts",)
+
     def __init__(self):
         self.counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
 

@@ -109,6 +109,18 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 class CampaignStats:
     """Throughput, latency, and harness-health instrumentation."""
 
+    # One CampaignStats is touched per completed trial; __slots__ keeps the
+    # per-record attribute traffic on fixed offsets (and catches typos in
+    # the supervisor's counter updates).
+    __slots__ = (
+        "n_trials", "n_jobs", "started", "finished", "completed", "resumed",
+        "outcome_counts", "latency_sum", "latency_max", "histograms",
+        "busy_seconds", "worker_deaths", "hangs", "respawns", "retries",
+        "requeued", "quarantined", "backoff_seconds", "serial_fallback",
+        "snapshots", "rollbacks", "reexec_cycles", "escalations",
+        "warm_restores", "golden_resyncs", "warm_cycles_saved",
+    )
+
     def __init__(self, n_trials: int, n_jobs: int):
         self.n_trials = n_trials
         self.n_jobs = n_jobs
@@ -136,10 +148,16 @@ class CampaignStats:
         self.rollbacks = 0       # rollback re-executions performed
         self.reexec_cycles = 0   # cycles discarded and re-executed
         self.escalations = 0     # rollbacks refused (ladder exhausted)
+        # -- warm-start engine (nonzero only for warm campaigns) ------------
+        self.warm_restores = 0      # trials started from a ladder rung
+        self.golden_resyncs = 0     # trials finished by golden resync
+        self.warm_cycles_saved = 0  # prefix cycles skipped via restores
 
     # -- recording ---------------------------------------------------------
 
-    def record(self, outcome: Outcome, seconds: float, recovery=None) -> None:
+    def record(
+        self, outcome: Outcome, seconds: float, recovery=None, warm=None
+    ) -> None:
         key = outcome.value
         self.completed += 1
         self.busy_seconds += seconds
@@ -148,6 +166,13 @@ class CampaignStats:
             self.rollbacks += recovery.rollbacks
             self.reexec_cycles += recovery.reexec_cycles
             self.escalations += recovery.escalations
+        if warm is not None:
+            warm_index, resynced, saved = warm
+            if warm_index >= 0:
+                self.warm_restores += 1
+                self.warm_cycles_saved += saved
+            if resynced:
+                self.golden_resyncs += 1
         self.outcome_counts[key] = self.outcome_counts.get(key, 0) + 1
         self.latency_sum[key] = self.latency_sum.get(key, 0.0) + seconds
         self.latency_max[key] = max(self.latency_max.get(key, 0.0), seconds)
@@ -202,6 +227,11 @@ class CampaignStats:
         return self.snapshots + self.rollbacks + self.escalations
 
     @property
+    def warm_events(self) -> int:
+        """Total warm-start activity — 0 for cold campaigns."""
+        return self.warm_restores + self.golden_resyncs
+
+    @property
     def mean_rollback_cycles(self) -> float:
         """Mean re-executed cycles per rollback (detection distance)."""
         return self.reexec_cycles / self.rollbacks if self.rollbacks else 0.0
@@ -250,6 +280,12 @@ class CampaignStats:
                 "escalations": self.escalations,
                 "corrected": self.outcome_counts.get(Outcome.CORRECTED.value, 0),
             }
+        if self.warm_events:
+            data["warm_start"] = {
+                "restores": self.warm_restores,
+                "golden_resyncs": self.golden_resyncs,
+                "prefix_cycles_saved": self.warm_cycles_saved,
+            }
         return data
 
     def progress_line(self) -> str:
@@ -266,6 +302,10 @@ class CampaignStats:
             line += (
                 f"  [rollbacks {self.rollbacks} corrected {corrected}"
                 f" escalated {self.escalations}]"
+            )
+        if self.warm_events:
+            line += (
+                f"  [warm {self.warm_restores} resync {self.golden_resyncs}]"
             )
         if self.harness_events:
             line += (
@@ -642,6 +682,11 @@ def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
         # Only armed recovery changes outcomes; plain campaigns keep their
         # historical fingerprints, so old checkpoints stay resumable.
         h.update(f"{recovery.signature()}|".encode())
+    if getattr(campaign, "warm_start", False):
+        # Warm-start records are bit-identical to cold ones, but the
+        # execution engines differ — keep the checkpoints apart so a warm
+        # resume never silently validates cold results (and vice versa).
+        h.update(f"warm1|{campaign.effective_stride}|".encode())
     for inst, count in campaign._sites:
         fn = inst.function
         h.update(f"{fn.name if fn else '?'}:{inst.opcode}:{count};".encode())
@@ -693,6 +738,12 @@ def run_campaign(
         on_worker_failure=on_worker_failure,
     )
     campaign.prepare()
+    ladder = None
+    if getattr(campaign, "warm_start", False):
+        # Build the ladder in the parent: forked workers inherit the rungs
+        # copy-on-write, so one golden capture serves every worker count —
+        # and the rungs (hence every trial) are bit-identical at any n_jobs.
+        ladder = campaign.ensure_ladder()
     sites = campaign.sample_trials(n_trials, seed)
     stats = CampaignStats(n_trials, n_jobs)
     records: List[Optional[TrialRecord]] = [None] * n_trials
@@ -737,12 +788,26 @@ def run_campaign(
         checkpoint.open_for_append(fresh=not completed)
 
     pending = [i for i in range(n_trials) if records[i] is None]
+    if ladder is not None and len(pending) > 1:
+        # Bucket trials by their restore rung so consecutive chunks hit the
+        # same rung (warm caches stay hot in each worker).  Results are
+        # reassembled by index, so execution order never affects output.
+        bucket = {
+            i: (lambda s: s.index if s is not None else -1)(
+                ladder.plan_site(campaign.interp.cm, sites[i])[0]
+            )
+            for i in pending
+        }
+        pending.sort(key=lambda i: (bucket[i], i))
     trial_site_index = {i: site_index_of[id(sites[i].instruction)] for i in pending}
     last_progress = [stats.started]
 
     def deliver(index: int, record: TrialRecord, seconds: float) -> None:
         records[index] = record
-        stats.record(record.outcome, seconds, record.recovery)
+        stats.record(
+            record.outcome, seconds, record.recovery,
+            getattr(record, "warm", None),
+        )
         if checkpoint is not None:
             checkpoint.append(index, sites[index], trial_site_index[index], record)
         if on_trial is not None:
@@ -753,13 +818,19 @@ def run_campaign(
                 last_progress[0] = now
                 print(stats.progress_line(), file=sys.stderr)
 
-    def run_trial(index: int) -> Tuple[str, str, int, Optional[Tuple]]:
+    def run_trial(index: int) -> Tuple[str, str, int, Optional[Tuple], Optional[Tuple]]:
         # Runs in forked workers (which inherit the prepared campaign) and
         # in the parent for the serial-fallback path; only plain values
         # are returned, so results pickle across the pipe.
         record = campaign.run_site(sites[index])
         rec_wire = record.recovery.as_wire() if record.recovery is not None else None
-        return (record.outcome.value, record.status, record.cycles, rec_wire)
+        return (
+            record.outcome.value,
+            record.status,
+            record.cycles,
+            rec_wire,
+            getattr(record, "warm", None),
+        )
 
     def deliver_wire(index: int, result, seconds: float) -> None:
         if isinstance(result, TrialFailure):
@@ -767,7 +838,7 @@ def run_campaign(
                 sites[index], Outcome.TRIAL_FAILURE, "harness", 0, failure=result
             )
         else:
-            outcome_value, status, cycles, rec_wire = result
+            outcome_value, status, cycles, rec_wire, warm = result
             recovery = (
                 RecoveryTelemetry.from_wire(rec_wire) if rec_wire is not None else None
             )
@@ -777,6 +848,7 @@ def run_campaign(
                 status,
                 cycles,
                 recovery=recovery,
+                warm=warm,
             )
         deliver(index, record, seconds)
 

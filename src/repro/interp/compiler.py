@@ -204,6 +204,29 @@ class CompiledModule:
         )
         return record.cfi, record.block_index, fn
 
+    def resume_block_fn(
+        self,
+        cfi: int,
+        bi: int,
+        call_k: int,
+        inject_after: Optional[Instruction] = None,
+    ) -> Callable:
+        """Compile (or fetch) a warm-start *resume* variant of a block.
+
+        The variant skips everything before the block's ``call_k``-th
+        non-declaration call (0-based; blocks are straight-line, so the
+        k-th dynamic call of a block instance is its k-th static call
+        instruction), re-issues that call via ``state.resume_call()``, and
+        runs the remainder normally.  No cycles are charged and no profile
+        is bumped — the suspended block already paid at entry, before the
+        ladder rung was captured.  ``inject_after`` re-arms the injection
+        epilogue for instructions in the executed remainder (including the
+        resumed call itself).
+        """
+        return self._compiler.compile_resume(
+            self.cfuncs[cfi], bi, call_k, inject_after
+        )
+
 
 class _Compiler:
     """Generates and ``exec``-compiles Python source for basic blocks."""
@@ -212,6 +235,7 @@ class _Compiler:
         self.cm = cm
         self._slot_of: Dict[int, Dict[int, int]] = {}  # cfi -> id(value) -> slot
         self._inject_cache: Dict[Tuple[int, int], Callable] = {}
+        self._resume_cache: Dict[Tuple[int, int, int, int], Callable] = {}
 
     # -- slot assignment ---------------------------------------------------------
 
@@ -293,6 +317,78 @@ class _Compiler:
         block_index = {id(b): i for i, b in enumerate(cf.fn.blocks)}
         _, fn = self._gen_block(cf, block_index_local, slots, block_index, inject_after)
         self._inject_cache[key] = fn
+        return fn
+
+    def compile_resume(
+        self,
+        cf: CompiledFunction,
+        bi: int,
+        call_k: int,
+        inject_after: Optional[Instruction],
+    ) -> Callable:
+        """Generate the warm-start resume variant of one block.
+
+        See :meth:`CompiledModule.resume_block_fn` for the contract.  The
+        generated function has no cycle/budget/profile preamble: the
+        suspended block instance was charged and profiled at its original
+        entry, before the ladder rung was captured.
+        """
+        key = (
+            cf.index,
+            bi,
+            call_k,
+            id(inject_after) if inject_after is not None else 0,
+        )
+        cached = self._resume_cache.get(key)
+        if cached is not None:
+            return cached
+        slots = self._slot_of[cf.index]
+        block_index = {id(b): i for i, b in enumerate(cf.fn.blocks)}
+        block = cf.fn.blocks[bi]
+        insts = [i for i in block.instructions if not isinstance(i, PhiNode)]
+        seen = 0
+        resume_at = None
+        for idx, inst in enumerate(insts):
+            if isinstance(inst, CallInst) and not inst.callee.is_declaration:
+                if seen == call_k:
+                    resume_at = idx
+                    break
+                seen += 1
+        if resume_at is None:
+            raise InterpreterBug(
+                f"no pending call #{call_k} in {cf.name} block {block.name}"
+            )
+        pending = insts[resume_at]
+        remainder = insts[resume_at + 1 :]
+        lines: List[str] = []
+        emit = lines.append
+        emit("def _block(f, state):")
+        if any(
+            isinstance(i, (LoadInst, StoreInst, AtomicRMWInst)) for i in remainder
+        ):
+            emit("    cells = state.cells")
+        d = slots.get(id(pending))
+        if d is not None:
+            emit(f"    f[{d}] = state.resume_call()")
+        else:
+            emit("    state.resume_call()")
+        if pending is inject_after:
+            self._gen_injection(pending, slots, emit)
+        for inst in remainder:
+            if inst.is_terminator():
+                self._gen_terminator(inst, cf, slots, block_index, emit)
+            else:
+                self._gen_instruction(inst, slots, emit)
+                if inst is inject_after:
+                    self._gen_injection(inst, slots, emit)
+        source = "\n".join(lines) + "\n"
+        namespace: Dict[str, object] = {}
+        code = compile(
+            source, f"<resume {cf.name}.{block.name}+{call_k}>", "exec"
+        )
+        exec(code, EXEC_GLOBALS, namespace)
+        fn = namespace["_block"]
+        self._resume_cache[key] = fn
         return fn
 
     # -- block codegen --------------------------------------------------------------------

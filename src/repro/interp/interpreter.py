@@ -13,6 +13,7 @@ campaigns.
 
 from __future__ import annotations
 
+from math import copysign as _copysign
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.instructions import Instruction
@@ -24,6 +25,13 @@ from ..recover.runtime import (
     RecoveryTelemetry,
     RollbackSignal,
     Snapshot,
+)
+from ..recover.warm import (
+    GoldenResync,
+    SnapshotLadder,
+    WarmStart,
+    _TrackState,
+    exact_state_eq,
 )
 from .compiler import CompiledModule
 from .costmodel import CostModel
@@ -79,7 +87,7 @@ class RunResult:
 
     __slots__ = (
         "status", "cycles", "value", "error", "injection_hit", "profile",
-        "recovery",
+        "recovery", "resynced", "warm_index",
     )
 
     def __init__(
@@ -91,6 +99,8 @@ class RunResult:
         injection_hit: bool = False,
         profile: Optional[List[int]] = None,
         recovery: Optional[RecoveryTelemetry] = None,
+        resynced: bool = False,
+        warm_index: int = -1,
     ):
         #: 'ok' | 'trap' | 'hang' | 'detected' | 'abort'
         self.status = status
@@ -101,6 +111,10 @@ class RunResult:
         self.profile = profile
         #: RecoveryTelemetry when the run executed under a RecoveryPolicy
         self.recovery = recovery
+        #: the run finished early by proving bit-identity to the golden run
+        self.resynced = resynced
+        #: ladder rung the run warm-started from (-1 = cold start)
+        self.warm_index = warm_index
 
     @property
     def completed(self) -> bool:
@@ -118,9 +132,11 @@ class Interpreter:
     # into fixed-offset loads instead of instance-dict lookups.
     __slots__ = (
         "cm", "module", "cfuncs", "stack_cells", "mpi", "collect_output",
-        "global_overrides", "_cells_template", "cells", "sp", "cycles",
-        "budget", "ret", "depth", "prof", "output_log", "inj_cfi", "inj_fns",
-        "inj_seen", "inj_occ", "inj_bit", "inj_hit", "rec", "_rec_plans",
+        "global_overrides", "_cells_template", "_reset_image", "cells", "sp",
+        "cycles", "budget", "ret", "depth", "prof", "output_log", "inj_cfi",
+        "inj_fns", "inj_seen", "inj_occ", "inj_bit", "inj_hit", "inj_inst",
+        "inj_bi", "rec", "_rec_plans", "trk", "_resume_frames",
+        "_resume_next",
     )
 
     DEFAULT_STACK_CELLS = 1 << 16
@@ -150,6 +166,10 @@ class Interpreter:
         # thousands of times per second).
         self._cells_template: List = list(self.cm.global_template)
         self._cells_template.extend([0] * stack_cells)
+        # Template with global_overrides already applied, rebuilt lazily on
+        # the first reset() after an override change: per-trial reset is one
+        # flat list copy instead of copy + per-override writes.
+        self._reset_image: Optional[List] = None
 
         # mutable run state (initialised by reset)
         self.cells: List = []
@@ -166,9 +186,16 @@ class Interpreter:
         self.inj_occ = 0
         self.inj_bit = 0
         self.inj_hit = False
+        self.inj_inst = None
+        self.inj_bi = -1
         #: RecoveryState while a run executes under a RecoveryPolicy
         self.rec: Optional[RecoveryState] = None
         self._rec_plans: Dict[str, Dict[int, frozenset]] = {}
+        #: _TrackState while a run captures a ladder or resyncs against one
+        self.trk: Optional[_TrackState] = None
+        # warm-start resume chain (consumed left to right by resume_call)
+        self._resume_frames = None
+        self._resume_next = 0
 
     # -- configuration ----------------------------------------------------------
 
@@ -176,7 +203,9 @@ class Interpreter:
         """Persistently override a global's initial contents (program input).
 
         ``value`` is a scalar or a sequence no longer than the global's cell
-        count.  Applied on every subsequent ``run()``.
+        count.  Applied on every subsequent ``run()``.  The override's
+        contents are frozen into the reset image at the next ``run()`` —
+        mutating a list after passing it here has no further effect.
         """
         gv = self.module.get_global(name)
         if isinstance(value, (list, tuple)):
@@ -186,14 +215,30 @@ class Interpreter:
                     f"global has {gv.cell_count}"
                 )
         self.global_overrides[name] = value
+        self._reset_image = None
 
     def clear_global_overrides(self) -> None:
         self.global_overrides.clear()
+        self._reset_image = None
 
     # -- state management ----------------------------------------------------------
 
-    def reset(self) -> None:
-        self.cells = self._cells_template.copy()
+    def reset(self, cells: bool = True) -> None:
+        image = self._reset_image
+        if image is None:
+            # Bake overrides into the template once; campaigns reset
+            # thousands of times per second and the overrides never change
+            # mid-campaign.
+            image = self._cells_template.copy()
+            for name, value in self.global_overrides.items():
+                base = self.cm.global_addr[name]
+                if isinstance(value, (list, tuple)):
+                    image[base : base + len(value)] = list(value)
+                else:
+                    image[base] = value
+            self._reset_image = image
+        if cells:
+            self.cells = image.copy()
         self.sp = self.cm.stack_base
         self.cycles = 0
         self.ret = None
@@ -206,13 +251,12 @@ class Interpreter:
         self.inj_occ = 0
         self.inj_bit = 0
         self.inj_hit = False
+        self.inj_inst = None
+        self.inj_bi = -1
         self.rec = None
-        for name, value in self.global_overrides.items():
-            base = self.cm.global_addr[name]
-            if isinstance(value, (list, tuple)):
-                self.cells[base : base + len(value)] = list(value)
-            else:
-                self.cells[base] = value
+        self.trk = None
+        self._resume_frames = None
+        self._resume_next = 0
 
     # -- execution -----------------------------------------------------------------
 
@@ -224,6 +268,7 @@ class Interpreter:
         profile: bool = False,
         cycle_budget: Optional[int] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        warm: Optional[WarmStart] = None,
     ) -> RunResult:
         """Execute ``entry`` from a fresh state.
 
@@ -240,8 +285,17 @@ class Interpreter:
         run, escalating to the fail-stop ``detected`` status when the
         policy's ladder is exhausted.  ``None`` (the default) executes
         exactly as before — recovery is strictly opt-in.
+
+        ``warm`` (a :class:`~repro.recover.WarmStart`) restores a golden
+        ladder rung instead of starting at instruction 0 and executes only
+        the suffix; with ``warm.resync`` armed (and no recovery policy) the
+        run finishes with the golden result as soon as its state provably
+        re-converges with the golden run.  The result is bit-identical to
+        the cold run in every observable field.
         """
-        self.reset()
+        # A warm restore replaces the whole arena, so the reset image copy
+        # (a full-arena memcpy) would be dead work on that path.
+        self.reset(cells=warm is None or warm.snapshot is None)
         self.budget = cycle_budget if cycle_budget is not None else self.NO_BUDGET
         if profile:
             self.prof = [0] * self.cm.total_blocks
@@ -256,17 +310,57 @@ class Interpreter:
             self.inj_fns = fns
             self.inj_occ = occurrence
             self.inj_bit = bit
+            self.inj_inst = inst
+            self.inj_bi = bi
         if recovery is not None:
             plan = self._rec_plans.get(entry)
             if plan is None:
                 plan = build_plan(self.cm, entry)
                 self._rec_plans[entry] = plan
             self.rec = RecoveryState(recovery, plan)
+        warm_index = -1
+        if warm is not None:
+            if warm.snapshot is not None:
+                warm_index = warm.snapshot.index
+                self.inj_seen = warm.inj_seen
+            # Resync needs the frame-mirroring dispatch loop; recovery
+            # telemetry must replay in full, so resync stays off with a
+            # policy armed.
+            if (
+                warm.resync
+                and recovery is None
+                and warm.ladder is not None
+                and warm.ladder.snapshots
+            ):
+                trk = _TrackState()
+                trk.resync_pts = warm.ladder.snapshots
+                trk.golden_cycles = warm.ladder.golden_cycles
+                if warm.snapshot is not None:
+                    # Rungs at or before the restore point are already
+                    # behind the trial in state-space; start the cursor
+                    # (and the offset-probe window) just past them.
+                    trk.ri = warm.snapshot.index + 1
+                trk.rebuild_cand()
+                self.trk = trk
 
         entry_index = self.cm.get_function_index(entry)
         status, error, value = "ok", "", None
+        resynced = False
         try:
-            value = self.call(entry_index, tuple(args))
+            if warm is not None and warm.snapshot is not None:
+                value = self._resume_from(warm)
+            else:
+                value = self.call(entry_index, tuple(args))
+        except GoldenResync as exc:
+            # The trial's state matched a golden rung bit-for-bit after the
+            # flip fired: the remaining execution equals the golden suffix.
+            # ``delta`` shifts the cycle count for offset rendezvous (the
+            # suffix's cycle charges are a function of the matched state,
+            # so the trial finishes exactly ``delta`` off the golden run).
+            resynced = True
+            assert warm is not None
+            value = warm.ladder.golden_value
+            self.cycles = warm.ladder.golden_cycles + exc.delta
         except DetectedByDuplication as exc:
             status, error = "detected", str(exc)
         except RollbackSignal as exc:
@@ -285,6 +379,8 @@ class Interpreter:
             # Defensive: guarded codegen should prevent these, but a fault
             # can push values into odd corners; treat as a crash symptom.
             status, error = "trap", f"host-level {type(exc).__name__}: {exc}"
+        self.trk = None
+        self._resume_frames = None
         return RunResult(
             status,
             self.cycles,
@@ -293,6 +389,8 @@ class Interpreter:
             injection_hit=self.inj_hit,
             profile=self.prof,
             recovery=self.rec.telemetry if self.rec is not None else None,
+            resynced=resynced,
+            warm_index=warm_index,
         )
 
     def call(self, cfi: int, args: Tuple) -> object:
@@ -300,12 +398,12 @@ class Interpreter:
 
         This is the block-dispatch hot loop: attribute lookups are hoisted
         into locals and the loop body is a single indexed call per block.
-        With recovery disabled (``self.rec is None``, the default) the loop
-        is byte-identical to the historical one bar the single delegation
-        test below.
+        With recovery and tracking disabled (``self.rec is None and
+        self.trk is None``, the default) the loop is byte-identical to the
+        historical one bar the single delegation test below.
         """
-        if self.rec is not None:
-            return self._call_recover(cfi, args)
+        if self.rec is not None or self.trk is not None:
+            return self._call_tracked(cfi, args)
         depth = self.depth + 1
         if depth > self.DEFAULT_MAX_DEPTH:
             raise StackOverflow("call depth limit exceeded")
@@ -323,38 +421,160 @@ class Interpreter:
         self.sp = sp0
         return self.ret
 
-    def _call_recover(self, cfi: int, args: Tuple) -> object:
-        """Recovery-aware twin of :meth:`call`.
+    def _call_tracked(self, cfi: int, args: Tuple, _resume=None) -> object:
+        """Recovery/tracking-aware twin of :meth:`call`.
 
-        Same dispatch loop, plus two responsibilities: capture a snapshot
-        whenever control reaches one of this function's region boundaries,
-        and handle :class:`RollbackSignal` by restoring the most recent
-        snapshot — or escalating outward when the policy's ladder refuses.
+        Same dispatch loop, plus up to three responsibilities depending on
+        what is armed:
 
-        Each frame keeps at most one live snapshot (``mine``), replaced on
-        recapture; frames push onto ``rec.stack`` in call order and pop on
-        return, so whenever a signal reaches a frame that holds a snapshot,
-        that snapshot is the stack top (deeper frames already unwound and
-        popped theirs).
+        * **recovery** (``self.rec``): capture a region snapshot whenever
+          control reaches one of this function's region boundaries, and
+          handle :class:`RollbackSignal` by restoring the most recent
+          snapshot — or escalating outward when the policy's ladder
+          refuses.  Each frame keeps at most one live snapshot (``mine``),
+          replaced on recapture; frames push onto ``rec.stack`` in call
+          order and pop on return, so whenever a signal reaches a frame
+          that holds a snapshot, that snapshot is the stack top.
+
+        * **ladder capture** (``self.trk.capturing``, golden run only):
+          mirror the live call stack in ``trk.frames`` and capture a
+          full-state :class:`WarmSnapshot` rung at the configured cycle
+          stride and at region boundaries.
+
+        * **golden resync** (``self.trk.resync_pts``, warm trials): mirror
+          the call stack and, once the injected flip has fired, compare
+          against upcoming golden rungs — a bit-exact match raises
+          :class:`GoldenResync` (the run's remaining execution provably
+          equals the golden suffix).
+
+        ``_resume`` (a :class:`~repro.recover.warm.WarmFrame`) re-enters a
+        suspended frame mid-block: a compiled *resume block* skips the
+        already-executed prefix, re-issues the pending call via
+        :meth:`resume_call` (chaining to the next warm frame), and falls
+        through to the normal dispatch loop — with no cycle recharge, since
+        the block was charged at entry before the rung was captured.
         """
         rec = self.rec
+        trk = self.trk
         depth = self.depth + 1
         if depth > self.DEFAULT_MAX_DEPTH:
             raise StackOverflow("call depth limit exceeded")
         self.depth = depth
-        sp0 = self.sp
-        cf = self.cfuncs[cfi]
-        frame: List = [None] * cf.nslots
-        if args:
-            frame[: len(args)] = args
-        fns = cf.block_fns if cfi != self.inj_cfi else self.inj_fns
-        boundaries = rec.plan.get(cfi)
-        stack = rec.stack
+        resume_fn = None
         mine: Optional[Snapshot] = None
-        bi = 0
+        if _resume is None:
+            sp0 = self.sp
+            cf = self.cfuncs[cfi]
+            frame: List = [None] * cf.nslots
+            if args:
+                frame[: len(args)] = args
+            bi = 0
+            call_k = 0
+        else:
+            wf = _resume
+            cfi = wf.cfi
+            bi = wf.bi
+            sp0 = wf.sp0
+            cf = self.cfuncs[cfi]
+            frame = list(wf.regs)
+            if rec is not None and wf.rec_mine is not None:
+                # Restore this frame's live recovery snapshot as a fresh
+                # copy (trials must never mutate the shared ladder); the
+                # pinned flag is the one frozen at capture time — pin()
+                # mutates snapshots after the fact.
+                src = wf.rec_mine
+                mine = Snapshot(
+                    src.cfi,
+                    src.bi,
+                    src.cells,
+                    src.sp,
+                    src.cycles,
+                    src.frame,
+                    src.out_len,
+                    src.inj_seen,
+                    src.tainted,
+                )
+                mine.pinned = wf.rec_pinned
+                rec.stack.append(mine)
+            if wf.call_k is None:
+                call_k = 0  # innermost frame: re-enter the loop at bi
+            else:
+                call_k = wf.call_k + 1  # the pending call counts as made
+                resume_fn = self.cm.resume_block_fn(
+                    cfi,
+                    bi,
+                    wf.call_k,
+                    self.inj_inst
+                    if cfi == self.inj_cfi and bi == self.inj_bi
+                    else None,
+                )
+        fns = cf.block_fns if cfi != self.inj_cfi else self.inj_fns
+        record = None
+        if trk is not None:
+            if trk.frames and _resume is None:
+                trk.frames[-1][2] += 1  # the parent initiated one more call
+            record = [cfi, bi, call_k, frame, sp0, mine]
+            trk.frames.append(record)
+        if rec is None and trk is not None and not trk.capturing:
+            # Resync-only warm trial: no recovery policy means no
+            # RollbackSignal can reach this frame, so the loop needs no
+            # try/except and no snapshot logic — it runs the entire trial
+            # suffix, so every avoided per-block instruction matters.
+            try:
+                if resume_fn is not None:
+                    bi = resume_fn(frame, self)
+                while bi >= 0:
+                    if self.trk is None:
+                        # Resync gave up (or ran out of rungs) somewhere
+                        # below this frame: finish at full lean-loop speed.
+                        while bi >= 0:
+                            bi = fns[bi](frame, self)
+                        break
+                    record[1] = bi
+                    record[2] = 0
+                    if self.inj_hit:
+                        if self.cycles >= trk.next_resync:
+                            self._try_resync(trk)  # may raise GoldenResync
+                        else:
+                            for snap, cregs in trk.cand:
+                                if frame == cregs:
+                                    self._try_probe(trk, snap)
+                                    break
+                    bi = fns[bi](frame, self)
+            finally:
+                trk.frames.pop()
+            self.depth = depth - 1
+            self.sp = sp0
+            return self.ret
+        boundaries = rec.plan.get(cfi) if rec is not None else None
+        stack = rec.stack if rec is not None else None
+        capturing = trk is not None and trk.capturing
+        cap_boundaries = trk.plan.get(cfi) if capturing else None
+        resync = trk is not None and trk.resync_pts is not None
         while True:
             try:
+                if resume_fn is not None:
+                    fn = resume_fn
+                    resume_fn = None
+                    bi = fn(frame, self)
                 while bi >= 0:
+                    if record is not None:
+                        record[1] = bi
+                        record[2] = 0
+                    if capturing:
+                        c = self.cycles
+                        if c >= trk.next_capture or (
+                            cap_boundaries is not None
+                            and bi in cap_boundaries
+                            and c - trk.last_capture >= trk.region_spacing
+                        ):
+                            trk.capture(self)
+                    elif (
+                        resync
+                        and self.inj_hit
+                        and self.cycles >= trk.next_resync
+                    ):
+                        self._try_resync(trk)  # may raise GoldenResync
                     if boundaries is not None and bi in boundaries and (
                         rec.should_snapshot(self.cycles)
                     ):
@@ -378,6 +598,8 @@ class Interpreter:
                             stack.pop()
                         stack.append(snap)
                         mine = snap
+                        if record is not None:
+                            record[5] = snap
                         rec.telemetry.snapshots += 1
                         rec.last_snapshot_cycles = self.cycles
                         if rec.policy.snapshot_cost:
@@ -391,6 +613,8 @@ class Interpreter:
                 if reason is not None:
                     stack.pop()
                     mine = None
+                    if record is not None:
+                        record[5] = None
                     if stack:
                         raise  # escalate to the enclosing region
                     raise DetectedByDuplication(
@@ -418,12 +642,191 @@ class Interpreter:
                     # Transient-fault model: the flip already happened once;
                     # the re-execution must not replay it.
                     self.inj_occ = 0
+                if trk is not None:
+                    del trk.frames[trk.frames.index(record) + 1 :]
                 bi = mine.bi
         if mine is not None:
             stack.pop()
+        if record is not None:
+            trk.frames.pop()
         self.depth = depth - 1
         self.sp = sp0
         return self.ret
+
+    # -- warm-start execution (snapshot-ladder trials) -----------------------------
+
+    def resume_call(self) -> object:
+        """Re-issue a suspended call (invoked from compiled resume blocks).
+
+        Consumes the next frame of the warm-start resume chain, so nested
+        suspended frames re-enter one another exactly as the original call
+        instructions did.
+        """
+        k = self._resume_next
+        self._resume_next = k + 1
+        return self._call_tracked(0, (), _resume=self._resume_frames[k])
+
+    def _resume_from(self, warm: WarmStart) -> object:
+        """Restore a ladder rung and execute the suffix."""
+        snap = warm.snapshot
+        self.cells = list(snap.cells)
+        self.sp = snap.sp
+        self.cycles = snap.cycles
+        self.output_log = list(snap.out_log)
+        rec = self.rec
+        if rec is not None:
+            # Replay the golden run's telemetry position so a corrected
+            # trial reports counts bit-identical to its cold twin.
+            rec.telemetry.snapshots = snap.rec_snapshots
+            rec.last_snapshot_cycles = snap.rec_last_cycles
+        self._resume_frames = snap.frames
+        self._resume_next = 1
+        return self._call_tracked(0, (), _resume=snap.frames[0])
+
+    def capture_ladder(
+        self,
+        entry: str = "main",
+        args: Sequence = (),
+        stride: int = 1,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> SnapshotLadder:
+        """Run a golden execution, capturing a full-state snapshot ladder.
+
+        Rungs are captured whenever the cycle counter crosses the next
+        ``stride`` multiple, plus at region boundaries (function entries
+        and loop headers from :mod:`repro.recover.regions`) at least
+        ``stride // 4`` cycles apart — region boundaries are where frames
+        are shallow and restores are cheap.  Pass the campaign's
+        ``recovery`` policy so rung-embedded recovery state matches what
+        cold trials would have at the same instant.
+        """
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.reset()
+        self.budget = self.NO_BUDGET
+        self.prof = [0] * self.cm.total_blocks
+        plan = self._rec_plans.get(entry)
+        if plan is None:
+            plan = build_plan(self.cm, entry)
+            self._rec_plans[entry] = plan
+        if recovery is not None:
+            self.rec = RecoveryState(recovery, plan)
+        trk = _TrackState()
+        trk.capturing = True
+        trk.plan = plan
+        trk.stride = stride
+        trk.region_spacing = max(stride // 4, 1)
+        trk.next_capture = stride
+        trk.last_capture = 0
+        trk.ladder = []
+        self.trk = trk
+        try:
+            value = self.call(self.cm.get_function_index(entry), tuple(args))
+        finally:
+            self.trk = None
+        return SnapshotLadder(trk.ladder, stride, self.cycles, value, entry)
+
+    def _try_resync(self, trk: _TrackState) -> None:
+        """Compare against the next golden rung once its cycle count is due.
+
+        Rung cycle counts are strictly increasing and trial cycles are
+        monotonic, so a single catch-up index suffices; each rung is
+        compared at most once per trial (at exact cycle equality — any
+        overshoot proves the trial's cycle path diverged at that rung and
+        moves on).
+
+        Every missed rendezvous after the first targeted rung counts as a
+        failure; after ``trk.max_fails`` of them the trial gives up on
+        resync entirely — ``self.trk`` detaches so every subsequent call
+        dispatches through the lean loop.  Rungs passed before the flip
+        fired (the catch-up on the first check) are not evidence of
+        divergence and are skipped free of charge.
+        """
+        pts = trk.resync_pts
+        i = trk.ri
+        n = len(pts)
+        c = self.cycles
+        while i < n and pts[i].cycles < c:
+            i += 1
+        fail = False
+        if i < n and pts[i].cycles == c:
+            if self._resync_match(pts[i], trk):
+                raise GoldenResync
+            fail = True  # compared bit-for-bit and diverged: rung is spent
+            i += 1
+        elif trk.primed:
+            fail = True  # the targeted rung was overshot post-flip
+        trk.primed = True
+        if i != trk.ri:
+            trk.ri = i
+            trk.rebuild_cand()
+        if i >= n:
+            # No rungs left: resync can never fire again, so detach and
+            # let every dispatch loop finish at lean speed.
+            trk.next_resync = self.NO_BUDGET
+            self.trk = None
+            return
+        trk.next_resync = pts[i].cycles
+        if fail:
+            trk.fails += 1
+            if trk.fails >= trk.max_fails:
+                trk.next_resync = self.NO_BUDGET
+                self.trk = None
+
+    def _try_probe(self, trk: _TrackState, snap) -> None:
+        """Full-state compare against one offset-probe candidate rung.
+
+        Triggered by the register prefilter (the innermost frame's register
+        file equals the rung's), with no cycle-equality requirement: a
+        match at ``snap.cycles + delta`` finishes with the golden value and
+        ``golden_cycles + delta`` — the suffix's cycle charges depend only
+        on the matched state.  The hang budget is the one cycle-coupled
+        observable, so a shifted finish that would cross it disqualifies
+        the shortcut (the trial simply keeps executing, like its cold twin,
+        toward the hang).
+        """
+        if self._resync_match(snap, trk):
+            delta = self.cycles - snap.cycles
+            if trk.golden_cycles + delta <= self.budget:
+                raise GoldenResync(delta)
+        trk.probe_dead.add(snap.index)
+        trk.probe_fails += 1
+        trk.rebuild_cand()
+
+    def _resync_match(self, snap, trk: _TrackState) -> bool:
+        """Bit-exact state comparison against one golden rung.
+
+        Ordered cheapest-first: frame shapes, register files, output log,
+        then the full cells image — a C-speed ``==`` reject followed by a
+        type/sign-exact verification against the rung's precomputed
+        signature (``==`` alone would equate ``1``/``1.0``/``True`` and
+        ``0.0``/``-0.0``, which diverge downstream).
+        """
+        frames = trk.frames
+        sframes = snap.frames
+        if len(frames) != len(sframes) or self.sp != snap.sp:
+            return False
+        for r, wf in zip(frames, sframes):
+            k = 0 if wf.call_k is None else wf.call_k + 1
+            if r[0] != wf.cfi or r[1] != wf.bi or r[2] != k or r[4] != wf.sp0:
+                return False
+            if not exact_state_eq(r[3], wf.regs):
+                return False
+        if not exact_state_eq(self.output_log, snap.out_log):
+            return False
+        cells = self.cells
+        if cells != snap.cells:
+            return False
+        suspects, types, zeros, signs = snap.state_signature()
+        if suspects is None:
+            if list(map(type, cells)) != types:
+                return False
+        elif [type(cells[i]) for i in suspects] != types:
+            return False
+        for idx, sign in zip(zeros, signs):
+            if _copysign(1.0, cells[idx]) != sign:
+                return False
+        return True
 
     # -- memory helpers (runtime-internal accesses use the same trap rules) -------
 

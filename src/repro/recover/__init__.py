@@ -23,15 +23,29 @@ from .runtime import (
     Snapshot,
     summarize_telemetry,
 )
+from .warm import (
+    GoldenResync,
+    SnapshotLadder,
+    WarmFrame,
+    WarmSnapshot,
+    WarmStart,
+    exact_state_eq,
+)
 
 __all__ = [
+    "GoldenResync",
     "RecoveryPolicy",
     "RecoveryState",
     "RecoveryTelemetry",
     "RollbackSignal",
     "Snapshot",
+    "SnapshotLadder",
+    "WarmFrame",
+    "WarmSnapshot",
+    "WarmStart",
     "build_plan",
     "compute_regions",
+    "exact_state_eq",
     "function_has_checks",
     "summarize_telemetry",
 ]
