@@ -212,6 +212,91 @@ def format_warm_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+#: obs-overhead A/B: plain runs vs runs with tracing + metrics attached.
+OBS_OUTPUT = REPO_ROOT / "BENCH_obs.json"
+OBS_CONFIG = ("fft", 1)
+OBS_TRIALS = 150
+OBS_REPEATS = 3
+
+
+def measure_obs_overhead(
+    name: str = OBS_CONFIG[0],
+    input_id: int = OBS_CONFIG[1],
+    trials: int = OBS_TRIALS,
+    repeats: int = OBS_REPEATS,
+) -> dict:
+    """Serial throughput with observability off vs fully on.
+
+    "Off" is the default path — no ``Observation`` at all, the mode every
+    ordinary campaign runs in.  "On" attaches a trace writer and a
+    metrics dump (one span per trial, JSON flush at close).  Outcomes
+    must be bit-identical either way; the enabled overhead is reported as
+    a percentage of the disabled rate.
+    """
+    import tempfile
+
+    from repro.obs import Observation
+
+    workload = get_workload(name)
+
+    def build():
+        campaign = Campaign(
+            workload.make_interpreter(input_id),
+            verifier=workload.verifier(),
+            entry=workload.entry,
+            budget_factor=workload.budget_factor,
+        )
+        campaign.prepare()
+        return campaign
+
+    plain, plain_rate = _best_of(build(), trials, repeats)
+
+    observed_campaign = build()
+    best_observed, observed_rate, key = None, 0.0, None
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(repeats):
+            obs = Observation(
+                trace_path=os.path.join(tmp, f"trace{i}.json"),
+                metrics_path=os.path.join(tmp, f"metrics{i}.json"),
+            )
+            result = observed_campaign.run(trials, seed=SEED, n_jobs=1, obs=obs)
+            k = [(r.outcome, r.status, r.cycles) for r in result.records]
+            if key is None:
+                key = k
+            elif k != key:
+                raise AssertionError("observed runs classified differently")
+            rate = result.stats.trials_per_second
+            if rate > observed_rate:
+                best_observed, observed_rate = result, rate
+    if plain.counts.as_dict() != best_observed.counts.as_dict():
+        raise AssertionError(
+            f"{name}: outcome mix differs with observability attached — "
+            "the bit-identity contract is broken"
+        )
+    return {
+        "workload": name,
+        "input_id": input_id,
+        "trials": trials,
+        "repeats": repeats,
+        "disabled_trials_per_second": plain_rate,
+        "enabled_trials_per_second": observed_rate,
+        "enabled_overhead_percent": (
+            100.0 * (plain_rate - observed_rate) / plain_rate if plain_rate else 0.0
+        ),
+    }
+
+
+def format_obs_report(report: dict) -> str:
+    return (
+        f"observability overhead — {report['workload']} input "
+        f"{report['input_id']}, {report['trials']} serial trials, best of "
+        f"{report['repeats']}\n"
+        f"  disabled: {report['disabled_trials_per_second']:.1f} trials/s\n"
+        f"  enabled:  {report['enabled_trials_per_second']:.1f} trials/s "
+        f"(trace + metrics; {report['enabled_overhead_percent']:+.1f}%)"
+    )
+
+
 def format_report(report: dict) -> str:
     lines = [
         f"campaign throughput — {report['trials']} trials, "
@@ -251,9 +336,24 @@ def test_warmstart_throughput(benchmark, report):
         assert entry["warm_trials_per_second"] > 0
 
 
+def test_obs_overhead(benchmark, report):
+    from conftest import one_shot
+
+    result = one_shot(benchmark, measure_obs_overhead)
+    OBS_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+    report("obs_overhead", format_obs_report(result))
+    assert result["disabled_trials_per_second"] > 0
+    assert result["enabled_trials_per_second"] > 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if "--warm-start" in argv:
+    if "--obs-overhead" in argv:
+        result = measure_obs_overhead()
+        OBS_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+        print(format_obs_report(result))
+        print(f"\nwrote {OBS_OUTPUT}")
+    elif "--warm-start" in argv:
         result = run_warm_bench()
         WARM_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
         print(format_warm_report(result))

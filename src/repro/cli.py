@@ -10,7 +10,13 @@ Commands mirror how a user would adopt the library:
 * ``evaluate WORKLOAD``        — unprotected vs full-dup vs IPAS vs baseline
   vs the injection-free static-risk selector;
 * ``analyze TARGET``           — static SOC-risk scores and IR diagnostics
-  for a workload or a ``.scil`` file, no fault injection required.
+  for a workload or a ``.scil`` file, no fault injection required;
+* ``report PATH``              — render an observability artifact (metrics
+  JSON, heatmap JSON, or a campaign trace) written by ``inject``.
+
+Human-facing status lines go to stderr whenever the command also prints a
+JSON artifact to stdout (``--metrics-out -`` / ``--heatmap -``), so piped
+output stays machine-readable; ``--quiet`` suppresses them entirely.
 """
 
 from __future__ import annotations
@@ -76,6 +82,29 @@ def _resolve_supervision(args):
     )
 
 
+def _add_quiet_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress human-facing status lines (JSON artifacts still print)",
+    )
+
+
+def _status_stream(args):
+    """Where status lines go: None under --quiet, stderr when stdout
+    carries a JSON artifact, else stdout."""
+    if getattr(args, "quiet", False):
+        return None
+    if getattr(args, "metrics_out", None) == "-" or getattr(args, "heatmap", None) == "-":
+        return sys.stderr
+    return sys.stdout
+
+
+def _say(stream, message: str) -> None:
+    if stream is not None:
+        print(message, file=stream)
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -126,7 +155,15 @@ def cmd_run(args) -> int:
 
     workload = get_workload(args.workload)
     interp = workload.make_interpreter(args.input)
-    result = interp.run()
+    profiler = None
+    if args.block_profile:
+        from .obs import BlockProfiler
+
+        profiler = BlockProfiler(interp.cm)
+        with profiler:
+            result = interp.run()
+    else:
+        result = interp.run()
     print(f"status: {result.status}")
     print(f"cycles: {result.cycles}")
     for gv in interp.module.output_globals():
@@ -136,6 +173,10 @@ def cmd_run(args) -> int:
             print(f"{gv.name}: [{preview}, ...] ({len(value)} cells)")
         else:
             print(f"{gv.name}: {value}")
+    if profiler is not None:
+        from .obs import render_block_report
+
+        print(render_block_report(profiler.report(), limit=args.top))
     return 0 if result.status == "ok" else 1
 
 
@@ -183,6 +224,14 @@ def cmd_inject(args) -> int:
         from .faults.chaos import parse_chaos_spec
 
         chaos = parse_chaos_spec(args.chaos)
+    obs = None
+    if args.trace or args.metrics_out or args.heatmap:
+        from .obs import Observation
+
+        obs = Observation(
+            trace_path=args.trace,
+            metrics_path=args.metrics_out if args.metrics_out != "-" else None,
+        )
     result = campaign.run(
         args.trials,
         seed=args.seed,
@@ -193,16 +242,19 @@ def cmd_inject(args) -> int:
         max_retries=args.max_retries,
         on_worker_failure=args.on_worker_failure,
         chaos=chaos,
+        obs=obs,
     )
-    print(f"{args.trials} single-bit faults injected into {workload.name}:")
+    out = _status_stream(args)
+    _say(out, f"{args.trials} single-bit faults injected into {workload.name}:")
     for outcome in Outcome:
         count = result.counts.counts[outcome]
         if outcome is Outcome.TRIAL_FAILURE and count == 0:
             continue  # harness-only outcome; hide it for undisturbed runs
-        print(f"  {outcome.value:>9}: {count:5d}  ({100*count/args.trials:5.1f}%)")
+        _say(out, f"  {outcome.value:>9}: {count:5d}  ({100*count/args.trials:5.1f}%)")
     stats = result.stats
     if stats is not None and stats.completed:
-        print(
+        _say(
+            out,
             f"  throughput: {stats.trials_per_second:.1f} trials/s "
             f"({stats.n_jobs} worker{'s' if stats.n_jobs != 1 else ''}, "
             f"utilization {stats.utilization:.0%}"
@@ -210,7 +262,8 @@ def cmd_inject(args) -> int:
             + ")"
         )
     if stats is not None and (stats.harness_events or stats.serial_fallback):
-        print(
+        _say(
+            out,
             f"  harness: {stats.worker_deaths} worker death"
             f"{'s' if stats.worker_deaths != 1 else ''} "
             f"({stats.hangs} hangs), {stats.respawns} respawns, "
@@ -218,7 +271,8 @@ def cmd_inject(args) -> int:
             + (", serial fallback" if stats.serial_fallback else "")
         )
     if args.warm_start and stats is not None:
-        print(
+        _say(
+            out,
             f"  warm-start: {stats.warm_restores} trials restored from the "
             f"snapshot ladder (stride {campaign.effective_stride} cycles), "
             f"{stats.golden_resyncs} golden resyncs, "
@@ -227,13 +281,39 @@ def cmd_inject(args) -> int:
     if recovery is not None and stats is not None:
         corrected = result.counts.counts[Outcome.CORRECTED]
         fired = corrected + result.counts.counts[Outcome.DETECTED]
-        print(
+        _say(
+            out,
             f"  recovery: {stats.rollbacks} rollbacks, "
             f"{corrected}/{fired or 1} fired checks corrected "
             f"({100 * result.counts.corrected_fraction:.1f}% of trials), "
             f"mean re-executed cycles {stats.mean_rollback_cycles:.0f}, "
             f"{stats.escalations} escalations"
         )
+    return _write_inject_artifacts(args, campaign, result, obs, out)
+
+
+def _write_inject_artifacts(args, campaign, result, obs, out) -> int:
+    """Flush ``inject``'s observability artifacts; ``-`` means stdout."""
+    import json as json_module
+
+    if args.metrics_out == "-" and obs is not None:
+        payload = {"kind": "ipas-metrics", "metrics": obs.registry.as_dict()}
+        json_module.dump(payload, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    elif args.metrics_out:
+        _say(out, f"  metrics: {args.metrics_out}")
+    if args.heatmap:
+        from .obs import build_heatmap, write_heatmap
+
+        heatmap = build_heatmap(result.records, campaign.interp.module)
+        if args.heatmap == "-":
+            json_module.dump(heatmap, sys.stdout, indent=1)
+            sys.stdout.write("\n")
+        else:
+            write_heatmap(heatmap, args.heatmap)
+            _say(out, f"  heatmap: {args.heatmap}")
+    if args.trace:
+        _say(out, f"  trace: {args.trace} (open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -284,7 +364,10 @@ def cmd_protect(args) -> int:
 
     workload = get_workload(args.workload)
     scale = _resolve_scale(args)
-    print(f"scale: {scale!r}", file=sys.stderr)
+    # protect never emits JSON on stdout, so status stays there (stderr is
+    # only for commands whose stdout carries a machine-readable payload)
+    out = _status_stream(args)
+    _say(out, f"scale: {scale!r}")
     pipeline = IpasPipeline(
         workload,
         scale,
@@ -293,8 +376,8 @@ def cmd_protect(args) -> int:
         supervision=_resolve_supervision(args),
     )
     data = pipeline.collect_training_data()
-    print(f"training campaign: {data.campaign.counts}")
-    print(f"SOC-generating fraction: {data.positive_fraction:.1%}")
+    _say(out, f"training campaign: {data.campaign.counts}")
+    _say(out, f"SOC-generating fraction: {data.positive_fraction:.1%}")
     try:
         variants = pipeline.protect_all()
         for variant in variants:
@@ -302,10 +385,11 @@ def cmd_protect(args) -> int:
     except VerificationError as exc:
         print(f"error: protected module failed verification:\n{exc}", file=sys.stderr)
         return 1
-    print(f"training time: {pipeline.training_seconds:.1f}s")
+    _say(out, f"training time: {pipeline.training_seconds:.1f}s")
     for i, variant in enumerate(variants):
         report = variant.report
-        print(
+        _say(
+            out,
             f"cfg{i+1} {variant.config}: duplicated "
             f"{report.duplicated}/{report.eligible} "
             f"({report.duplicated_fraction:.1%}), {report.checks_inserted} checks, "
@@ -488,6 +572,74 @@ def _render_coverage(coverage, limit: int) -> str:
     return "\n".join(lines)
 
 
+def cmd_report(args) -> int:
+    """Render an observability artifact written by ``inject``.
+
+    Auto-detects the artifact kind: an ``ipas-metrics`` JSON dump, an
+    ``ipas-heatmap`` JSON report, or a Chrome trace-event file.  Exit
+    codes: 0 — rendered (and, for ``--validate``, the trace checked out);
+    1 — trace validation failed; 2 — the file is not a known artifact.
+    """
+    import json as json_module
+
+    try:
+        with open(args.path) as fh:
+            head = fh.read(64)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if head.lstrip().startswith("["):
+        from .obs import validate_trace
+
+        report = validate_trace(args.path)
+        if args.format == "json":
+            print(json_module.dumps(report, indent=1))
+        else:
+            phases = ", ".join(
+                f"{ph}:{n}" for ph, n in sorted(report["phases"].items())
+            )
+            print(f"trace: {report['path']}")
+            print(f"  events: {report['events']} ({phases})")
+            print(f"  lanes: {report['lanes']}")
+            for error in report["errors"]:
+                print(f"  error: {error}")
+            print(f"  spans nest: {'ok' if report['ok'] else 'BROKEN'}")
+            print("  open in https://ui.perfetto.dev or chrome://tracing")
+        if args.validate:
+            return 0 if report["ok"] else 1
+        return 0
+
+    try:
+        with open(args.path) as fh:
+            payload = json_module.load(fh)
+    except (OSError, json_module.JSONDecodeError) as exc:
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    kind = payload.get("kind") if isinstance(payload, dict) else None
+    if kind == "ipas-metrics":
+        if args.format == "json":
+            print(json_module.dumps(payload, indent=1))
+        else:
+            from .obs import render_metrics_text
+
+            print(render_metrics_text(payload["metrics"]))
+        return 0
+    if kind == "ipas-heatmap":
+        if args.format == "json":
+            print(json_module.dumps(payload, indent=1))
+        else:
+            from .obs import render_heatmap_text
+
+            print(render_heatmap_text(payload, limit=args.top))
+        return 0
+    print(
+        f"error: {args.path}: not an ipas-metrics/ipas-heatmap/trace artifact",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -505,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="one golden run of a workload")
     p_run.add_argument("workload")
     p_run.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
+    p_run.add_argument(
+        "--block-profile",
+        action="store_true",
+        help="attribute wall time and cycles per basic block (timing "
+        "wrappers perturb wall numbers, never simulated state)",
+    )
+    p_run.add_argument(
+        "--top", type=int, default=20, help="hot blocks shown with --block-profile"
+    )
 
     p_inject = sub.add_parser("inject", help="statistical fault injection")
     p_inject.add_argument("workload")
@@ -582,18 +743,55 @@ def build_parser() -> argparse.ArgumentParser:
         "kill@IDX[!] and hang@IDX:SECONDS events, comma-separated "
         "(e.g. 'kill@7,hang@12:3'); results must stay identical",
     )
+    p_inject.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="emit a Chrome trace-event file of the campaign (phases, "
+        "per-worker trial spans, recovery events); opens in Perfetto",
+    )
+    p_inject.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="dump the campaign's metrics registry as JSON ('-' = stdout; "
+        "status lines then move to stderr)",
+    )
+    p_inject.add_argument(
+        "--heatmap",
+        metavar="PATH",
+        default=None,
+        help="write the per-fault-site outcome heatmap joined with the "
+        "coverage prover's static verdicts ('-' = stdout)",
+    )
+    _add_quiet_arg(p_inject)
 
     p_protect = sub.add_parser("protect", help="run the IPAS pipeline")
     p_protect.add_argument("workload")
     _add_scale_args(p_protect)
     _add_jobs_arg(p_protect)
     _add_supervision_args(p_protect)
+    _add_quiet_arg(p_protect)
 
     p_eval = sub.add_parser("evaluate", help="full technique comparison")
     p_eval.add_argument("workload")
     _add_scale_args(p_eval)
     _add_jobs_arg(p_eval)
     _add_supervision_args(p_eval)
+
+    p_report = sub.add_parser(
+        "report", help="render an observability artifact (metrics/heatmap/trace)"
+    )
+    p_report.add_argument("path", help="artifact file written by inject")
+    p_report.add_argument("--format", choices=["text", "json"], default="text")
+    p_report.add_argument(
+        "--top", type=int, default=30, help="heatmap rows shown in text output"
+    )
+    p_report.add_argument(
+        "--validate",
+        action="store_true",
+        help="for traces: exit 1 unless every event parses and spans nest",
+    )
 
     p_analyze = sub.add_parser(
         "analyze", help="static SOC-risk scores and IR diagnostics (no injection)"
@@ -648,12 +846,22 @@ COMMANDS = {
     "protect": cmd_protect,
     "evaluate": cmd_evaluate,
     "analyze": cmd_analyze,
+    "report": cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # e.g. `repro report metrics.json | head`: the consumer closed the
+        # pipe — not an error.  Point stdout at devnull so the interpreter's
+        # exit flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -88,6 +88,7 @@ def evaluate_variant(
     n_jobs: Optional[int] = None,
     supervision=None,
     recovery: Optional[RecoveryPolicy] = None,
+    obs=None,
 ) -> TechniqueEvaluation:
     """Run the evaluation campaign for one module variant.
 
@@ -95,7 +96,8 @@ def evaluate_variant(
     recovery for the underlying campaign; ``None`` uses the env defaults.
     ``recovery`` (a ``repro.recover.RecoveryPolicy``) arms rollback
     re-execution, letting fired checks resolve as CORRECTED instead of
-    fail-stop DETECTED.
+    fail-stop DETECTED.  ``obs`` (a ``repro.obs.Observation``) attaches
+    tracing and a shared metrics registry to the campaign.
     """
     interp = workload.make_interpreter(input_id=input_id, module=module)
     campaign = Campaign(
@@ -105,7 +107,9 @@ def evaluate_variant(
         budget_factor=workload.budget_factor,
         recovery=recovery,
     )
-    result = campaign.run(trials, seed=seed, n_jobs=n_jobs, supervision=supervision)
+    result = campaign.run(
+        trials, seed=seed, n_jobs=n_jobs, supervision=supervision, obs=obs
+    )
     slowdown = (
         campaign.golden_cycles / unprotected_cycles if unprotected_cycles else 1.0
     )
@@ -136,6 +140,7 @@ def evaluate_unprotected(
     input_id: int = 1,
     n_jobs: Optional[int] = None,
     supervision=None,
+    obs=None,
 ) -> TechniqueEvaluation:
     """The reference campaign on the clean module."""
     module = workload.compile()
@@ -146,7 +151,9 @@ def evaluate_unprotected(
         entry=workload.entry,
         budget_factor=workload.budget_factor,
     )
-    result = campaign.run(trials, seed=seed, n_jobs=n_jobs, supervision=supervision)
+    result = campaign.run(
+        trials, seed=seed, n_jobs=n_jobs, supervision=supervision, obs=obs
+    )
     return TechniqueEvaluation(
         "unprotected",
         "-",

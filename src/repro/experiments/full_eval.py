@@ -64,6 +64,7 @@ def _evaluate_protected(
     n_jobs: Optional[int] = None,
     supervision=None,
     recovery=None,
+    obs=None,
 ) -> Dict:
     evaluation = evaluate_variant(
         variant.module,
@@ -78,6 +79,7 @@ def _evaluate_protected(
         n_jobs=n_jobs,
         supervision=supervision,
         recovery=recovery,
+        obs=obs,
     )
     record = _counts_dict(evaluation)
     record["duplication_seconds"] = variant.duplication_seconds
@@ -109,6 +111,7 @@ def run_full_evaluation(
     n_jobs: Optional[int] = None,
     supervision=None,
     recovery=None,
+    obs=None,
 ) -> Dict:
     """All techniques on one workload; returns (and caches) a result dict.
 
@@ -119,7 +122,10 @@ def run_full_evaluation(
     ``repro.recover.RecoveryPolicy``) arms rollback re-execution for the
     *protected* evaluation campaigns (the unprotected reference and the
     training campaign carry no checks, so they are unaffected); enabling
-    it changes outcomes, so it becomes part of the cache key.
+    it changes outcomes, so it becomes part of the cache key.  ``obs`` (a
+    ``repro.obs.Observation``) traces every evaluation campaign into one
+    file and accumulates their metrics in one shared registry; it never
+    affects outcomes or the cache key.
     """
     scale = scale or ExperimentScale.from_env()
     key = f"fulleval-{workload_name}-{scale.cache_key()}-s{seed}"
@@ -136,7 +142,7 @@ def run_full_evaluation(
     # Reference campaign.
     unprotected = evaluate_unprotected(
         workload, scale.eval_trials, seed=seed + EVAL_SEED_OFFSET, n_jobs=n_jobs,
-        supervision=supervision,
+        supervision=supervision, obs=obs,
     )
 
     # Full duplication.
@@ -151,7 +157,7 @@ def run_full_evaluation(
     )
     full_eval = _evaluate_protected(
         full_variant, workload, unprotected, scale, seed, "full", n_jobs=n_jobs,
-        supervision=supervision, recovery=recovery,
+        supervision=supervision, recovery=recovery, obs=obs,
     )
 
     # Injection-free static-risk baseline (same duplication machinery,
@@ -168,7 +174,7 @@ def run_full_evaluation(
     )
     static_eval = _evaluate_protected(
         static_variant, workload, unprotected, scale, seed, static_selector.name,
-        n_jobs=n_jobs, supervision=supervision, recovery=recovery,
+        n_jobs=n_jobs, supervision=supervision, recovery=recovery, obs=obs,
     )
 
     # Shared training campaign; IPAS and Baseline pipelines on top.
@@ -206,7 +212,7 @@ def run_full_evaluation(
             label = f"cfg{i + 1}"
             entry = _evaluate_protected(
                 variant, workload, unprotected, scale, seed, label, n_jobs=n_jobs,
-                supervision=supervision, recovery=recovery,
+                supervision=supervision, recovery=recovery, obs=obs,
             )
             entry["label"] = label
             entries.append(entry)

@@ -419,6 +419,7 @@ class Campaign:
         supervision=None,
         strict_resume: bool = False,
         chaos=None,
+        obs=None,
     ) -> CampaignResult:
         """The whole campaign: ``n_trials`` independent single-fault runs.
 
@@ -431,6 +432,9 @@ class Campaign:
         flushes completed trials to a resumable, CRC-protected JSONL file;
         ``progress`` prints live throughput to stderr;
         ``on_trial(index, record)`` fires per completed trial.
+        ``obs`` (a :class:`repro.obs.Observation`) arms trace emission and
+        metrics export; ``None`` keeps the observability layer entirely
+        out of the execution path.
         """
         from .parallel import run_campaign
 
@@ -448,4 +452,5 @@ class Campaign:
             supervision=supervision,
             strict_resume=strict_resume,
             chaos=chaos,
+            obs=obs,
         )

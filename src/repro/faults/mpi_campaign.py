@@ -222,6 +222,7 @@ class MpiCampaign:
         on_worker_failure: Optional[str] = None,
         supervision=None,
         chaos=None,
+        obs=None,
     ) -> MpiCampaignResult:
         from .parallel import CampaignStats, fork_available, resolve_jobs
         from .supervisor import (
@@ -240,7 +241,14 @@ class MpiCampaign:
             max_retries=max_retries,
             on_worker_failure=on_worker_failure,
         )
-        stats = CampaignStats(n_trials, n_jobs)
+        # obs (repro.obs.Observation) shares its metrics registry with the
+        # stats and receives per-trial trace spans, exactly like the
+        # single-process engine.
+        tracer = obs.open_trace() if obs is not None else None
+        stats = CampaignStats(
+            n_trials, n_jobs,
+            registry=obs.registry if obs is not None else None,
+        )
 
         def run_one(i):
             site, rank = trials[i]
@@ -255,7 +263,7 @@ class MpiCampaign:
         records: List[Optional[MpiTrialRecord]] = [None] * n_trials
         counts = OutcomeCounts()
 
-        def deliver(i, result, seconds):
+        def deliver(i, result, seconds, wid=0):
             site, rank = trials[i]
             if isinstance(result, TrialFailure):
                 record = MpiTrialRecord(site, rank, Outcome.TRIAL_FAILURE, "harness")
@@ -272,30 +280,44 @@ class MpiCampaign:
             records[i] = record
             counts.record(record.outcome)
             stats.record(record.outcome, seconds, record.recovery)
+            if tracer is not None:
+                tracer.trial(
+                    i, wid, seconds, record.outcome.value,
+                    args={
+                        "trial": i,
+                        "rank": rank,
+                        "status": record.job_status,
+                        "bit": site.bit,
+                    },
+                )
 
         perf = time.perf_counter
         pending = list(range(n_trials))
-        if n_jobs <= 1 or n_trials <= 1 or not fork_available():
-            for i in pending:
-                t0 = perf()
-                deliver(i, run_one(i), perf() - t0)
-        else:
-            try:
-                run_supervised(
-                    run_one,
-                    [(i, i) for i in pending],
-                    n_jobs,
-                    deliver,
-                    policy=policy,
-                    stats=stats,
-                    chaos=chaos,
-                )
-            except PoolCollapse as collapse:
-                stats.serial_fallback = True
-                for i, payload in collapse.remaining:
+        try:
+            if n_jobs <= 1 or n_trials <= 1 or not fork_available():
+                for i in pending:
                     t0 = perf()
-                    deliver(i, run_one(payload), perf() - t0)
-        stats.finish()
+                    deliver(i, run_one(i), perf() - t0)
+            else:
+                try:
+                    run_supervised(
+                        run_one,
+                        [(i, i) for i in pending],
+                        n_jobs,
+                        deliver,
+                        policy=policy,
+                        stats=stats,
+                        chaos=chaos,
+                    )
+                except PoolCollapse as collapse:
+                    stats.serial_fallback = True
+                    for i, payload in collapse.remaining:
+                        t0 = perf()
+                        deliver(i, run_one(payload), perf() - t0)
+        finally:
+            stats.finish()
+            if obs is not None:
+                obs.close()
         # Same parent-side consistency sweep as the serial/parallel engine:
         # an SOC at a statically covered site is a harness bug, not data.
         sanitize_records(records, self.job.cm.module)

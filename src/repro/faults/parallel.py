@@ -55,6 +55,7 @@ import warnings
 import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.registry import LATENCY_BUCKETS_MS, MetricsRegistry
 from ..recover.runtime import RecoveryTelemetry
 from .model import FaultSite
 from .outcomes import Outcome, OutcomeCounts, parse_outcome
@@ -99,104 +100,198 @@ def fork_available() -> bool:
 
 
 # -- observability ------------------------------------------------------------
+#
+# The bucket bounds and every counter below are declared in the
+# ``repro.obs`` metric catalog; ``CampaignStats`` is a campaign-shaped view
+# over a :class:`~repro.obs.MetricsRegistry`, which owns aggregation,
+# deterministic merge, and serialization.
 
-#: latency histogram bucket upper bounds, milliseconds (last bucket open).
-LATENCY_BUCKETS_MS: Tuple[float, ...] = (
-    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
-)
+
+def _counter_prop(metric: str, doc: str):
+    """Attribute-style access to one registry counter.
+
+    Keeps the historical ``stats.worker_deaths += 1`` surface (the
+    supervisor and tests use it) while the registry stays the single
+    source of truth.
+    """
+
+    def fget(self):
+        return self.registry.counter(metric).value
+
+    def fset(self, value):
+        self.registry.counter(metric).value = value
+
+    return property(fget, fset, doc=doc)
 
 
 class CampaignStats:
-    """Throughput, latency, and harness-health instrumentation."""
+    """Throughput, latency, and harness-health instrumentation.
 
-    # One CampaignStats is touched per completed trial; __slots__ keeps the
-    # per-record attribute traffic on fixed offsets (and catches typos in
-    # the supervisor's counter updates).
-    __slots__ = (
-        "n_trials", "n_jobs", "started", "finished", "completed", "resumed",
-        "outcome_counts", "latency_sum", "latency_max", "histograms",
-        "busy_seconds", "worker_deaths", "hangs", "respawns", "retries",
-        "requeued", "quarantined", "backoff_seconds", "serial_fallback",
-        "snapshots", "rollbacks", "reexec_cycles", "escalations",
-        "warm_restores", "golden_resyncs", "warm_cycles_saved",
-    )
+    Every counter lives in ``self.registry`` (a
+    :class:`repro.obs.MetricsRegistry`) under a declared metric name; the
+    attribute properties below are views.  Pass a shared registry to
+    aggregate several campaigns (or an ``Observation``'s registry) —
+    otherwise each stats object gets its own.
+    """
 
-    def __init__(self, n_trials: int, n_jobs: int):
+    __slots__ = ("n_trials", "n_jobs", "started", "finished", "registry",
+                 "_prior_elapsed")
+
+    def __init__(
+        self, n_trials: int, n_jobs: int,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.n_trials = n_trials
         self.n_jobs = n_jobs
         self.started = time.perf_counter()
         self.finished: Optional[float] = None
-        self.completed = 0
-        self.resumed = 0  # trials restored from a checkpoint, not executed
-        self.outcome_counts: Dict[str, int] = {}
-        self.latency_sum: Dict[str, float] = {}
-        self.latency_max: Dict[str, float] = {}
-        self.histograms: Dict[str, List[int]] = {}
-        #: summed per-trial wall time across workers (busy time)
-        self.busy_seconds = 0.0
-        # -- harness health (maintained by the supervisor) -----------------
-        self.worker_deaths = 0   # workers lost to crash or hang-kill
-        self.hangs = 0           # of those, deadline kills
-        self.respawns = 0        # replacement workers forked
-        self.retries = 0         # re-dispatches of a failure's suspect trial
-        self.requeued = 0        # innocent chunk-mates returned to the queue
-        self.quarantined = 0     # trials delivered as TrialFailure
-        self.backoff_seconds = 0.0
-        self.serial_fallback = False  # pool collapsed into in-process run
-        # -- recovery runtime (nonzero only when trials run with rollback) --
-        self.snapshots = 0       # region snapshots captured across trials
-        self.rollbacks = 0       # rollback re-executions performed
-        self.reexec_cycles = 0   # cycles discarded and re-executed
-        self.escalations = 0     # rollbacks refused (ladder exhausted)
-        # -- warm-start engine (nonzero only for warm campaigns) ------------
-        self.warm_restores = 0      # trials started from a ladder rung
-        self.golden_resyncs = 0     # trials finished by golden resync
-        self.warm_cycles_saved = 0  # prefix cycles skipped via restores
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: wall time absorbed from a resumed checkpoint's stats summary
+        self._prior_elapsed = 0.0
+
+    # -- registry-backed counters ------------------------------------------
+    completed = _counter_prop(
+        "ipas_trials_completed_total", "trials executed (cumulative)")
+    resumed = _counter_prop(
+        "ipas_trials_resumed_total", "trials restored from a checkpoint")
+    busy_seconds = _counter_prop(
+        "ipas_worker_busy_seconds_total", "summed per-trial wall time")
+    # harness health (maintained by the supervisor)
+    worker_deaths = _counter_prop(
+        "ipas_worker_deaths_total", "workers lost to crash or hang-kill")
+    hangs = _counter_prop("ipas_worker_hangs_total", "deadline kills")
+    respawns = _counter_prop(
+        "ipas_worker_respawns_total", "replacement workers forked")
+    retries = _counter_prop(
+        "ipas_trial_retries_total", "re-dispatches of a suspect trial")
+    requeued = _counter_prop(
+        "ipas_trials_requeued_total", "innocent chunk-mates requeued")
+    quarantined = _counter_prop(
+        "ipas_trials_quarantined_total", "trials delivered as TrialFailure")
+    backoff_seconds = _counter_prop(
+        "ipas_backoff_seconds_total", "respawn backoff accumulated")
+    # recovery runtime (nonzero only when trials run with rollback)
+    snapshots = _counter_prop(
+        "ipas_recovery_snapshots_total", "region snapshots captured")
+    rollbacks = _counter_prop(
+        "ipas_recovery_rollbacks_total", "rollback re-executions")
+    reexec_cycles = _counter_prop(
+        "ipas_recovery_reexec_cycles_total", "cycles discarded and re-executed")
+    escalations = _counter_prop(
+        "ipas_recovery_escalations_total", "rollbacks refused")
+    # warm-start engine (nonzero only for warm campaigns)
+    warm_restores = _counter_prop(
+        "ipas_warm_restores_total", "trials started from a ladder rung")
+    golden_resyncs = _counter_prop(
+        "ipas_warm_resyncs_total", "trials finished by golden resync")
+    warm_cycles_saved = _counter_prop(
+        "ipas_warm_cycles_saved_total", "prefix cycles skipped via restores")
+
+    @property
+    def serial_fallback(self) -> bool:
+        """The pool collapsed into an in-process run."""
+        return bool(self.registry.gauge("ipas_serial_fallback").value)
+
+    @serial_fallback.setter
+    def serial_fallback(self, value) -> None:
+        self.registry.gauge("ipas_serial_fallback").value = int(bool(value))
+
+    # -- per-outcome views (labeled metrics rendered as plain dicts) -------
+
+    def _by_outcome(self, metric: str) -> Dict:
+        return {
+            dict(labels).get("outcome", ""): inst
+            for labels, inst in self.registry.samples(metric).items()
+        }
+
+    @property
+    def outcome_counts(self) -> Dict[str, int]:
+        return {k: c.value for k, c in self._by_outcome("ipas_trials_total").items()}
+
+    @property
+    def latency_sum(self) -> Dict[str, float]:
+        return {
+            k: h.total / 1000.0
+            for k, h in self._by_outcome("ipas_trial_latency_ms").items()
+        }
+
+    @property
+    def latency_max(self) -> Dict[str, float]:
+        return {
+            k: g.value
+            for k, g in self._by_outcome("ipas_trial_latency_seconds_max").items()
+        }
+
+    @property
+    def histograms(self) -> Dict[str, List[int]]:
+        return {
+            k: list(h.counts)
+            for k, h in self._by_outcome("ipas_trial_latency_ms").items()
+        }
 
     # -- recording ---------------------------------------------------------
 
     def record(
-        self, outcome: Outcome, seconds: float, recovery=None, warm=None
+        self, outcome: Outcome, seconds: float, recovery=None, warm=None,
+        cycles: Optional[int] = None,
     ) -> None:
         key = outcome.value
-        self.completed += 1
-        self.busy_seconds += seconds
+        reg = self.registry
+        reg.counter("ipas_trials_completed_total").value += 1
+        reg.counter("ipas_worker_busy_seconds_total").value += seconds
         if recovery is not None:
-            self.snapshots += recovery.snapshots
-            self.rollbacks += recovery.rollbacks
-            self.reexec_cycles += recovery.reexec_cycles
-            self.escalations += recovery.escalations
+            reg.counter("ipas_recovery_snapshots_total").value += recovery.snapshots
+            reg.counter("ipas_recovery_rollbacks_total").value += recovery.rollbacks
+            reg.counter(
+                "ipas_recovery_reexec_cycles_total"
+            ).value += recovery.reexec_cycles
+            reg.counter(
+                "ipas_recovery_escalations_total"
+            ).value += recovery.escalations
         if warm is not None:
             warm_index, resynced, saved = warm
             if warm_index >= 0:
-                self.warm_restores += 1
-                self.warm_cycles_saved += saved
+                reg.counter("ipas_warm_restores_total").value += 1
+                reg.counter("ipas_warm_cycles_saved_total").value += saved
             if resynced:
-                self.golden_resyncs += 1
-        self.outcome_counts[key] = self.outcome_counts.get(key, 0) + 1
-        self.latency_sum[key] = self.latency_sum.get(key, 0.0) + seconds
-        self.latency_max[key] = max(self.latency_max.get(key, 0.0), seconds)
-        hist = self.histograms.get(key)
-        if hist is None:
-            hist = self.histograms[key] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
-        ms = seconds * 1000.0
-        for i, bound in enumerate(LATENCY_BUCKETS_MS):
-            if ms <= bound:
-                hist[i] += 1
-                break
-        else:
-            hist[-1] += 1
+                reg.counter("ipas_warm_resyncs_total").value += 1
+        reg.counter("ipas_trials_total", outcome=key).value += 1
+        reg.histogram("ipas_trial_latency_ms", outcome=key).observe(seconds * 1000.0)
+        reg.gauge("ipas_trial_latency_seconds_max", outcome=key).observe_max(seconds)
+        if cycles is not None:
+            reg.histogram("ipas_trial_cycles", outcome=key).observe(cycles)
+
+    def absorb(self, stats_data: Dict) -> None:
+        """Fold a previous run's persisted metrics in (checkpoint resume).
+
+        ``stats_data`` is a registry snapshot from a checkpoint header; the
+        resumed campaign then reports *cumulative* telemetry — outcome
+        tallies, latency, recovery and harness events across every restart.
+        ``completed`` and ``resumed`` stay restart-local (work performed by
+        *this* run vs. records restored from disk), so progress accounting
+        keeps its established meaning.
+        """
+        prior = MetricsRegistry.from_dict(stats_data)
+        self._prior_elapsed += prior.counter(
+            "ipas_campaign_elapsed_seconds_total"
+        ).value
+        prior.counter("ipas_trials_completed_total").value = 0
+        prior.counter("ipas_trials_resumed_total").value = 0
+        self.registry.merge(prior)
 
     def finish(self) -> None:
         if self.finished is None:
             self.finished = time.perf_counter()
+            self.registry.counter(
+                "ipas_campaign_elapsed_seconds_total"
+            ).value += self.finished - self.started
 
     # -- derived metrics ---------------------------------------------------
 
     @property
     def elapsed(self) -> float:
         end = self.finished if self.finished is not None else time.perf_counter()
-        return max(end - self.started, 1e-9)
+        return max(end - self.started + self._prior_elapsed, 1e-9)
 
     @property
     def trials_per_second(self) -> float:
@@ -400,19 +495,25 @@ class CampaignCheckpoint:
         self.seed = seed
         self.flush_interval = flush_interval
         self._record_lines: List[str] = []
-        self._header_line: Optional[str] = None
         self._pending = 0
         self._open = False
+        #: CampaignStats whose registry snapshot is persisted into the
+        #: header on every flush (None skips the summary)
+        self.stats = None
         # diagnostics from the last load()
         self.mismatch: Optional[str] = None
         self.corrupted_lines = 0
         self.truncated_tail = False
+        #: metrics snapshot recovered from a resumed header, for
+        #: :meth:`CampaignStats.absorb` (None for pre-stats checkpoints)
+        self.prior_stats: Optional[Dict] = None
 
     def load(self, strict: bool = False) -> Dict[int, Dict]:
         """Completed trial dicts by index; ``{}`` if absent or mismatched."""
         self.mismatch = None
         self.corrupted_lines = 0
         self.truncated_tail = False
+        self.prior_stats = None
         try:
             with open(self.path) as fh:
                 text = fh.read()
@@ -451,6 +552,9 @@ class CampaignCheckpoint:
                 stacklevel=2,
             )
             return {}
+        prior_stats = header.get("stats")
+        if isinstance(prior_stats, dict):
+            self.prior_stats = prior_stats
         completed: Dict[int, Dict] = {}
         keep: List[str] = []
         last = len(lines) - 1
@@ -504,18 +608,23 @@ class CampaignCheckpoint:
             os.makedirs(directory, exist_ok=True)
         if fresh:
             self._record_lines = []
-        self._header_line = json.dumps(
-            _seal(
-                {
-                    "version": CHECKPOINT_VERSION,
-                    "fingerprint": self.fingerprint,
-                    "n_trials": self.n_trials,
-                    "seed": self.seed,
-                }
-            )
-        )
         self._open = True
         self.flush()
+
+    def _header_line(self) -> str:
+        """The sealed header, rebuilt per flush so the persisted stats
+        summary stays fresh.  Extra keys ride inside the CRC; readers only
+        validate the four identity fields, so older engines resume these
+        files untouched."""
+        header: Dict = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+        }
+        if self.stats is not None:
+            header["stats"] = self.stats.registry.as_dict()
+        return json.dumps(_seal(header))
 
     def append(self, index: int, site: FaultSite, site_index: int, record) -> None:
         assert self._open
@@ -543,11 +652,11 @@ class CampaignCheckpoint:
 
     def flush(self) -> None:
         """Atomically publish the current state (tmp + rename)."""
-        if not self._open or self._header_line is None:
+        if not self._open:
             return
         tmp = f"{self.path}.tmp"
         with open(tmp, "w") as fh:
-            fh.write(self._header_line + "\n")
+            fh.write(self._header_line() + "\n")
             if self._record_lines:
                 fh.write("\n".join(self._record_lines) + "\n")
             fh.flush()
@@ -711,6 +820,7 @@ def run_campaign(
     supervision: Optional[SupervisorPolicy] = None,
     strict_resume: bool = False,
     chaos=None,
+    obs=None,
 ):
     """Execute a campaign's trials, optionally sharded over worker processes.
 
@@ -727,7 +837,15 @@ def run_campaign(
     resumable.  ``strict_resume`` turns a checkpoint/campaign mismatch into
     a :class:`CheckpointMismatchError` instead of a warn-and-discard.
     ``chaos`` (tests only) installs a failure injector in the workers.
+
+    ``obs`` (a :class:`repro.obs.Observation`) arms the observability
+    layer: trace spans stream to ``obs.trace_path`` and the stats registry
+    is shared with (and dumped to) the observation.  ``None`` — the
+    default — takes none of those branches; outcomes and fingerprints are
+    bit-identical either way, traced or not.
     """
+    from contextlib import nullcontext
+
     from .campaign import CampaignResult, TrialRecord
 
     n_jobs = resolve_jobs(n_jobs)
@@ -737,15 +855,26 @@ def run_campaign(
         max_retries=max_retries,
         on_worker_failure=on_worker_failure,
     )
-    campaign.prepare()
+    tracer = obs.open_trace() if obs is not None else None
+
+    def phase(name: str, **args):
+        return tracer.phase(name, **args) if tracer is not None else nullcontext()
+
+    with phase("prepare"):
+        campaign.prepare()
     ladder = None
     if getattr(campaign, "warm_start", False):
         # Build the ladder in the parent: forked workers inherit the rungs
         # copy-on-write, so one golden capture serves every worker count —
         # and the rungs (hence every trial) are bit-identical at any n_jobs.
-        ladder = campaign.ensure_ladder()
-    sites = campaign.sample_trials(n_trials, seed)
-    stats = CampaignStats(n_trials, n_jobs)
+        with phase("ladder-capture"):
+            ladder = campaign.ensure_ladder()
+    with phase("sample-trials", n_trials=n_trials, seed=seed):
+        sites = campaign.sample_trials(n_trials, seed)
+    stats = CampaignStats(
+        n_trials, n_jobs,
+        registry=obs.registry if obs is not None else None,
+    )
     records: List[Optional[TrialRecord]] = [None] * n_trials
     site_index_of = {
         id(inst): k for k, (inst, _count) in enumerate(campaign._sites)
@@ -753,39 +882,48 @@ def run_campaign(
 
     checkpoint = None
     if checkpoint_path:
-        fingerprint = campaign_fingerprint(campaign, n_trials, seed)
-        checkpoint = CampaignCheckpoint(checkpoint_path, fingerprint, n_trials, seed)
-        completed = checkpoint.load(strict=strict_resume)
-        for i, entry in completed.items():
-            if records[i] is not None:
-                continue
-            site = sites[i]
-            if (
-                entry.get("site_index") != site_index_of[id(site.instruction)]
-                or entry.get("occurrence") != site.occurrence
-                or entry.get("bit") != site.bit
-            ):
-                continue  # does not match the deterministic plan; re-run
-            failure = (
-                TrialFailure.from_dict(entry["failure"])
-                if entry.get("failure")
-                else None
+        with phase("checkpoint-resume"):
+            fingerprint = campaign_fingerprint(campaign, n_trials, seed)
+            checkpoint = CampaignCheckpoint(
+                checkpoint_path, fingerprint, n_trials, seed
             )
-            recovery = (
-                RecoveryTelemetry.from_dict(entry["recovery"])
-                if entry.get("recovery")
-                else None
-            )
-            records[i] = TrialRecord(
-                site,
-                parse_outcome(entry["outcome"], f"checkpoint {checkpoint_path}"),
-                entry["status"],
-                entry["cycles"],
-                failure=failure,
-                recovery=recovery,
-            )
-            stats.resumed += 1
-        checkpoint.open_for_append(fresh=not completed)
+            completed = checkpoint.load(strict=strict_resume)
+            if checkpoint.prior_stats is not None:
+                # The header carries the previous run's metrics: absorb them
+                # so the resumed campaign reports cumulative telemetry
+                # (outcome tallies, latency, recovery and harness events).
+                stats.absorb(checkpoint.prior_stats)
+            for i, entry in completed.items():
+                if records[i] is not None:
+                    continue
+                site = sites[i]
+                if (
+                    entry.get("site_index") != site_index_of[id(site.instruction)]
+                    or entry.get("occurrence") != site.occurrence
+                    or entry.get("bit") != site.bit
+                ):
+                    continue  # does not match the deterministic plan; re-run
+                failure = (
+                    TrialFailure.from_dict(entry["failure"])
+                    if entry.get("failure")
+                    else None
+                )
+                recovery = (
+                    RecoveryTelemetry.from_dict(entry["recovery"])
+                    if entry.get("recovery")
+                    else None
+                )
+                records[i] = TrialRecord(
+                    site,
+                    parse_outcome(entry["outcome"], f"checkpoint {checkpoint_path}"),
+                    entry["status"],
+                    entry["cycles"],
+                    failure=failure,
+                    recovery=recovery,
+                )
+                stats.resumed += 1
+            checkpoint.stats = stats
+            checkpoint.open_for_append(fresh=not completed)
 
     pending = [i for i in range(n_trials) if records[i] is None]
     if ladder is not None and len(pending) > 1:
@@ -802,12 +940,48 @@ def run_campaign(
     trial_site_index = {i: site_index_of[id(sites[i].instruction)] for i in pending}
     last_progress = [stats.started]
 
-    def deliver(index: int, record: TrialRecord, seconds: float) -> None:
+    def trace_trial(index: int, record: TrialRecord, seconds: float, wid: int) -> None:
+        site = sites[index]
+        inst = site.instruction
+        fn = inst.function
+        tracer.trial(
+            index,
+            wid,
+            seconds,
+            record.outcome.value,
+            args={
+                "trial": index,
+                "site": f"{fn.name if fn else '?'}:"
+                        f"{inst.parent.name if inst.parent else '?'}",
+                "opcode": inst.opcode,
+                "occurrence": site.occurrence,
+                "bit": site.bit,
+                "status": record.status,
+                "cycles": record.cycles,
+            },
+        )
+        recovery = record.recovery
+        if recovery is not None and recovery.rollbacks:
+            tracer.event(
+                "rollback", wid, trial=index, rollbacks=recovery.rollbacks,
+                reexec_cycles=recovery.reexec_cycles,
+            )
+        warm = getattr(record, "warm", None)
+        if warm is not None and warm[1]:
+            tracer.event("golden-resync", wid, trial=index)
+        if record.outcome is Outcome.TRIAL_FAILURE:
+            tracer.event("quarantine", wid, trial=index)
+
+    def deliver(
+        index: int, record: TrialRecord, seconds: float, wid: int = 0
+    ) -> None:
         records[index] = record
         stats.record(
             record.outcome, seconds, record.recovery,
-            getattr(record, "warm", None),
+            getattr(record, "warm", None), cycles=record.cycles,
         )
+        if tracer is not None:
+            trace_trial(index, record, seconds, wid)
         if checkpoint is not None:
             checkpoint.append(index, sites[index], trial_site_index[index], record)
         if on_trial is not None:
@@ -832,7 +1006,7 @@ def run_campaign(
             getattr(record, "warm", None),
         )
 
-    def deliver_wire(index: int, result, seconds: float) -> None:
+    def deliver_wire(index: int, result, seconds: float, wid: int = 0) -> None:
         if isinstance(result, TrialFailure):
             record = TrialRecord(
                 sites[index], Outcome.TRIAL_FAILURE, "harness", 0, failure=result
@@ -850,50 +1024,60 @@ def run_campaign(
                 recovery=recovery,
                 warm=warm,
             )
-        deliver(index, record, seconds)
+        deliver(index, record, seconds, wid)
 
     try:
-        if len(pending) == 0:
-            pass
-        elif n_jobs == 1 or len(pending) == 1 or not fork_available():
-            perf = time.perf_counter
-            for i in pending:
-                t0 = perf()
-                record = campaign.run_site(sites[i])
-                deliver(i, record, perf() - t0)
-        else:
-            items = [(i, i) for i in pending]
-            try:
-                run_supervised(
-                    run_trial,
-                    items,
-                    n_jobs,
-                    deliver_wire,
-                    policy=policy,
-                    stats=stats,
-                    chaos=chaos,
-                    chunk_size=chunk_size,
-                )
-            except PoolCollapse as collapse:
-                # The pool cannot be sustained — finish what is left
-                # in-process.  Same classification path, same results.
-                stats.serial_fallback = True
-                perf = time.perf_counter
-                for index, payload in collapse.remaining:
-                    t0 = perf()
-                    deliver_wire(index, run_trial(payload), perf() - t0)
-    finally:
-        # Runs on success, errors, and KeyboardInterrupt alike: buffered
-        # records are flushed and the checkpoint sealed before anything
-        # propagates, so an interrupted campaign is always resumable.
-        stats.finish()
-        if checkpoint is not None:
-            checkpoint.close()
+        try:
+            with phase("execute", pending=len(pending), n_jobs=n_jobs):
+                if len(pending) == 0:
+                    pass
+                elif n_jobs == 1 or len(pending) == 1 or not fork_available():
+                    perf = time.perf_counter
+                    for i in pending:
+                        t0 = perf()
+                        record = campaign.run_site(sites[i])
+                        deliver(i, record, perf() - t0)
+                else:
+                    items = [(i, i) for i in pending]
+                    try:
+                        run_supervised(
+                            run_trial,
+                            items,
+                            n_jobs,
+                            deliver_wire,
+                            policy=policy,
+                            stats=stats,
+                            chaos=chaos,
+                            chunk_size=chunk_size,
+                        )
+                    except PoolCollapse as collapse:
+                        # The pool cannot be sustained — finish what is left
+                        # in-process.  Same classification path, same results.
+                        stats.serial_fallback = True
+                        if tracer is not None:
+                            tracer.event("serial-fallback", 0, reason=collapse.reason)
+                        perf = time.perf_counter
+                        for index, payload in collapse.remaining:
+                            t0 = perf()
+                            deliver_wire(index, run_trial(payload), perf() - t0)
+        finally:
+            # Runs on success, errors, and KeyboardInterrupt alike: buffered
+            # records are flushed and the checkpoint sealed before anything
+            # propagates, so an interrupted campaign is always resumable.
+            stats.finish()
+            if checkpoint is not None:
+                checkpoint.close()
 
-    # Static-vs-dynamic consistency sweep, parent-side: a worker exception
-    # would be quarantined as TRIAL_FAILURE, so the impossible-SOC check
-    # must run here, after assembly, where it can actually abort the run.
-    sanitize_records(records, campaign.interp.module)
+        # Static-vs-dynamic consistency sweep, parent-side: a worker exception
+        # would be quarantined as TRIAL_FAILURE, so the impossible-SOC check
+        # must run here, after assembly, where it can actually abort the run.
+        with phase("sanitize"):
+            sanitize_records(records, campaign.interp.module)
+    finally:
+        if obs is not None:
+            # Seal the trace and dump the metrics registry even when the
+            # campaign aborts — a partial trace is still loadable.
+            obs.close()
 
     counts = OutcomeCounts()
     for record in records:

@@ -252,13 +252,16 @@ def _worker_main(conn, fn, chaos) -> None:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "inflight", "deadline")
+    __slots__ = ("proc", "conn", "inflight", "deadline", "wid")
 
-    def __init__(self, proc, conn):
+    def __init__(self, proc, conn, wid: int = 0):
         self.proc = proc
         self.conn = conn
         self.inflight: List[Tuple[int, Any]] = []
         self.deadline: Optional[float] = None
+        #: stable lane id for result attribution (respawns get fresh ids,
+        #: so a trace shows replacement workers as new lanes)
+        self.wid = wid
 
 
 def _bump(stats, attr: str, amount=1) -> None:
@@ -278,7 +281,9 @@ def run_supervised(
 ) -> None:
     """Map ``fn`` over ``items`` with a supervised pool of forked workers.
 
-    ``deliver(index, result, seconds)`` fires in completion order; a
+    ``deliver(index, result, seconds, wid)`` fires in completion order,
+    with ``wid`` the lane id of the worker that produced the result
+    (respawned workers get fresh ids); a
     quarantined item delivers a :class:`TrialFailure` as its result.
     Payloads and results cross the pipe and must pickle; ``fn`` itself is
     inherited by fork and may close over arbitrary state.  Raises
@@ -298,6 +303,7 @@ def run_supervised(
     respawn_at: List[float] = []  # scheduled respawn times (monotonic)
     respawns_done = 0
     consecutive_failures = 0
+    next_wid = [0]
 
     def spawn() -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -306,7 +312,8 @@ def run_supervised(
         )
         proc.start()
         child_conn.close()  # our copy; EOF must reach us when the child dies
-        workers[parent_conn] = _Worker(proc, parent_conn)
+        workers[parent_conn] = _Worker(proc, parent_conn, next_wid[0])
+        next_wid[0] += 1
 
     def dispatch(worker: _Worker) -> None:
         if not pending:
@@ -360,7 +367,7 @@ def run_supervised(
                 del worker.inflight[k]
                 break
         consecutive_failures = 0
-        deliver(index, result, seconds)
+        deliver(index, result, seconds, worker.wid)
         delivered[0] += 1
 
     def worker_failed(worker: _Worker, reason: str) -> None:
@@ -390,6 +397,7 @@ def run_supervised(
                         ),
                     ),
                     0.0,
+                    worker.wid,
                 )
                 delivered[0] += 1
             else:

@@ -1,0 +1,111 @@
+"""``repro.obs`` — unified observability: metrics, traces, heatmaps.
+
+One import surface for the three runtime-evidence layers:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — counters, gauges,
+  and fixed-bucket histograms with deterministic merge.  ``CampaignStats``
+  is backed by a registry, so every existing counter is a declared metric.
+* :class:`TraceWriter` (:mod:`repro.obs.trace`) — Chrome trace-event
+  emission; a traced campaign opens directly in Perfetto.
+* :func:`build_heatmap` (:mod:`repro.obs.heatmap`) — per-fault-site
+  outcome tallies joined with the coverage prover's static verdicts.
+* :class:`BlockProfiler` (:mod:`repro.obs.blockprof`) — opt-in per-block
+  wall-time attribution via block-function swapping.
+
+:class:`Observation` bundles the per-campaign configuration.  Everything
+is off by default: a campaign run without an ``Observation`` (or with the
+default one) touches none of this machinery and its outcomes, records,
+and fingerprints are bit-identical to a build without the package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .blockprof import BlockProfiler, hot_block_report, render_block_report
+from .heatmap import build_heatmap, render_heatmap_text, write_heatmap
+from .registry import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    declare,
+    render_metrics_text,
+)
+from .trace import TraceWriter, validate_trace
+
+__all__ = [
+    "BlockProfiler",
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Observation",
+    "TraceWriter",
+    "build_heatmap",
+    "declare",
+    "hot_block_report",
+    "render_block_report",
+    "render_heatmap_text",
+    "render_metrics_text",
+    "validate_trace",
+    "write_heatmap",
+]
+
+
+class Observation:
+    """Per-campaign observability configuration and collection surface.
+
+    ``trace_path`` arms structured trace emission; ``metrics_path`` dumps
+    the campaign's metrics registry as JSON when the campaign closes the
+    observation.  ``registry`` is shared with the campaign's
+    ``CampaignStats`` so the dump and the stats are one source of truth.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer: Optional[TraceWriter] = None
+        self._trace_t0: Optional[float] = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.trace_path or self.metrics_path)
+
+    def open_trace(self) -> Optional[TraceWriter]:
+        if self.trace_path and self.tracer is None:
+            # A second campaign on the same Observation (the evaluation
+            # driver runs many) appends to the trace on the same time axis
+            # rather than truncating it.
+            self.tracer = TraceWriter(
+                self.trace_path,
+                resume=self._trace_t0 is not None,
+                t0=self._trace_t0,
+            )
+            self._trace_t0 = self.tracer.t0
+        return self.tracer
+
+    def close(self) -> None:
+        """Flush artifacts; called by the campaign engine in its finally."""
+        if self.tracer is not None:
+            self.tracer.close()
+            self.tracer = None
+        if self.metrics_path:
+            with open(self.metrics_path, "w") as fh:
+                json.dump(
+                    {"kind": "ipas-metrics", "metrics": self.registry.as_dict()},
+                    fh,
+                    indent=1,
+                )
+                fh.write("\n")

@@ -1,0 +1,181 @@
+"""Per-fault-site heatmaps: dynamic outcomes joined with static verdicts.
+
+A campaign samples faults over dynamic instruction executions; the
+coverage prover (:mod:`repro.analysis.coverage`) assigns every *static*
+site a sound verdict (``detected`` / ``masked`` / ``escapes``).  This
+module joins the two: trial outcomes are tallied per (function, block,
+instruction) and laid next to the site's static verdict, so one report
+answers both "where do SOCs actually come from" and "where do the static
+and dynamic views disagree".
+
+Disagreements flagged:
+
+* ``soc-at-covered`` — an SOC landed on a site the prover claims is
+  ``detected`` or ``masked``.  The campaign sanitizer aborts on this when
+  armed; in the report it is the reddest possible flag.
+* ``detected-at-masked`` — a detection fired on a statically-``masked``
+  site: the proof says every bit flip is arithmetically absorbed, so a
+  fired check there means the proof and runtime disagree.
+* ``escape-never-fired`` — a statically-``escapes`` site whose trials
+  (at least :data:`MIN_TRIALS_FOR_QUIET`) produced neither an SOC nor a
+  detection.  Not an error — dynamic masking the static analysis cannot
+  see — but these are exactly the sites where protection money is being
+  wasted, so the report surfaces them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = ["build_heatmap", "render_heatmap_text", "MIN_TRIALS_FOR_QUIET"]
+
+#: trials a site needs before "never produced a symptom" means anything.
+MIN_TRIALS_FOR_QUIET = 5
+
+
+def _site_key(inst) -> tuple:
+    fn = inst.function
+    block = inst.parent
+    index = block.instructions.index(inst) if block is not None else -1
+    return (
+        fn.name if fn is not None else "?",
+        block.name if block is not None else "?",
+        index,
+    )
+
+
+def build_heatmap(
+    records,
+    module,
+    coverage=None,
+) -> Dict:
+    """Tally trial outcomes per static fault site and join static verdicts.
+
+    ``records`` is an iterable of ``TrialRecord``-shaped objects (``site``
+    + ``outcome``); ``coverage`` is a precomputed
+    :class:`~repro.analysis.coverage.CoverageReport` (computed from
+    ``module`` when omitted).  Returns a JSON-compatible report.
+    """
+    if coverage is None:
+        from ..analysis.coverage import coverage_report
+
+        coverage = coverage_report(module)
+    verdict_by_inst = {id(s.instruction): s.verdict.value for s in coverage.sites}
+
+    sites: Dict[tuple, Dict] = {}
+    total_trials = 0
+    for record in records:
+        site = getattr(record, "site", None)
+        if site is None:
+            continue
+        inst = site.instruction
+        key = _site_key(inst)
+        entry = sites.get(key)
+        if entry is None:
+            entry = sites[key] = {
+                "function": key[0],
+                "block": key[1],
+                "index": key[2],
+                "opcode": inst.opcode,
+                "name": getattr(inst, "name", "") or "",
+                "static_verdict": verdict_by_inst.get(id(inst)),
+                "trials": 0,
+                "outcomes": {},
+            }
+        entry["trials"] += 1
+        total_trials += 1
+        outcome = record.outcome.value
+        entry["outcomes"][outcome] = entry["outcomes"].get(outcome, 0) + 1
+
+    flags: List[Dict] = []
+    for entry in sites.values():
+        outcomes = entry["outcomes"]
+        verdict = entry["static_verdict"]
+        soc = outcomes.get("soc", 0)
+        detected = outcomes.get("detected", 0) + outcomes.get("corrected", 0)
+        entry["flags"] = site_flags = []
+        if verdict in ("detected", "masked") and soc:
+            site_flags.append("soc-at-covered")
+        if verdict == "masked" and detected:
+            site_flags.append("detected-at-masked")
+        if (
+            verdict == "escapes"
+            and entry["trials"] >= MIN_TRIALS_FOR_QUIET
+            and not soc
+            and not detected
+        ):
+            site_flags.append("escape-never-fired")
+        for flag in site_flags:
+            flags.append(
+                {
+                    "flag": flag,
+                    "function": entry["function"],
+                    "block": entry["block"],
+                    "index": entry["index"],
+                }
+            )
+
+    ordered = sorted(
+        sites.values(),
+        key=lambda e: (-e["trials"], e["function"], e["block"], e["index"]),
+    )
+    outcome_totals: Dict[str, int] = {}
+    for entry in ordered:
+        for outcome, n in entry["outcomes"].items():
+            outcome_totals[outcome] = outcome_totals.get(outcome, 0) + n
+    return {
+        "kind": "ipas-heatmap",
+        "module": module.name,
+        "trials": total_trials,
+        "sites": ordered,
+        "static_summary": coverage.summary(),
+        "outcome_totals": dict(sorted(outcome_totals.items())),
+        "disagreements": flags,
+    }
+
+
+def render_heatmap_text(heatmap: Dict, limit: Optional[int] = 30) -> str:
+    """Human-readable table, hottest sites first."""
+    lines = [
+        f"fault-site heatmap — module {heatmap['module']}, "
+        f"{heatmap['trials']} trials over {len(heatmap['sites'])} sites",
+        f"{'function':<18} {'block':<10} {'idx':>3} {'opcode':<10} "
+        f"{'static':<9} {'trials':>6} {'soc':>5} {'det':>5} {'mask':>5} "
+        f"{'crash':>5} {'hang':>5}  flags",
+    ]
+    shown = heatmap["sites"][:limit] if limit else heatmap["sites"]
+    for site in shown:
+        o = site["outcomes"]
+        detected = o.get("detected", 0) + o.get("corrected", 0)
+        lines.append(
+            f"{site['function']:<18.18} {site['block']:<10.10} "
+            f"{site['index']:>3} {site['opcode']:<10.10} "
+            f"{(site['static_verdict'] or '-'):<9} {site['trials']:>6} "
+            f"{o.get('soc', 0):>5} {detected:>5} {o.get('masked', 0):>5} "
+            f"{o.get('crash', 0):>5} {o.get('hang', 0):>5}  "
+            f"{','.join(site['flags']) or '-'}"
+        )
+    hidden = len(heatmap["sites"]) - len(shown)
+    if hidden > 0:
+        lines.append(f"... {hidden} colder site(s) omitted (full set in JSON)")
+    totals = heatmap["outcome_totals"]
+    lines.append(
+        "totals: "
+        + "  ".join(f"{k} {v}" for k, v in totals.items())
+    )
+    if heatmap["disagreements"]:
+        lines.append(f"disagreement hot spots ({len(heatmap['disagreements'])}):")
+        for d in heatmap["disagreements"]:
+            lines.append(
+                f"  {d['flag']:<20} {d['function']}:{d['block']}[{d['index']}]"
+            )
+    else:
+        lines.append("no static-vs-dynamic disagreements")
+    return "\n".join(lines)
+
+
+def write_heatmap(heatmap: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(heatmap, fh, indent=1)
+        fh.write("\n")

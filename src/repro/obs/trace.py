@@ -1,0 +1,317 @@
+"""Chrome trace-event emission for campaign runs.
+
+One campaign run becomes one trace file that opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  The file is the JSON
+*array* flavor of the trace-event format written one event per line::
+
+    [
+    {"ph":"M","pid":0,...},
+    {"ph":"X","pid":0,"tid":0,"name":"prepare",...},
+    ...
+
+The trace-event spec explicitly tolerates a missing closing ``]`` and
+trailing commas, so the file is valid the moment each line lands — a
+crashed campaign still leaves a loadable trace — and each line after the
+opening bracket is independently JSON-parseable once its trailing comma
+is stripped (the JSONL property :func:`validate_trace` relies on).
+
+Lane layout:
+
+* ``pid 0`` — the campaign itself: one lane of phase spans (prepare,
+  ladder capture, trial sampling, checkpoint resume, execute, sanitize).
+* ``pid 1`` — workers: one ``tid`` per worker lane, carrying a complete
+  ("X") span per trial plus instant events for recovery rollbacks and
+  golden resyncs.  Serial campaigns use lane 0.
+
+Trial spans are reconstructed parent-side at delivery: the worker reports
+the trial's wall duration, and the writer places the span at *delivery
+time minus duration*, clamped forward so spans on one lane never
+overlap.  Worker lanes therefore show per-worker busy time, accurate to
+the delivery latency of one pipe message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["TraceWriter", "validate_trace"]
+
+#: pid of the campaign-orchestration lane.
+CAMPAIGN_PID = 0
+#: pid grouping the per-worker trial lanes.
+WORKER_PID = 1
+
+
+class _Phase:
+    """Context manager emitting one campaign-lane span on exit."""
+
+    __slots__ = ("writer", "name", "args", "t0")
+
+    def __init__(self, writer: "TraceWriter", name: str, args: Optional[Dict]):
+        self.writer = writer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Phase":
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.writer.complete(
+            self.name,
+            "phase",
+            CAMPAIGN_PID,
+            0,
+            self.t0,
+            time.perf_counter(),
+            args=self.args,
+        )
+
+
+class TraceWriter:
+    """Streaming trace-event writer (one campaign run, one file)."""
+
+    def __init__(self, path: str, resume: bool = False, t0: Optional[float] = None):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        resume = resume and os.path.exists(path)
+        if resume:
+            # Sequential campaigns share one trace file (e.g. the full
+            # evaluation's reference + variant campaigns): reopen the
+            # closed array, drop the "{}]" terminator, keep appending.
+            self._fh: Optional[TextIO] = open(path, "r+")
+            self._fh.seek(0, os.SEEK_END)
+            size = self._fh.tell()
+            tail = min(size, 8)
+            self._fh.seek(size - tail)
+            if self._fh.read(tail).endswith("{}]\n"):
+                self._fh.seek(size - 4)
+                self._fh.truncate()
+            self._fh.seek(0, os.SEEK_END)
+        else:
+            self._fh = open(path, "w")
+            self._fh.write("[\n")
+        # Callers resuming a file pass the original t0 so timestamps stay
+        # on one monotonic axis across campaigns.
+        self.t0 = time.perf_counter() if t0 is None else t0
+        self.events = 0
+        # forward-only cursor per (pid, tid): next free microsecond
+        self._cursor: Dict[tuple, int] = {}
+        self._named_lanes: set = set()
+        if not resume:
+            self._meta_name(CAMPAIGN_PID, None, "campaign")
+            self._meta_name(WORKER_PID, None, "workers")
+
+    # -- low-level emission ------------------------------------------------
+
+    def _us(self, t: float) -> int:
+        return int((t - self.t0) * 1e6)
+
+    def _emit(self, event: Dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, separators=(",", ":")) + ",\n")
+        self.events += 1
+
+    def _meta_name(self, pid: int, tid: Optional[int], name: str) -> None:
+        event = {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid if tid is not None else 0,
+            "name": "process_name" if tid is None else "thread_name",
+            "args": {"name": name},
+        }
+        self._emit(event)
+
+    def _lane(self, pid: int, tid: int) -> None:
+        if (pid, tid) not in self._named_lanes:
+            self._named_lanes.add((pid, tid))
+            if pid == WORKER_PID:
+                self._meta_name(pid, tid, f"worker-{tid}")
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        pid: int,
+        tid: int,
+        t_start: float,
+        t_end: float,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """One "X" (complete) span; timestamps are ``perf_counter`` values."""
+        self._lane(pid, tid)
+        dur = max(self._us(t_end) - self._us(t_start), 1)
+        ts = self._us(t_start)
+        # Clamp forward past the lane's previous span: parent-side
+        # reconstruction may place two chunk-mates at overlapping times,
+        # and partially overlapping X spans render as garbage.
+        cursor = self._cursor.get((pid, tid), 0)
+        if ts < cursor:
+            ts = cursor
+        self._cursor[(pid, tid)] = ts + dur
+        event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "dur": dur,
+            "cat": category,
+            "name": name,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(
+        self, name: str, category: str, pid: int, tid: int,
+        args: Optional[Dict] = None,
+    ) -> None:
+        self._lane(pid, tid)
+        event = {
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+            "ts": max(self._us(time.perf_counter()), self._cursor.get((pid, tid), 0)),
+            "cat": category,
+            "name": name,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # -- campaign-shaped helpers -------------------------------------------
+
+    def phase(self, name: str, **args) -> _Phase:
+        """``with tracer.phase("prepare"):`` — a campaign-lane span."""
+        return _Phase(self, name, args or None)
+
+    def trial(
+        self,
+        index: int,
+        wid: int,
+        seconds: float,
+        name: str,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """One trial span on worker lane ``wid``, ending now."""
+        now = time.perf_counter()
+        self.complete(name, "trial", WORKER_PID, wid, now - seconds, now, args=args)
+
+    def event(self, name: str, wid: int, **args) -> None:
+        """Instant event on a worker lane (rollback, resync, quarantine)."""
+        self.instant(name, "event", WORKER_PID, wid, args or None)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            # The spec tolerates an unterminated array, but finish cleanly
+            # when we get the chance: strict JSON parsers then work too.
+            self._fh.write("{}]\n")
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_trace(path: str) -> Dict:
+    """Parse a trace file and check event structure and span nesting.
+
+    Returns a JSON-compatible report: ``ok``, ``events``, per-phase
+    counts, ``lanes``, and a list of ``errors``.  Nesting is checked per
+    (pid, tid) lane: "X" spans must be disjoint or properly nested, and
+    "B"/"E" pairs must balance.  The CI smoke step runs this on a traced
+    campaign.
+    """
+    report: Dict = {
+        "path": path,
+        "ok": False,
+        "events": 0,
+        "phases": {},
+        "lanes": 0,
+        "errors": [],
+    }
+    errors: List[str] = report["errors"]
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        errors.append(str(exc))
+        return report
+    events = []
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip()
+        if line in ("", "[", "]", "{}]"):
+            continue
+        if line.endswith(","):
+            line = line[:-1]
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            errors.append(f"line {lineno}: not JSON")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {lineno}: not an object")
+            continue
+        if not event:
+            continue  # the closing sentinel
+        if "ph" not in event or "pid" not in event:
+            errors.append(f"line {lineno}: missing ph/pid")
+            continue
+        events.append(event)
+    report["events"] = len(events)
+    phases: Dict[str, int] = report["phases"]
+    lanes = set()
+    spans: Dict[tuple, List] = {}
+    depth: Dict[tuple, int] = {}
+    for event in events:
+        ph = event["ph"]
+        phases[ph] = phases.get(ph, 0) + 1
+        lane = (event["pid"], event.get("tid", 0))
+        lanes.add(lane)
+        if ph == "X":
+            if "ts" not in event or "dur" not in event:
+                errors.append(f"X event {event.get('name')!r} missing ts/dur")
+                continue
+            spans.setdefault(lane, []).append(
+                (event["ts"], event["ts"] + event["dur"], event.get("name"))
+            )
+        elif ph == "B":
+            depth[lane] = depth.get(lane, 0) + 1
+        elif ph == "E":
+            depth[lane] = depth.get(lane, 0) - 1
+            if depth[lane] < 0:
+                errors.append(f"lane {lane}: E without matching B")
+    for lane, d in depth.items():
+        if d > 0:
+            errors.append(f"lane {lane}: {d} unclosed B span(s)")
+    # X spans per lane: sorted by start (ties: longest first), each span
+    # must either start at/after the enclosing span's end (disjoint) or
+    # end within it (nested).
+    for lane, lane_spans in spans.items():
+        stack: List = []
+        for start, end, name in sorted(lane_spans, key=lambda s: (s[0], -s[1])):
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"lane {lane}: span {name!r} [{start},{end}) partially "
+                    f"overlaps {stack[-1][2]!r} [{stack[-1][0]},{stack[-1][1]})"
+                )
+                continue
+            stack.append((start, end, name))
+    report["lanes"] = len(lanes)
+    report["ok"] = not errors and report["events"] > 0
+    return report

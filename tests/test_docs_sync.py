@@ -62,3 +62,35 @@ class TestLintTableSync:
                 f"{code} documented as {severity!r} but its rule source "
                 f"never emits {expected}"
             )
+
+
+OBS_DOC = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
+
+
+class TestMetricCatalogSync:
+    """docs/observability.md must list every registered metric name."""
+
+    def test_every_registered_metric_is_documented(self):
+        from repro.obs import CATALOG
+
+        doc = OBS_DOC.read_text()
+        missing = [name for name in CATALOG if name not in doc]
+        assert not missing, (
+            f"metrics missing from docs/observability.md: {missing}"
+        )
+
+    def test_every_documented_metric_is_registered(self):
+        from repro.obs import CATALOG
+
+        documented = set(
+            re.findall(r"`(ipas_[a-z0-9_]+)(?:\{[a-z]+\})?`", OBS_DOC.read_text())
+        )
+        stale = documented - set(CATALOG)
+        assert not stale, (
+            f"documented metric names with no declaration: {stale}"
+        )
+
+    def test_catalog_is_nonempty(self):
+        from repro.obs import CATALOG
+
+        assert len(CATALOG) >= 20
