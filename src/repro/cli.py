@@ -12,7 +12,11 @@ Commands mirror how a user would adopt the library:
 * ``analyze TARGET``           — static SOC-risk scores and IR diagnostics
   for a workload or a ``.scil`` file, no fault injection required;
 * ``report PATH``              — render an observability artifact (metrics
-  JSON, heatmap JSON, or a campaign trace) written by ``inject``.
+  JSON, heatmap JSON, or a campaign trace) written by ``inject``;
+* ``serve`` / ``worker`` / ``submit`` / ``status`` — the campaign service:
+  a fault-tolerant coordinator over localhost sockets with a durable job
+  journal, socket workers that lease trial-chunks from it, and clients
+  that submit campaigns and watch progress.
 
 Human-facing status lines go to stderr whenever the command also prints a
 JSON artifact to stdout (``--metrics-out -`` / ``--heatmap -``), so piped
@@ -640,6 +644,318 @@ def cmd_report(args) -> int:
     return 2
 
 
+# -- campaign service ---------------------------------------------------------
+
+
+def _chaos_spec(text: str) -> str:
+    """argparse type for ``inject --chaos``: reject a bad spec at parse
+    time, naming the offending token, instead of mid-campaign."""
+    from .faults.chaos import validate_chaos_spec
+
+    try:
+        validate_chaos_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _service_chaos_spec(text: str) -> str:
+    """argparse type for ``serve --chaos`` (the service-chaos grammar)."""
+    from .faults.chaos import validate_service_chaos_spec
+
+    try:
+        validate_service_chaos_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _add_connect_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="coordinator address (HOST:PORT, or a bare PORT on localhost)",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="read the coordinator's port from a file written by "
+        "'serve --port-file' (polls until it appears)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request timeout (default: 30)",
+    )
+
+
+def _service_client(args):
+    """A connected ServiceClient from --connect / --port-file."""
+    from .service.client import ServiceClient, parse_connect, read_port_file
+
+    if args.port_file:
+        return ServiceClient(port=read_port_file(args.port_file), timeout=args.timeout)
+    if args.connect:
+        host, port = parse_connect(args.connect)
+        return ServiceClient(host, port, timeout=args.timeout)
+    raise ValueError("need --connect HOST:PORT or --port-file PATH")
+
+
+def cmd_serve(args) -> int:
+    """Run a campaign-service coordinator until shut down."""
+    import asyncio
+    import json as json_module
+    import os
+    import signal
+    import subprocess
+
+    from .service import CoordinatorServer
+
+    chaos = None
+    if args.chaos:
+        from .faults.chaos import parse_service_chaos_spec
+
+        # Chaos fire-once markers live next to the journal so a killed and
+        # restarted coordinator does not re-fire the same event.
+        chaos = parse_service_chaos_spec(
+            args.chaos, state_dir=os.path.join(args.journal, "chaos-state")
+        )
+    obs = None
+    if args.trace or (args.metrics_out and args.metrics_out != "-"):
+        from .obs import Observation
+
+        obs = Observation(
+            trace_path=args.trace,
+            metrics_path=args.metrics_out if args.metrics_out != "-" else None,
+        )
+    server = CoordinatorServer(
+        args.journal,
+        host=args.host,
+        port=args.port,
+        chunk_size=args.chunk,
+        lease_timeout=args.lease_timeout,
+        solo_grace=args.solo_grace,
+        solo=not args.no_solo,
+        chaos=chaos,
+        registry=obs.registry if obs is not None else None,
+        tracer=obs.open_trace() if obs is not None else None,
+    )
+    out = _status_stream(args)
+    loop = asyncio.new_event_loop()
+    workers = []
+    try:
+        loop.run_until_complete(server.start())
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.stop())
+                )
+            except (NotImplementedError, OSError):  # pragma: no cover
+                pass
+        if args.port_file:
+            # Atomic write: a client polling the file never reads a torn
+            # port, and its existence means the socket is already bound.
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(f"{server.port}\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, args.port_file)
+        _say(
+            out,
+            f"coordinator listening on {server.host}:{server.port} "
+            f"(journal: {args.journal})",
+        )
+        for _ in range(args.workers):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{server.host}:{server.port}",
+                        "--quiet",
+                    ]
+                )
+            )
+        if workers:
+            _say(out, f"spawned {len(workers)} worker process(es)")
+        loop.run_until_complete(server.wait_closed())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        loop.run_until_complete(server.stop())
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=5)
+            except Exception:  # pragma: no cover
+                proc.kill()
+        if obs is not None:
+            obs.close()
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.run_until_complete(loop.shutdown_default_executor())
+        loop.close()
+    if args.metrics_out == "-":
+        payload = {"kind": "ipas-metrics", "metrics": server.registry.as_dict()}
+        json_module.dump(payload, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    _say(out, "coordinator stopped")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Run one socket worker against a coordinator."""
+    from .service.client import parse_connect, read_port_file
+    from .service.worker import run_worker
+
+    if args.port_file:
+        host, port = "127.0.0.1", read_port_file(args.port_file)
+    elif args.connect:
+        host, port = parse_connect(args.connect)
+    else:
+        print("error: need --connect HOST:PORT or --port-file PATH", file=sys.stderr)
+        return 2
+    log = None
+    if not args.quiet:
+        def log(text):
+            print(f"worker: {text}", file=sys.stderr)
+    return run_worker(
+        host,
+        port,
+        ack_timeout=args.timeout,
+        idle_exit=args.idle_exit,
+        log=log,
+    )
+
+
+def cmd_submit(args) -> int:
+    """Submit a campaign to a coordinator; by default wait and print the
+    same outcome mix ``inject`` would."""
+    from .faults import Outcome
+    from .service.client import ServiceError
+
+    spec = {
+        "workload": args.workload,
+        "input": args.input,
+        "trials": args.trials,
+        "seed": args.seed,
+        "protect": args.protect,
+    }
+    if args.recover:
+        spec["recover"] = True
+        spec["max_rollbacks"] = args.max_rollbacks
+        spec["snapshot_period"] = args.snapshot_period
+    out = _status_stream(args)
+    try:
+        client = _service_client(args)
+    except (ValueError, TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            reply = client.submit(spec)
+            job = reply["job"]
+            _say(
+                out,
+                f"job {job}: {reply.get('disposition')} "
+                f"({reply.get('done', 0)}/{reply.get('n_trials')} trials done"
+                + (f", {reply.get('resumed')} resumed" if reply.get("resumed") else "")
+                + ")",
+            )
+            if args.no_wait:
+                print(job)
+                return 0
+            if reply.get("state") not in ("done", "failed"):
+                for event in client.watch(job):
+                    if event.get("op") == "progress" and args.progress:
+                        _say(
+                            out,
+                            f"  {event['done']}/{event['n_trials']} trials",
+                        )
+            status = client.status(job)
+            if status.get("state") != "done":
+                print(
+                    f"error: job {job} {status.get('state')}: "
+                    f"{status.get('error', 'unknown failure')}",
+                    file=sys.stderr,
+                )
+                return 1
+            entries = client.results(job)
+        except (ServiceError, OSError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    counts = {}
+    for entry in entries:
+        counts[entry["outcome"]] = counts.get(entry["outcome"], 0) + 1
+    _say(out, f"{len(entries)} single-bit faults injected into {args.workload}:")
+    for outcome in Outcome:
+        count = counts.get(outcome.value, 0)
+        if outcome is Outcome.TRIAL_FAILURE and count == 0:
+            continue
+        _say(out, f"  {outcome.value:>9}: {count:5d}  ({100*count/len(entries):5.1f}%)")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Show a coordinator's jobs (or one job) from the outside."""
+    import json as json_module
+
+    from .service.client import ServiceError
+
+    try:
+        client = _service_client(args)
+    except (ValueError, TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.shutdown:
+                client.shutdown()
+                print("coordinator shutting down")
+                return 0
+            status = client.status(args.job)
+        except (ServiceError, OSError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        status.pop("ok", None)
+        json_module.dump(status, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+        return 0
+    if args.job is not None:
+        line = (
+            f"{status['job']}: {status['state']} "
+            f"{status['done']}/{status['n_trials']} trials (seed {status['seed']}"
+            + (f", {status['resumed']} resumed" if status.get("resumed") else "")
+            + ")"
+        )
+        print(line)
+        if status.get("error"):
+            print(f"  error: {status['error']}")
+        for outcome, count in sorted((status.get("counts") or {}).items()):
+            print(f"  {outcome:>9}: {count}")
+        return 0
+    jobs = status.get("jobs", [])
+    print(
+        f"{len(jobs)} job(s), {status.get('workers', 0)} worker(s), "
+        f"{status.get('leases', 0)} active lease(s)"
+    )
+    for job in jobs:
+        print(
+            f"  {job['job']}: {job['state']} {job['done']}/{job['n_trials']}"
+            + (f" ({job['resumed']} resumed)" if job.get("resumed") else "")
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -739,9 +1055,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         metavar="SPEC",
         default=None,
+        type=_chaos_spec,
         help="failure-injection drill for the harness itself: "
         "kill@IDX[!] and hang@IDX:SECONDS events, comma-separated "
-        "(e.g. 'kill@7,hang@12:3'); results must stay identical",
+        "(e.g. 'kill@7,hang@12:3'); results must stay identical; "
+        "a malformed spec is rejected before the campaign starts",
     )
     p_inject.add_argument(
         "--trace",
@@ -835,6 +1153,136 @@ def build_parser() -> argparse.ArgumentParser:
         "2 = target failed to load",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run a campaign-service coordinator (localhost sockets)"
+    )
+    p_serve.add_argument(
+        "--journal",
+        metavar="DIR",
+        required=True,
+        help="durable job-journal directory; a restarted coordinator "
+        "resumes every in-flight campaign recorded here",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="listen port (default: 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound port here (atomically, after the socket "
+        "binds) so clients and workers can discover an ephemeral port",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker subprocesses to spawn alongside the coordinator "
+        "(default: 0 — serve existing workers, or degrade to in-process "
+        "serial execution when none connect)",
+    )
+    p_serve.add_argument(
+        "--chunk",
+        type=int,
+        default=8,
+        metavar="N",
+        help="trials per lease (default: 8)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="heartbeat deadline before a lease's trials are requeued "
+        "(default: 15)",
+    )
+    p_serve.add_argument(
+        "--solo-grace",
+        type=float,
+        default=0.75,
+        metavar="SECONDS",
+        help="how long to wait for a worker before the coordinator runs "
+        "trials itself (default: 0.75)",
+    )
+    p_serve.add_argument(
+        "--no-solo",
+        action="store_true",
+        help="never execute trials in-process; jobs wait for workers",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        type=_service_chaos_spec,
+        help="coordinator/network chaos drill: kill@N, drop-ack@N, "
+        "delay@N:SECONDS, reset@N events, comma-separated; fire-once "
+        "state persists in the journal so a restart does not re-fire",
+    )
+    p_serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="emit a Chrome trace of the coordinator lane (job lifecycle, "
+        "lease churn, chaos events)",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="dump the service metrics registry as JSON on shutdown "
+        "('-' = stdout)",
+    )
+    _add_quiet_arg(p_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="run one socket worker against a coordinator"
+    )
+    _add_connect_args(p_worker)
+    p_worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit 0 after this long with nothing to lease (default: "
+        "idle forever)",
+    )
+    _add_quiet_arg(p_worker)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign to a coordinator and wait"
+    )
+    p_submit.add_argument("workload")
+    p_submit.add_argument("--input", type=int, default=1, choices=[1, 2, 3, 4])
+    p_submit.add_argument("--trials", type=int, default=100)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--protect", choices=["none", "full"], default="none")
+    p_submit.add_argument("--recover", action="store_true")
+    p_submit.add_argument("--max-rollbacks", type=int, default=8, metavar="N")
+    p_submit.add_argument("--snapshot-period", type=int, default=0, metavar="CYCLES")
+    _add_connect_args(p_submit)
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return instead of streaming progress "
+        "(resubmitting the same spec later attaches to the same job)",
+    )
+    p_submit.add_argument(
+        "--progress", action="store_true", help="print per-commit progress lines"
+    )
+    _add_quiet_arg(p_submit)
+
+    p_status = sub.add_parser("status", help="show a coordinator's jobs")
+    p_status.add_argument("job", nargs="?", default=None, help="job id (fingerprint)")
+    _add_connect_args(p_status)
+    p_status.add_argument("--json", action="store_true", help="raw JSON output")
+    p_status.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the coordinator to shut down gracefully instead",
+    )
+
     return parser
 
 
@@ -847,6 +1295,10 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "analyze": cmd_analyze,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "worker": cmd_worker,
+    "submit": cmd_submit,
+    "status": cmd_status,
 }
 
 

@@ -28,9 +28,12 @@ from .parallel import (
     CheckpointMismatchError,
     CheckpointWarning,
     campaign_fingerprint,
+    entry_matches_site,
     fork_available,
+    record_from_entry,
     resolve_jobs,
     run_campaign,
+    trial_entry,
     verify_checkpoint,
 )
 from .supervisor import (
@@ -38,7 +41,16 @@ from .supervisor import (
     SupervisorPolicy,
     TrialFailure,
     WorkerFailureError,
+    backoff_delay,
     run_supervised,
+)
+from .chaos import (
+    ChaosMonkey,
+    ServiceChaos,
+    parse_chaos_spec,
+    parse_service_chaos_spec,
+    validate_chaos_spec,
+    validate_service_chaos_spec,
 )
 
 __all__ = [
@@ -51,7 +63,11 @@ __all__ = [
     "sanitizer_enabled",
     "CampaignCheckpoint", "CampaignStats", "campaign_fingerprint",
     "CheckpointError", "CheckpointMismatchError", "CheckpointWarning",
+    "entry_matches_site", "record_from_entry", "trial_entry",
     "fork_available", "resolve_jobs", "run_campaign", "verify_checkpoint",
     "PoolCollapse", "SupervisorPolicy", "TrialFailure",
-    "WorkerFailureError", "run_supervised",
+    "WorkerFailureError", "backoff_delay", "run_supervised",
+    "ChaosMonkey", "ServiceChaos", "parse_chaos_spec",
+    "parse_service_chaos_spec", "validate_chaos_spec",
+    "validate_service_chaos_spec",
 ]

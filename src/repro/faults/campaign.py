@@ -332,6 +332,14 @@ class Campaign:
         bit = rng.randrange(result_bits(inst))
         return FaultSite(inst, occurrence, bit)
 
+    def fingerprint(self, n_trials: int, seed: int = 0) -> str:
+        """Stable identity of this campaign's trial plan — the checkpoint
+        resume key and the service job id (see
+        :func:`repro.faults.parallel.campaign_fingerprint`)."""
+        from .parallel import campaign_fingerprint
+
+        return campaign_fingerprint(self, n_trials, seed)
+
     def sample_trials(self, n_trials: int, seed: int = 0) -> List[FaultSite]:
         """The full trial plan, pre-sampled serially from the seed.
 

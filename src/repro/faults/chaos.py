@@ -15,6 +15,11 @@ time and model genuine poison trials (the quarantine path).
 
 ``corrupt_checkpoint`` garbles or truncates checkpoint lines, modelling
 disk-level corruption and mid-write crashes for the recovery tests.
+
+:class:`ServiceChaos` extends the harness to the campaign service
+(:mod:`repro.service`): coordinator kills after durable commits, dropped
+worker acks, delayed replies, and connection resets — the failure modes a
+fleet-scale screening service actually sees between hosts.
 """
 
 from __future__ import annotations
@@ -26,6 +31,23 @@ from typing import Dict, Iterable, Optional
 
 #: exit code chaos-killed workers die with (distinguishable in waitpid).
 CHAOS_EXIT_CODE = 17
+
+
+def _fire_once_marker(state_dir: str, kind: str, index: int) -> bool:
+    """Atomically claim the fire-once marker for event ``kind-index``.
+
+    ``O_CREAT | O_EXCL`` makes the claim race-free across processes and
+    durable across respawns/restarts sharing ``state_dir``: the first
+    claimant fires, everyone after (including a resurrected coordinator
+    or worker) sees ``False`` and stays healthy.
+    """
+    marker = os.path.join(state_dir, f"{kind}-{index}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
 
 
 class ChaosMonkey:
@@ -61,13 +83,7 @@ class ChaosMonkey:
     def _fire_once(self, kind: str, index: int) -> bool:
         if not self.once:
             return True
-        marker = os.path.join(self.state_dir, f"{kind}-{index}")
-        try:
-            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        os.close(fd)
-        return True
+        return _fire_once_marker(self.state_dir, kind, index)
 
     def before_trial(self, index: int) -> None:
         if not self._armed:
@@ -85,16 +101,11 @@ class ChaosMonkey:
         )
 
 
-def parse_chaos_spec(spec: str, state_dir: Optional[str] = None) -> ChaosMonkey:
-    """CLI chaos grammar: comma-separated events.
-
-    * ``kill@IDX`` — kill the worker about to execute trial ``IDX`` (once);
-    * ``kill@IDX!`` — kill on *every* attempt (poison trial → quarantine);
-    * ``hang@IDX:SECONDS`` — sleep before trial ``IDX`` (once).
-
-    ``kill@5,hang@9:2.5`` is a one-worker-killed-one-chunk-delayed run.
-    A ``!`` on any kill event makes all kill events persistent.
-    """
+def _parse_chaos_tokens(spec: str) -> Dict:
+    """Worker chaos grammar → ``ChaosMonkey`` kwargs; raises ``ValueError``
+    naming the first bad token.  Split from construction so the CLI can
+    validate a ``--chaos`` string at parse time without building the
+    injector (and its state directory)."""
     kill_at = set()
     hang_at: Dict[int, float] = {}
     once = True
@@ -118,7 +129,176 @@ def parse_chaos_spec(spec: str, state_dir: Optional[str] = None) -> ChaosMonkey:
             raise ValueError(
                 f"bad chaos event {part!r}: expected kill@IDX[!] or hang@IDX:SECONDS"
             )
-    return ChaosMonkey(kill_at=kill_at, hang_at=hang_at, once=once, state_dir=state_dir)
+    return {"kill_at": kill_at, "hang_at": hang_at, "once": once}
+
+
+def validate_chaos_spec(spec: str) -> None:
+    """Raise ``ValueError`` naming the bad token if ``spec`` is malformed."""
+    _parse_chaos_tokens(spec)
+
+
+def parse_chaos_spec(spec: str, state_dir: Optional[str] = None) -> ChaosMonkey:
+    """CLI chaos grammar: comma-separated events.
+
+    * ``kill@IDX`` — kill the worker about to execute trial ``IDX`` (once);
+    * ``kill@IDX!`` — kill on *every* attempt (poison trial → quarantine);
+    * ``hang@IDX:SECONDS`` — sleep before trial ``IDX`` (once).
+
+    ``kill@5,hang@9:2.5`` is a one-worker-killed-one-chunk-delayed run.
+    A ``!`` on any kill event makes all kill events persistent.
+    """
+    return ChaosMonkey(state_dir=state_dir, **_parse_chaos_tokens(spec))
+
+
+class ServiceChaos:
+    """Failure injector for the campaign service (:mod:`repro.service`).
+
+    Where :class:`ChaosMonkey` sabotages forked workers, this one
+    sabotages the *coordinator* and the network between it and its
+    workers:
+
+    * ``kill_at_commit=N`` — the coordinator ``os._exit``\\ s right after
+      its ``N``-th trial commit reaches the journal (crash-after-durable);
+      the restart path must resume every in-flight job.
+    * ``drop_ack_at={K, ...}`` — the ``K``-th worker ack is read off the
+      socket and silently discarded: nothing commits, no reply is sent,
+      the worker times out and its lease is requeued (lost-ack model).
+    * ``delay_response_at={K: seconds}`` — the coordinator's ``K``-th
+      reply is delayed (slow network / overloaded coordinator).
+    * ``reset_at={K, ...}`` — the connection delivering the ``K``-th
+      inbound message is aborted before any reply (connection reset).
+
+    Ordinals are 1-based and counted per coordinator incarnation, but the
+    fire-once markers live in ``state_dir`` (same mechanism as
+    :class:`ChaosMonkey`), so a restarted coordinator pointed at the same
+    state directory does not replay events that already fired — which is
+    what lets a kill-restart test reuse one ``--chaos`` spec verbatim.
+    """
+
+    def __init__(
+        self,
+        kill_at_commit: Optional[int] = None,
+        drop_ack_at: Iterable[int] = (),
+        delay_response_at: Optional[Dict[int, float]] = None,
+        reset_at: Iterable[int] = (),
+        state_dir: Optional[str] = None,
+    ):
+        self.kill_at_commit = kill_at_commit
+        self.drop_ack_at = frozenset(drop_ack_at)
+        self.delay_response_at = dict(delay_response_at or {})
+        self.reset_at = frozenset(reset_at)
+        self.state_dir = state_dir or tempfile.mkdtemp(prefix="ipas-service-chaos-")
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._messages = 0
+        self._acks = 0
+        self._replies = 0
+        self._commits = 0
+
+    def on_message(self) -> bool:
+        """Count one inbound message; ``True`` → abort this connection."""
+        self._messages += 1
+        return self._messages in self.reset_at and _fire_once_marker(
+            self.state_dir, "reset", self._messages
+        )
+
+    def on_ack(self) -> bool:
+        """Count one worker ack; ``True`` → drop it silently (no commit,
+        no reply)."""
+        self._acks += 1
+        return self._acks in self.drop_ack_at and _fire_once_marker(
+            self.state_dir, "drop-ack", self._acks
+        )
+
+    def reply_delay(self) -> float:
+        """Seconds to stall before sending the next reply (0 = none)."""
+        self._replies += 1
+        delay = self.delay_response_at.get(self._replies)
+        if delay is not None and _fire_once_marker(
+            self.state_dir, "delay", self._replies
+        ):
+            return delay
+        return 0.0
+
+    def on_commit(self) -> None:
+        """Count one durably journaled trial commit; may never return.
+
+        Called *after* the journal flush, so the kill models the worst
+        honest crash: state durable, ack not yet sent.
+        """
+        self._commits += 1
+        if (
+            self.kill_at_commit is not None
+            and self._commits >= self.kill_at_commit
+            and _fire_once_marker(
+                self.state_dir, "kill-coordinator", self.kill_at_commit
+            )
+        ):
+            os._exit(CHAOS_EXIT_CODE)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceChaos kill_at_commit={self.kill_at_commit} "
+            f"drop_ack={sorted(self.drop_ack_at)} "
+            f"delay={self.delay_response_at} reset={sorted(self.reset_at)}>"
+        )
+
+
+def _parse_service_chaos_tokens(spec: str) -> Dict:
+    """Service chaos grammar → ``ServiceChaos`` kwargs; raises
+    ``ValueError`` naming the first bad token."""
+    kill_at_commit: Optional[int] = None
+    drop_ack_at = set()
+    delay_response_at: Dict[int, float] = {}
+    reset_at = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            kind, _, rest = part.partition("@")
+            if kind == "kill":
+                kill_at_commit = int(rest)
+            elif kind == "drop-ack":
+                drop_ack_at.add(int(rest))
+            elif kind == "delay":
+                ordinal_text, _, seconds_text = rest.partition(":")
+                delay_response_at[int(ordinal_text)] = float(seconds_text)
+            elif kind == "reset":
+                reset_at.add(int(rest))
+            else:
+                raise ValueError(kind)
+        except (ValueError, TypeError):
+            raise ValueError(
+                f"bad service chaos event {part!r}: expected kill@N, "
+                f"drop-ack@N, delay@N:SECONDS, or reset@N"
+            )
+    return {
+        "kill_at_commit": kill_at_commit,
+        "drop_ack_at": drop_ack_at,
+        "delay_response_at": delay_response_at,
+        "reset_at": reset_at,
+    }
+
+
+def validate_service_chaos_spec(spec: str) -> None:
+    """Raise ``ValueError`` naming the bad token if ``spec`` is malformed."""
+    _parse_service_chaos_tokens(spec)
+
+
+def parse_service_chaos_spec(
+    spec: str, state_dir: Optional[str] = None
+) -> ServiceChaos:
+    """Coordinator chaos grammar: comma-separated events.
+
+    * ``kill@N`` — kill the coordinator after its ``N``-th journaled commit;
+    * ``drop-ack@N`` — silently discard the ``N``-th worker ack;
+    * ``delay@N:SECONDS`` — stall the ``N``-th reply;
+    * ``reset@N`` — abort the connection delivering the ``N``-th message.
+
+    Pass a persistent ``state_dir`` (e.g. inside the journal directory) so
+    a restarted coordinator with the same spec does not re-fire events.
+    """
+    return ServiceChaos(state_dir=state_dir, **_parse_service_chaos_tokens(spec))
 
 
 def corrupt_checkpoint(path: str, mode: str = "garble", line: int = -1) -> None:

@@ -466,6 +466,108 @@ def _checked_loads(raw: str):
     return entry, None
 
 
+def sealed_line(entry: Dict) -> str:
+    """Serialize ``entry`` as one checkpoint-v2 journal line: canonical
+    JSON with a ``crc`` field sealing the payload.  The service job
+    journal (:mod:`repro.service.journal`) shares this line format with
+    campaign checkpoints so one reader/auditor covers both."""
+    return json.dumps(_seal(dict(entry)))
+
+
+def checked_line(raw: str):
+    """Public counterpart of :func:`sealed_line`: parse one sealed line →
+    ``(entry, None)`` or ``(None, "unparseable"|"crc")``."""
+    return _checked_loads(raw)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path`` (or ``path`` itself when it
+    is a directory), making a just-renamed or just-created entry durable.
+
+    ``os.replace`` makes a rename atomic but not durable: until the parent
+    directory's metadata reaches the disk, a power loss can roll the
+    rename back.  Best-effort — platforms that cannot open or fsync a
+    directory are skipped silently rather than failing the flush.
+    """
+    directory = path if os.path.isdir(path) else (os.path.dirname(path) or ".")
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def trial_entry(index: int, site: FaultSite, site_index: int, record) -> Dict:
+    """Canonical (unsealed) checkpoint entry for one completed trial.
+
+    This is the single wire/disk schema for trial results: checkpoint
+    lines, service acks, and cached service results all carry exactly
+    this dict, so "bit-identical records" can be asserted by comparing
+    entries directly.
+    """
+    entry = {
+        "i": index,
+        "site_index": site_index,
+        "occurrence": site.occurrence,
+        "bit": site.bit,
+        "outcome": record.outcome.value,
+        "status": record.status,
+        "cycles": record.cycles,
+    }
+    failure = getattr(record, "failure", None)
+    if failure is not None:
+        entry["failure"] = failure.as_dict()
+    recovery = getattr(record, "recovery", None)
+    if recovery is not None:
+        entry["recovery"] = recovery.as_dict()
+    return entry
+
+
+def entry_matches_site(entry: Dict, site: FaultSite, site_index: int) -> bool:
+    """Whether a persisted/wire entry matches the deterministic plan slot.
+
+    Guards resume and service commit alike: an entry whose identity
+    fields disagree with the locally sampled plan is discarded and the
+    trial re-runs.
+    """
+    return (
+        entry.get("site_index") == site_index
+        and entry.get("occurrence") == site.occurrence
+        and entry.get("bit") == site.bit
+    )
+
+
+def record_from_entry(entry: Dict, site: FaultSite, context: str):
+    """Reconstruct a ``TrialRecord`` from a checkpoint/wire entry.
+
+    ``context`` names the source in the error raised for an unknown
+    outcome string (forward-compat guard).
+    """
+    from .campaign import TrialRecord
+
+    failure = (
+        TrialFailure.from_dict(entry["failure"]) if entry.get("failure") else None
+    )
+    recovery = (
+        RecoveryTelemetry.from_dict(entry["recovery"])
+        if entry.get("recovery")
+        else None
+    )
+    return TrialRecord(
+        site,
+        parse_outcome(entry["outcome"], context),
+        entry["status"],
+        entry["cycles"],
+        failure=failure,
+        recovery=recovery,
+    )
+
+
 class CampaignCheckpoint:
     """Versioned, corruption-resistant JSONL checkpoint (format v2).
 
@@ -628,22 +730,9 @@ class CampaignCheckpoint:
 
     def append(self, index: int, site: FaultSite, site_index: int, record) -> None:
         assert self._open
-        entry = {
-            "i": index,
-            "site_index": site_index,
-            "occurrence": site.occurrence,
-            "bit": site.bit,
-            "outcome": record.outcome.value,
-            "status": record.status,
-            "cycles": record.cycles,
-        }
-        failure = getattr(record, "failure", None)
-        if failure is not None:
-            entry["failure"] = failure.as_dict()
-        recovery = getattr(record, "recovery", None)
-        if recovery is not None:
-            entry["recovery"] = recovery.as_dict()
-        self._record_lines.append(json.dumps(_seal(entry)))
+        self._record_lines.append(
+            sealed_line(trial_entry(index, site, site_index, record))
+        )
         self._pending += 1
         # An atomic flush rewrites the whole file, so amortise: the
         # interval grows with the file, keeping total flush work O(n log n).
@@ -662,6 +751,9 @@ class CampaignCheckpoint:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        # The data is durable (tmp fsynced above); make the *rename*
+        # durable too, or a power loss can resurrect the previous file.
+        fsync_directory(self.path)
         self._pending = 0
 
     def close(self) -> None:
@@ -897,29 +989,12 @@ def run_campaign(
                 if records[i] is not None:
                     continue
                 site = sites[i]
-                if (
-                    entry.get("site_index") != site_index_of[id(site.instruction)]
-                    or entry.get("occurrence") != site.occurrence
-                    or entry.get("bit") != site.bit
+                if not entry_matches_site(
+                    entry, site, site_index_of[id(site.instruction)]
                 ):
                     continue  # does not match the deterministic plan; re-run
-                failure = (
-                    TrialFailure.from_dict(entry["failure"])
-                    if entry.get("failure")
-                    else None
-                )
-                recovery = (
-                    RecoveryTelemetry.from_dict(entry["recovery"])
-                    if entry.get("recovery")
-                    else None
-                )
-                records[i] = TrialRecord(
-                    site,
-                    parse_outcome(entry["outcome"], f"checkpoint {checkpoint_path}"),
-                    entry["status"],
-                    entry["cycles"],
-                    failure=failure,
-                    recovery=recovery,
+                records[i] = record_from_entry(
+                    entry, site, f"checkpoint {checkpoint_path}"
                 )
                 stats.resumed += 1
             checkpoint.stats = stats

@@ -52,6 +52,22 @@ DEFAULT_BACKOFF_BASE = 0.05
 DEFAULT_BACKOFF_CAP = 2.0
 
 
+def backoff_delay(
+    consecutive_failures: int,
+    base: float = DEFAULT_BACKOFF_BASE,
+    cap: float = DEFAULT_BACKOFF_CAP,
+) -> float:
+    """Capped exponential backoff: ``base * 2^(n-1)``, clamped to ``cap``.
+
+    Shared by worker respawn (here) and service lease requeue
+    (:mod:`repro.service.coordinator`), so both retry ladders have one
+    shape and one pair of knobs.
+    """
+    if consecutive_failures <= 0:
+        return 0.0
+    return min(base * (2 ** (consecutive_failures - 1)), cap)
+
+
 class WorkerFailureError(RuntimeError):
     """A worker failed and the policy said to abort (or a trial raised)."""
 
@@ -413,9 +429,8 @@ def run_supervised(
         consecutive_failures += 1
         still_needed = delivered[0] < total
         if still_needed and respawns_done < policy.max_respawns:
-            delay = min(
-                policy.backoff_base * (2 ** (consecutive_failures - 1)),
-                policy.backoff_cap,
+            delay = backoff_delay(
+                consecutive_failures, policy.backoff_base, policy.backoff_cap
             )
             _bump(stats, "backoff_seconds", delay)
             respawn_at.append(time.monotonic() + delay)

@@ -485,6 +485,81 @@ declare(
     "Golden-prefix cycles skipped via ladder restores.", unit="cycles",
 )
 
+# campaign service (coordinator).  All non-deterministic: they count
+# real-world scheduling events — connects, lease churn, crash recovery —
+# which legitimately differ between otherwise bit-identical runs.
+declare(
+    "ipas_service_jobs_submitted_total", "counter",
+    "New jobs accepted and journaled by the coordinator.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_jobs_attached_total", "counter",
+    "Duplicate submissions attached to an already-running job.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_jobs_cached_total", "counter",
+    "Duplicate submissions served from completed results.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_jobs_completed_total", "counter",
+    "Jobs that ran (or resumed) to completion.", deterministic=False,
+)
+declare(
+    "ipas_service_jobs_recovered_total", "counter",
+    "In-flight jobs resumed from the journal at coordinator restart.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_trials_committed_total", "counter",
+    "Trial results durably committed to a job checkpoint.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_trials_resumed_total", "counter",
+    "Trials restored from a job checkpoint instead of re-executed.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_solo_trials_total", "counter",
+    "Trials the coordinator executed in-process (no workers reachable).",
+    deterministic=False,
+)
+declare(
+    "ipas_service_leases_granted_total", "counter",
+    "Trial-chunk leases handed to workers.", deterministic=False,
+)
+declare(
+    "ipas_service_leases_expired_total", "counter",
+    "Leases revoked past their heartbeat deadline.", deterministic=False,
+)
+declare(
+    "ipas_service_leases_requeued_total", "counter",
+    "Chunks returned to the queue after lease loss or worker disconnect.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_acks_committed_total", "counter",
+    "Worker acks accepted by the at-most-once commit path.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_acks_discarded_total", "counter",
+    "Stale or duplicate worker acks discarded without commit.",
+    deterministic=False,
+)
+declare(
+    "ipas_service_worker_connects_total", "counter",
+    "Worker hellos accepted.", deterministic=False,
+)
+declare(
+    "ipas_service_worker_disconnects_total", "counter",
+    "Worker connections lost (EOF, reset, or shutdown).",
+    deterministic=False,
+)
+
 
 def render_metrics_text(data: Dict) -> str:
     """Prometheus-exposition-style text for a registry snapshot dict.

@@ -43,6 +43,8 @@ __all__ = ["TraceWriter", "validate_trace"]
 CAMPAIGN_PID = 0
 #: pid grouping the per-worker trial lanes.
 WORKER_PID = 1
+#: pid of the service-coordinator lane (job lifecycle, lease churn).
+SERVICE_PID = 2
 
 
 class _Phase:
@@ -133,6 +135,11 @@ class TraceWriter:
             self._named_lanes.add((pid, tid))
             if pid == WORKER_PID:
                 self._meta_name(pid, tid, f"worker-{tid}")
+            elif pid == SERVICE_PID:
+                # Lazy like the worker lanes: the coordinator lane only
+                # appears in traces of runs that actually went through
+                # the service.
+                self._meta_name(pid, None, "coordinator")
 
     def complete(
         self,
@@ -207,6 +214,11 @@ class TraceWriter:
     def event(self, name: str, wid: int, **args) -> None:
         """Instant event on a worker lane (rollback, resync, quarantine)."""
         self.instant(name, "event", WORKER_PID, wid, args or None)
+
+    def service_event(self, name: str, **args) -> None:
+        """Instant event on the coordinator lane (job submitted, lease
+        expired, ack discarded, serial fallback, job done)."""
+        self.instant(name, "service", SERVICE_PID, 0, args or None)
 
     def close(self) -> None:
         if self._fh is not None:

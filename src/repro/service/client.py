@@ -1,0 +1,132 @@
+"""Blocking client for the campaign service (used by the CLI and tests)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+from .protocol import Channel
+
+
+class ServiceError(RuntimeError):
+    """The coordinator refused a request (``{"ok": false}`` reply)."""
+
+
+def read_port_file(path: str, timeout: float = 10.0) -> int:
+    """Poll a coordinator's ``--port-file`` until it appears.
+
+    The file is written atomically after the socket binds, so a
+    readable integer means the service is accepting connections.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with open(path) as fh:
+                text = fh.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"no coordinator port in {path!r} after {timeout}s")
+        time.sleep(0.05)
+
+
+class ServiceClient:
+    """One connection to a coordinator; methods are simple RPCs.
+
+    ``watch`` temporarily dedicates the connection to the job's event
+    stream; it hands the connection back once the job reaches a terminal
+    state, so a single client can submit → watch → fetch results.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0):
+        self.timeout = timeout
+        self.channel = Channel(host, port, timeout=timeout)
+
+    @classmethod
+    def from_port_file(cls, path: str, timeout: float = 30.0) -> "ServiceClient":
+        return cls(port=read_port_file(path), timeout=timeout)
+
+    def _request(self, message: Dict) -> Dict:
+        reply = self.channel.request(message, timeout=self.timeout)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error") or f"request {message.get('op')!r} failed")
+        return reply
+
+    def submit(self, spec: Dict) -> Dict:
+        """Submit a campaign spec; idempotent on the campaign fingerprint.
+
+        The reply's ``disposition`` says how this submission was treated:
+        ``submitted`` (new job), ``attached`` (identical job already
+        running), or ``cached`` (already done); ``state`` is the job's
+        own lifecycle state.
+        """
+        return self._request({"op": "submit", "spec": spec})
+
+    def status(self, job: Optional[str] = None) -> Dict:
+        message: Dict = {"op": "status"}
+        if job is not None:
+            message["job"] = job
+        return self._request(message)
+
+    def watch(self, job: str) -> Iterator[Dict]:
+        """Yield progress events until the job is done or failed."""
+        snapshot = self._request({"op": "watch", "job": job})
+        yield snapshot
+        if snapshot.get("state") in ("done", "failed"):
+            return
+        while True:
+            event = self.channel.recv(timeout=self.timeout)
+            if event is None:
+                raise ServiceError(f"connection lost while watching {job}")
+            yield event
+            if event.get("op") in ("done", "failed"):
+                return
+
+    def wait(self, job: str, poll: float = 0.1, timeout: float = 120.0) -> Dict:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job} still {status.get('state')} after {timeout}s")
+            time.sleep(poll)
+
+    def results(self, job: str) -> List[Dict]:
+        """Canonical trial entries in trial order (the bit-identity unit)."""
+        return self._request({"op": "results", "job": job})["entries"]
+
+    def metrics(self) -> Dict:
+        return self._request({"op": "metrics"})["metrics"]
+
+    def ping(self) -> bool:
+        try:
+            return self._request({"op": "ping"}).get("op") == "pong"
+        except (OSError, ServiceError):
+            return False
+
+    def shutdown(self) -> None:
+        self._request({"op": "shutdown"})
+
+    def close(self) -> None:
+        self.channel.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parse_connect(text: str) -> "tuple[str, int]":
+    """``HOST:PORT`` or bare ``PORT`` → ``(host, port)``."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError:
+        raise ValueError(f"bad service address {text!r}: expected HOST:PORT")

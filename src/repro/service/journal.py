@@ -1,0 +1,93 @@
+"""Durable write-ahead job journal for the coordinator.
+
+Two layers of durability, both in the checkpoint-v2 line format
+(canonical JSON sealed with a CRC32, torn-tail tolerant):
+
+* ``jobs.jsonl`` — the *job* journal this module owns.  A ``job`` line
+  is appended (and fsynced, file and directory) before a submission is
+  acknowledged; a ``done`` line marks completion.  Replaying it after a
+  coordinator crash yields every job that must resume.
+* ``<job>.jsonl`` — one :class:`repro.faults.parallel.CampaignCheckpoint`
+  per job, written by the coordinator's commit path.  Trial-level resume
+  is literally checkpoint resume; no new format, no new reader.
+
+Append-only with per-line CRCs rather than rewrite-on-flush: the job
+stream is tiny and strictly monotone, so ``O_APPEND`` + fsync is both
+simpler and cheaper than the checkpoint's whole-file atomic rename.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..faults.parallel import checked_line, fsync_directory, sealed_line
+
+
+class JobJournal:
+    """The coordinator's crash-recovery log of submitted jobs."""
+
+    FILENAME = "jobs.jsonl"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, self.FILENAME)
+        self._fh = None
+
+    def job_path(self, job_id: str) -> str:
+        """Where the job's trial checkpoint lives."""
+        return os.path.join(self.directory, f"{job_id}.jsonl")
+
+    def load(self) -> Dict[str, Dict]:
+        """Replay the journal → ``{job_id: {"spec": ..., "done": bool}}``.
+
+        Torn or CRC-damaged lines are skipped; a job whose ``job`` line
+        was lost mid-write was never acknowledged, so dropping it is
+        correct (the client retries, and retries are idempotent).
+        """
+        jobs: Dict[str, Dict] = {}
+        try:
+            with open(self.path) as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return jobs
+        for raw in lines:
+            if not raw:
+                continue
+            entry, _error = checked_line(raw)
+            if entry is None:
+                continue
+            job_id = entry.get("job")
+            if not isinstance(job_id, str):
+                continue
+            if entry.get("op") == "job" and isinstance(entry.get("spec"), dict):
+                jobs.setdefault(job_id, {"spec": entry["spec"], "done": False})
+            elif entry.get("op") == "done" and job_id in jobs:
+                jobs[job_id]["done"] = True
+        return jobs
+
+    def open(self) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+            fsync_directory(self.path)
+
+    def _append(self, entry: Dict) -> None:
+        assert self._fh is not None, "journal not opened"
+        self._fh.write(sealed_line(entry) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_job(self, job_id: str, spec: Dict) -> None:
+        """WAL the submission — must complete before the submit ack."""
+        self._append({"op": "job", "job": job_id, "spec": spec})
+
+    def record_done(self, job_id: str) -> None:
+        self._append({"op": "done", "job": job_id})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None

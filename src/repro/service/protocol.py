@@ -1,0 +1,113 @@
+"""Line-delimited JSON framing for the campaign service.
+
+One message per line, UTF-8 JSON, ``\\n``-terminated — trivially
+inspectable with ``nc`` and immune to partial-read ambiguity: a line
+without its terminator is by definition torn and the connection is
+treated as dead.  The coordinator side is asyncio
+(:func:`read_message` / :func:`send_message`); workers and clients use
+the blocking :class:`Channel`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Optional
+
+#: refuse pathological frames (a campaign ack for a whole chunk of trials
+#: with recovery telemetry is a few KB; 32 MiB is three orders past any
+#: legitimate message).
+MAX_MESSAGE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a framed JSON object."""
+
+
+def encode(message: Dict) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> Dict:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds protocol limit")
+    try:
+        message = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame is {type(message).__name__}, expected object")
+    return message
+
+
+async def read_message(reader) -> Optional[Dict]:
+    """Next message from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        # EOF mid-line: the peer died while writing; the torn frame is
+        # discarded exactly like a torn checkpoint line.
+        return None
+    return decode(line)
+
+
+def send_message(writer, message: Dict) -> None:
+    """Queue one message on an asyncio stream writer (drain separately)."""
+    writer.write(encode(message))
+
+
+class Channel:
+    """Blocking LDJSON channel over one TCP connection (worker/client side).
+
+    All reads honour a timeout; a timeout or EOF surfaces as ``OSError``
+    family exceptions the callers' reconnect loops handle uniformly.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self.sock.makefile("rb")
+
+    def send(self, message: Dict) -> None:
+        self.sock.sendall(encode(message))
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict]:
+        """Next message; ``None`` on EOF; ``socket.timeout`` on deadline."""
+        if timeout is not None:
+            self.sock.settimeout(timeout)
+        line = self._rfile.readline(MAX_MESSAGE_BYTES + 1)
+        if not line:
+            return None
+        if not line.endswith(b"\n"):
+            return None
+        return decode(line)
+
+    def request(self, message: Dict, timeout: Optional[float] = None) -> Dict:
+        """Send and await the single reply; raises on EOF."""
+        self.send(message)
+        reply = self.recv(timeout)
+        if reply is None:
+            raise ConnectionError("connection closed before reply")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

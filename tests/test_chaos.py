@@ -244,6 +244,48 @@ class TestCheckpointCorruption:
         assert_identical(resumed, serial_baseline)
         assert resumed.stats.resumed == N_TRIALS - 2
 
+    def test_torn_header_discarded_and_rerun(self, serial_baseline, tmp_path):
+        # Crash mid-write of the header itself (the stats-bearing line 0),
+        # record lines intact: the whole file must be discarded — records
+        # can't be trusted against an unverifiable fingerprint — and the
+        # campaign re-runs from scratch, bit-identically.
+        path, _ = self._checkpointed_run(tmp_path)
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.warns(CheckpointWarning, match="unreadable header"):
+            resumed = make_campaign().run(N_TRIALS, seed=SEED, checkpoint_path=path)
+        assert_identical(resumed, serial_baseline)
+        assert resumed.stats.resumed == 0
+
+    def test_garbled_header_discarded_and_rerun(self, serial_baseline, tmp_path):
+        # A silent bit-flip inside the header (CRC mismatch, still valid
+        # JSON) is treated exactly like a torn one.
+        path, _ = self._checkpointed_run(tmp_path)
+        corrupt_checkpoint(path, mode="garble", line=0)
+        with pytest.warns(CheckpointWarning, match="unreadable header"):
+            resumed = make_campaign().run(N_TRIALS, seed=SEED, checkpoint_path=path)
+        assert_identical(resumed, serial_baseline)
+        assert resumed.stats.resumed == 0
+
+    def test_header_only_truncation(self, serial_baseline, tmp_path):
+        path, _ = self._checkpointed_run(tmp_path)
+        corrupt_checkpoint(path, mode="truncate", line=0)  # drops records too
+        with pytest.warns(CheckpointWarning, match="unreadable header"):
+            resumed = make_campaign().run(N_TRIALS, seed=SEED, checkpoint_path=path)
+        assert_identical(resumed, serial_baseline)
+        assert resumed.stats.resumed == 0
+
+    def test_strict_resume_raises_on_torn_header(self, tmp_path):
+        path, _ = self._checkpointed_run(tmp_path)
+        corrupt_checkpoint(path, mode="garble", line=0)
+        with pytest.raises(CheckpointMismatchError, match="unreadable header"):
+            make_campaign().run(
+                N_TRIALS, seed=SEED, checkpoint_path=path, strict_resume=True
+            )
+
     def test_strict_resume_raises_on_mismatch(self, tmp_path):
         path = str(tmp_path / "ck.jsonl")
         with open(path, "w") as fh:
@@ -294,6 +336,13 @@ class TestVerifyCheckpoint:
         report = verify_checkpoint(str(tmp_path / "absent.jsonl"))
         assert not report["exists"]
         assert report["error"]
+
+    def test_reports_unreadable_header(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        make_campaign().run(N_TRIALS, seed=SEED, checkpoint_path=path)
+        corrupt_checkpoint(path, mode="garble", line=0)
+        report = verify_checkpoint(path)
+        assert "unreadable header" in report["error"]
 
 
 class TestInterruptResumability:

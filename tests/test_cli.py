@@ -177,3 +177,65 @@ class TestAnalyze:
             ["analyze", "is", "--risk-threshold", "0.5", "--top", "3"]
         )
         assert args.risk_threshold == 0.5 and args.top == 3
+
+
+class TestChaosSpecValidation:
+    """--chaos specs are rejected at argparse time, naming the bad token,
+    instead of blowing up (or worse, being ignored) mid-campaign."""
+
+    def test_inject_accepts_good_spec(self):
+        args = build_parser().parse_args(
+            ["inject", "is", "--chaos", "kill@7,hang@12:3"]
+        )
+        assert args.chaos == "kill@7,hang@12:3"
+
+    def test_inject_rejects_bad_spec_naming_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["inject", "is", "--chaos", "explode@7"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "explode@7" in err
+        assert "kill@IDX" in err
+
+    def test_serve_accepts_good_spec(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "j", "--chaos", "kill@2,drop-ack@1"]
+        )
+        assert args.chaos == "kill@2,drop-ack@1"
+
+    def test_serve_rejects_bad_spec_naming_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["serve", "--journal", "j", "--chaos", "kaboom@3"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "kaboom@3" in err
+        assert "drop-ack@N" in err
+
+    def test_serve_rejects_worker_grammar(self, capsys):
+        # The two grammars must not leak into each other.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--journal", "j", "--chaos", "hang@2:1"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inject", "is", "--chaos", "drop-ack@1"])
+
+
+class TestServiceCommands:
+    def test_submit_requires_address(self, capsys):
+        assert main(["submit", "fft", "--trials", "4"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_status_requires_address(self, capsys):
+        assert main(["status"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_worker_requires_address(self, capsys):
+        assert main(["worker"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_serve_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
