@@ -297,6 +297,99 @@ def format_obs_report(report: dict) -> str:
     )
 
 
+#: fault-model A/B: serial throughput per registered corruption model.
+FAULTMODEL_OUTPUT = REPO_ROOT / "BENCH_faultmodels.json"
+FAULTMODEL_CONFIG = ("fft", 1)
+FAULTMODEL_TRIALS = 120
+FAULTMODEL_REPEATS = 3
+
+
+def run_faultmodel_bench(
+    name: str = FAULTMODEL_CONFIG[0],
+    input_id: int = FAULTMODEL_CONFIG[1],
+    trials: int = FAULTMODEL_TRIALS,
+    repeats: int = FAULTMODEL_REPEATS,
+) -> dict:
+    """Serial throughput for every registered fault model on one workload.
+
+    The ``transient-1bit`` row doubles as a regression guard: the
+    pluggable-model layer must not slow the default path, so its rate is
+    compared against the fft serial rate recorded in
+    ``BENCH_campaign.json`` (when present) and must stay within an
+    order-of-magnitude band — wide enough for noisy shared CI boxes,
+    tight enough to catch an accidental per-trial recompile.
+    """
+    from repro.faults.models import FAULT_MODELS
+
+    workload = get_workload(name)
+
+    def build(spec):
+        campaign = Campaign(
+            workload.make_interpreter(input_id),
+            verifier=workload.verifier(),
+            entry=workload.entry,
+            budget_factor=workload.budget_factor,
+            fault_model=spec,
+        )
+        campaign.prepare()
+        return campaign
+
+    report = {
+        "kind": "ipas-faultmodel-bench",
+        "workload": name,
+        "input_id": input_id,
+        "trials": trials,
+        "repeats": repeats,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "models": {},
+    }
+    for spec in FAULT_MODELS:
+        result, rate = _best_of(build(spec), trials, repeats)
+        report["models"][spec] = {
+            "trials_per_second": rate,
+            "outcomes": result.counts.as_dict(),
+        }
+
+    default_rate = report["models"]["transient-1bit"]["trials_per_second"]
+    reference = None
+    if OUTPUT.exists():
+        try:
+            recorded = json.loads(OUTPUT.read_text())
+            reference = recorded["workloads"][name]["serial_trials_per_second"]
+        except (ValueError, KeyError):
+            reference = None
+    report["reference_trials_per_second"] = reference
+    if reference:
+        ratio = default_rate / reference
+        report["default_vs_reference"] = ratio
+        if ratio < 0.1:
+            raise AssertionError(
+                f"transient-1bit throughput regressed an order of magnitude "
+                f"vs BENCH_campaign.json ({default_rate:.1f} vs "
+                f"{reference:.1f} trials/s)"
+            )
+    return report
+
+
+def format_faultmodel_report(report: dict) -> str:
+    lines = [
+        f"fault-model throughput — {report['workload']} input "
+        f"{report['input_id']}, {report['trials']} serial trials, best of "
+        f"{report['repeats']}",
+        f"{'model':>22}  {'trials/s':>9}",
+    ]
+    for spec, entry in report["models"].items():
+        lines.append(f"{spec:>22}  {entry['trials_per_second']:9.1f}")
+    if report.get("reference_trials_per_second"):
+        lines.append(
+            f"  default vs BENCH_campaign.json reference: "
+            f"{report['default_vs_reference']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def format_report(report: dict) -> str:
     lines = [
         f"campaign throughput — {report['trials']} trials, "
@@ -336,6 +429,16 @@ def test_warmstart_throughput(benchmark, report):
         assert entry["warm_trials_per_second"] > 0
 
 
+def test_faultmodel_throughput(benchmark, report):
+    from conftest import one_shot
+
+    result = one_shot(benchmark, run_faultmodel_bench)
+    FAULTMODEL_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+    report("faultmodel_throughput", format_faultmodel_report(result))
+    for spec, entry in result["models"].items():
+        assert entry["trials_per_second"] > 0
+
+
 def test_obs_overhead(benchmark, report):
     from conftest import one_shot
 
@@ -348,7 +451,12 @@ def test_obs_overhead(benchmark, report):
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if "--obs-overhead" in argv:
+    if "--fault-model" in argv:
+        result = run_faultmodel_bench()
+        FAULTMODEL_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
+        print(format_faultmodel_report(result))
+        print(f"\nwrote {FAULTMODEL_OUTPUT}")
+    elif "--obs-overhead" in argv:
         result = measure_obs_overhead()
         OBS_OUTPUT.write_text(json.dumps(result, indent=1) + "\n")
         print(format_obs_report(result))

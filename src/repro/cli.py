@@ -218,6 +218,7 @@ def cmd_inject(args) -> int:
         recovery=recovery,
         warm_start=args.warm_start,
         snapshot_stride=args.snapshot_stride or None,
+        fault_model=args.fault_model,
     )
 
     if args.verify_checkpoint:
@@ -249,7 +250,11 @@ def cmd_inject(args) -> int:
         obs=obs,
     )
     out = _status_stream(args)
-    _say(out, f"{args.trials} single-bit faults injected into {workload.name}:")
+    model = campaign.fault_model
+    if model.name == "transient-1bit":
+        _say(out, f"{args.trials} single-bit faults injected into {workload.name}:")
+    else:
+        _say(out, f"{args.trials} {model.spec()} faults injected into {workload.name}:")
     for outcome in Outcome:
         count = result.counts.counts[outcome]
         if outcome is Outcome.TRIAL_FAILURE and count == 0:
@@ -309,7 +314,11 @@ def _write_inject_artifacts(args, campaign, result, obs, out) -> int:
     if args.heatmap:
         from .obs import build_heatmap, write_heatmap
 
-        heatmap = build_heatmap(result.records, campaign.interp.module)
+        heatmap = build_heatmap(
+            result.records,
+            campaign.interp.module,
+            model=campaign.fault_model,
+        )
         if args.heatmap == "-":
             json_module.dump(heatmap, sys.stdout, indent=1)
             sys.stdout.write("\n")
@@ -654,6 +663,18 @@ def _chaos_spec(text: str) -> str:
 
     try:
         validate_chaos_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _fault_model_spec(text: str) -> str:
+    """argparse type for ``inject --fault-model``: validate the
+    ``NAME[:key=value,...]`` grammar eagerly, naming the bad token."""
+    from .faults.models import validate_fault_model_spec
+
+    try:
+        validate_fault_model_spec(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
     return text
@@ -1050,6 +1071,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate the --checkpoint file (CRCs + fingerprint), report "
         "recoverable vs. lost trials, and exit without injecting",
+    )
+    p_inject.add_argument(
+        "--fault-model",
+        metavar="SPEC",
+        default=None,
+        type=_fault_model_spec,
+        help="corruption model: NAME[:key=value,...] — transient-1bit "
+        "(default), transient-multibit:k=K,adjacent=BOOL, pattern:kind=KIND, "
+        "intermittent:p=P,window=W, persistent; a malformed spec is "
+        "rejected before the campaign starts",
     )
     p_inject.add_argument(
         "--chaos",

@@ -6,6 +6,7 @@ so regenerating one figure after another over the same campaigns is cheap.
 """
 
 from . import cache
+from .fault_models import format_fault_model_table, run_fault_model_evaluation
 from .full_eval import best_by_ideal_point, run_full_evaluation
 from .scaling import DEFAULT_RANKS, run_scalability
 from .inputs import run_input_variation
@@ -21,6 +22,7 @@ from .training import best_protected_variant, clear_memos, get_pipeline
 
 __all__ = [
     "cache",
+    "format_fault_model_table", "run_fault_model_evaluation",
     "best_by_ideal_point", "run_full_evaluation",
     "DEFAULT_RANKS", "run_scalability", "run_input_variation",
     "run_cross_workload", "run_cross_workload_matrix",

@@ -6,6 +6,22 @@ from .model import (
     is_injectable,
     result_bits,
 )
+from .models import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    FaultModel,
+    InjectionSpec,
+    Intermittent,
+    PatternFault,
+    Persistent,
+    PlannedFault,
+    Transient1Bit,
+    TransientMultiBit,
+    get_fault_model,
+    make_corrupter,
+    parse_fault_model_spec,
+    validate_fault_model_spec,
+)
 from .outcomes import (
     Outcome,
     OutcomeCounts,
@@ -55,6 +71,10 @@ from .chaos import (
 
 __all__ = [
     "FaultSite", "injectable_instructions", "is_injectable", "result_bits",
+    "DEFAULT_FAULT_MODEL", "FAULT_MODELS", "FaultModel", "InjectionSpec",
+    "Intermittent", "PatternFault", "Persistent", "PlannedFault",
+    "Transient1Bit", "TransientMultiBit", "get_fault_model",
+    "make_corrupter", "parse_fault_model_spec", "validate_fault_model_spec",
     "Outcome", "OutcomeCounts", "margin_of_error", "parse_outcome",
     "soc_reduction_percent",
     "Campaign", "CampaignResult", "OutputVerifier", "TrialRecord",

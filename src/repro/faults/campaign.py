@@ -28,6 +28,7 @@ from ..ir.module import Module
 from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
 from ..recover.warm import WarmStart
 from .model import FaultSite, injectable_instructions, is_injectable, result_bits
+from .models import get_fault_model
 from .outcomes import Outcome, OutcomeCounts, parse_outcome
 
 
@@ -214,11 +215,16 @@ class Campaign:
         recovery: Optional[RecoveryPolicy] = None,
         warm_start: bool = False,
         snapshot_stride: Optional[int] = None,
+        fault_model=None,
     ):
         self.interp = interp
         self.verifier = verifier or OutputVerifier()
         self.entry = entry
         self.budget_factor = budget_factor
+        #: the pluggable corruption model (None = transient single-bit flip,
+        #: byte-identical to the historical behavior). Accepts a FaultModel
+        #: instance or a spec string like ``"transient-multibit:k=3"``.
+        self.fault_model = get_fault_model(fault_model)
         #: RecoveryPolicy arming rollback re-execution for every trial (and
         #: the golden run, so snapshot cost lands in the cycle baseline);
         #: None keeps the historical fail-stop behavior byte-identical.
@@ -349,28 +355,41 @@ class Campaign:
         """
         self.prepare()
         rng = random.Random(seed)
-        return [self.sample_site(rng) for _ in range(n_trials)]
+        model = self.fault_model
+        return [model.sample_site(self, rng) for _ in range(n_trials)]
 
     # -- execution ---------------------------------------------------------------------
 
     def run_site(self, site: FaultSite) -> TrialRecord:
         """Execute one injection run and classify its outcome."""
         self.prepare()
+        model = self.fault_model
         warm = None
         if self.warm_start:
             ladder = self.ensure_ladder()
-            snap, inj_seen = ladder.plan_site(self.interp.cm, site)
+            # Multi-shot models may fire before the planned occurrence:
+            # plan the rung against the *first* possible firing so the
+            # restored prefix never skips a corruption.
+            first = model.first_occurrence(site)
+            plan_at = (
+                site
+                if first == site.occurrence
+                else FaultSite(site.instruction, first, site.bit)
+            )
+            snap, inj_seen = ladder.plan_site(self.interp.cm, plan_at)
             warm = WarmStart(
                 ladder,
                 snap,
                 inj_seen=inj_seen,
                 # Resync must not shortcut recovery trials: their rollback
                 # telemetry has to replay in full to stay bit-identical.
-                resync=self.recovery is None,
+                # Multi-shot faults keep corrupting after the first firing,
+                # so their tails can never rendezvous with the golden run.
+                resync=self.recovery is None and not model.multi_shot,
             )
         result = self.interp.run(
             self.entry,
-            injection=site.as_injection(),
+            injection=model.injection_for(site),
             cycle_budget=self.cycle_budget,
             recovery=self.recovery,
             warm=warm,

@@ -49,13 +49,24 @@ def injectable_instructions(module: Module) -> List[Instruction]:
 
 
 def result_bits(inst: Instruction) -> int:
-    """Number of flippable bits in the instruction's result value."""
+    """Number of flippable bits in the instruction's result value.
+
+    Raises :class:`TypeError` for result types the fault model has no
+    register representation for (void, labels, aggregates) — such an
+    instruction should never have passed :func:`is_injectable`, so a
+    clear error here beats an ``AttributeError`` deep in a campaign.
+    """
     t = inst.type
     if t.is_pointer():
         return 64
-    if t.is_float():
-        return t.bits  # type: ignore[attr-defined]
-    return t.bits  # type: ignore[attr-defined]
+    if t.is_float() or t.is_integer():
+        bits = getattr(t, "bits", None)
+        if isinstance(bits, int) and bits > 0:
+            return bits
+    raise TypeError(
+        f"no register representation for {inst.opcode!r} result type "
+        f"{t!r}: expected a pointer, float, or sized integer"
+    )
 
 
 class FaultSite:

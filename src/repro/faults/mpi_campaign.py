@@ -25,6 +25,7 @@ from ..parallel.mpi import JobResult, MpiJob
 from ..recover.runtime import RecoveryPolicy, RecoveryTelemetry
 from .campaign import OutputVerifier
 from .model import FaultSite, injectable_instructions, result_bits
+from .models import get_fault_model
 from .outcomes import Outcome, OutcomeCounts
 from .sanitizer import sanitize_records
 
@@ -99,7 +100,19 @@ class MpiCampaign:
         budget_factor: float = 10.0,
         recovery: Optional[RecoveryPolicy] = None,
         warm_start: bool = False,
+        fault_model=None,
     ):
+        model = get_fault_model(fault_model)
+        if model.name != "transient-1bit":
+            # The MPI sampler replicates the single-process RNG order
+            # inline; non-default models would need their planning threaded
+            # through the rank dimension too.  Refuse rather than silently
+            # running the wrong corruption.
+            raise NotImplementedError(
+                f"MpiCampaign only supports the default transient-1bit "
+                f"fault model, got {model.spec()!r}"
+            )
+        self.fault_model = model
         if warm_start:
             # A multi-rank job has no consistent cross-rank snapshot: rank
             # threads rendezvous inside collectives, so a cycle-stride ladder

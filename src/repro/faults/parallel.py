@@ -590,11 +590,15 @@ class CampaignCheckpoint:
         n_trials: int,
         seed: int,
         flush_interval: int = DEFAULT_CHUNK,
+        model: str = "transient-1bit",
     ):
         self.path = path
         self.fingerprint = fingerprint
         self.n_trials = n_trials
         self.seed = seed
+        #: fault-model spec of the campaign writing/resuming this file.
+        #: Headers without the key are legacy files: always transient-1bit.
+        self.model = model
         self.flush_interval = flush_interval
         self._record_lines: List[str] = []
         self._pending = 0
@@ -633,6 +637,16 @@ class CampaignCheckpoint:
             self.mismatch = (
                 f"unsupported checkpoint version {header.get('version')!r} "
                 f"(this engine writes v{CHECKPOINT_VERSION})"
+            )
+        elif header.get("model", "transient-1bit") != self.model:
+            # Trial records from different corruption models must never be
+            # merged — refuse outright rather than warn-and-discard, so the
+            # operator consciously picks a new checkpoint path.
+            raise CheckpointMismatchError(
+                f"{self.path}: fault-model mismatch: checkpoint was written "
+                f"by {header.get('model', 'transient-1bit')!r} but this "
+                f"campaign runs {self.model!r}; resuming would mix "
+                f"incompatible trial plans — use a fresh checkpoint path"
             )
         elif header.get("fingerprint") != self.fingerprint:
             self.mismatch = (
@@ -723,6 +737,7 @@ class CampaignCheckpoint:
             "fingerprint": self.fingerprint,
             "n_trials": self.n_trials,
             "seed": self.seed,
+            "model": self.model,
         }
         if self.stats is not None:
             header["stats"] = self.stats.registry.as_dict()
@@ -888,6 +903,12 @@ def campaign_fingerprint(campaign, n_trials: int, seed: int) -> str:
         # execution engines differ — keep the checkpoints apart so a warm
         # resume never silently validates cold results (and vice versa).
         h.update(f"warm1|{campaign.effective_stride}|".encode())
+    model = getattr(campaign, "fault_model", None)
+    if model is not None and model.signature():
+        # The default transient single-bit model signs as "" so historical
+        # fingerprints survive byte-identical; every other model stamps its
+        # full parameterised spec into the plan identity.
+        h.update(f"{model.signature()}|".encode())
     for inst, count in campaign._sites:
         fn = inst.function
         h.update(f"{fn.name if fn else '?'}:{inst.opcode}:{count};".encode())
@@ -976,8 +997,10 @@ def run_campaign(
     if checkpoint_path:
         with phase("checkpoint-resume"):
             fingerprint = campaign_fingerprint(campaign, n_trials, seed)
+            model = getattr(campaign, "fault_model", None)
             checkpoint = CampaignCheckpoint(
-                checkpoint_path, fingerprint, n_trials, seed
+                checkpoint_path, fingerprint, n_trials, seed,
+                model=model.spec() if model is not None else "transient-1bit",
             )
             completed = checkpoint.load(strict=strict_resume)
             if checkpoint.prior_stats is not None:
@@ -1147,7 +1170,11 @@ def run_campaign(
         # would be quarantined as TRIAL_FAILURE, so the impossible-SOC check
         # must run here, after assembly, where it can actually abort the run.
         with phase("sanitize"):
-            sanitize_records(records, campaign.interp.module)
+            sanitize_records(
+                records,
+                campaign.interp.module,
+                model=getattr(campaign, "fault_model", None),
+            )
     finally:
         if obs is not None:
             # Seal the trace and dump the metrics registry even when the

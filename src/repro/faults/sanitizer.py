@@ -84,14 +84,21 @@ def coverage_for(module: Module) -> Optional[CoverageAnalysis]:
     return cached
 
 
-def sanitize_records(records: Iterable, module: Module) -> None:
+def sanitize_records(records: Iterable, module: Module, model=None) -> None:
     """Raise :class:`CoverageViolation` on the first impossible SOC record.
 
     ``records`` may contain ``None`` holes (skipped trials) and records of
     any campaign flavour — anything with ``.outcome`` and
     ``.site.instruction`` participates.
+
+    ``model`` is the campaign's :class:`~repro.faults.models.FaultModel`:
+    the prover's claim is stated for single transient bit-flips, so only
+    models with ``sanitizer_covered`` are swept — a multi-bit or
+    persistent SOC at a duplicated site falsifies nothing.
     """
     if not sanitizer_enabled():
+        return
+    if model is not None and not model.sanitizer_covered:
         return
     coverage = None
     for record in records:

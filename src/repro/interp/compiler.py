@@ -194,13 +194,18 @@ class CompiledModule:
         except KeyError:
             raise KeyError(f"{inst!r} is not a compiled value-producing instruction") from None
 
-    def injected_block_fn(self, inst: Instruction) -> Tuple[int, int, Callable]:
+    def injected_block_fn(
+        self, inst: Instruction, mode: str = "1bit"
+    ) -> Tuple[int, int, Callable]:
         """Compile (or fetch) the injection variant of the block holding
-        ``inst``.  Returns (cfi, block_index, block_fn)."""
+        ``inst``.  Returns (cfi, block_index, block_fn).  ``mode`` picks
+        the injection epilogue: ``"1bit"`` (the legacy inline flip),
+        ``"once"`` (one firing through ``state.inj_corrupt``), or
+        ``"multi"`` (multi-shot arming via ``state.inj_fire``)."""
         record = self.record_for(inst)
         cf = self.cfuncs[record.cfi]
         fn = self._compiler.compile_block(
-            cf, record.block_index, inject_after=inst
+            cf, record.block_index, inject_after=inst, mode=mode
         )
         return record.cfi, record.block_index, fn
 
@@ -210,6 +215,7 @@ class CompiledModule:
         bi: int,
         call_k: int,
         inject_after: Optional[Instruction] = None,
+        mode: str = "1bit",
     ) -> Callable:
         """Compile (or fetch) a warm-start *resume* variant of a block.
 
@@ -224,7 +230,7 @@ class CompiledModule:
         resumed call itself).
         """
         return self._compiler.compile_resume(
-            self.cfuncs[cfi], bi, call_k, inject_after
+            self.cfuncs[cfi], bi, call_k, inject_after, mode
         )
 
 
@@ -234,8 +240,8 @@ class _Compiler:
     def __init__(self, cm: CompiledModule):
         self.cm = cm
         self._slot_of: Dict[int, Dict[int, int]] = {}  # cfi -> id(value) -> slot
-        self._inject_cache: Dict[Tuple[int, int], Callable] = {}
-        self._resume_cache: Dict[Tuple[int, int, int, int], Callable] = {}
+        self._inject_cache: Dict[Tuple[int, int, str], Callable] = {}
+        self._resume_cache: Dict[Tuple[int, int, int, int, str], Callable] = {}
 
     # -- slot assignment ---------------------------------------------------------
 
@@ -307,15 +313,21 @@ class _Compiler:
             cf.block_fns.append(fn)
 
     def compile_block(
-        self, cf: CompiledFunction, block_index_local: int, inject_after: Instruction
+        self,
+        cf: CompiledFunction,
+        block_index_local: int,
+        inject_after: Instruction,
+        mode: str = "1bit",
     ) -> Callable:
-        key = (cf.index, id(inject_after))
+        key = (cf.index, id(inject_after), mode)
         cached = self._inject_cache.get(key)
         if cached is not None:
             return cached
         slots = self._slot_of[cf.index]
         block_index = {id(b): i for i, b in enumerate(cf.fn.blocks)}
-        _, fn = self._gen_block(cf, block_index_local, slots, block_index, inject_after)
+        _, fn = self._gen_block(
+            cf, block_index_local, slots, block_index, inject_after, mode
+        )
         self._inject_cache[key] = fn
         return fn
 
@@ -325,6 +337,7 @@ class _Compiler:
         bi: int,
         call_k: int,
         inject_after: Optional[Instruction],
+        mode: str = "1bit",
     ) -> Callable:
         """Generate the warm-start resume variant of one block.
 
@@ -338,6 +351,7 @@ class _Compiler:
             bi,
             call_k,
             id(inject_after) if inject_after is not None else 0,
+            mode,
         )
         cached = self._resume_cache.get(key)
         if cached is not None:
@@ -373,14 +387,14 @@ class _Compiler:
         else:
             emit("    state.resume_call()")
         if pending is inject_after:
-            self._gen_injection(pending, slots, emit)
+            self._gen_injection(pending, slots, emit, mode)
         for inst in remainder:
             if inst.is_terminator():
                 self._gen_terminator(inst, cf, slots, block_index, emit)
             else:
                 self._gen_instruction(inst, slots, emit)
                 if inst is inject_after:
-                    self._gen_injection(inst, slots, emit)
+                    self._gen_injection(inst, slots, emit, mode)
         source = "\n".join(lines) + "\n"
         namespace: Dict[str, object] = {}
         code = compile(
@@ -400,6 +414,7 @@ class _Compiler:
         slots: Dict[int, int],
         block_index: Dict[int, int],
         inject_after: Optional[Instruction],
+        mode: str = "1bit",
     ) -> Tuple[str, Callable]:
         block = cf.fn.blocks[bi]
         gid = self.cm.block_gids[id(block)]
@@ -426,7 +441,7 @@ class _Compiler:
             else:
                 self._gen_instruction(inst, slots, emit)
                 if inst is inject_after:
-                    self._gen_injection(inst, slots, emit)
+                    self._gen_injection(inst, slots, emit, mode)
         source = "\n".join(lines) + "\n"
         namespace: Dict[str, object] = {}
         code = compile(source, f"<block {cf.name}.{block.name}>", "exec")
@@ -435,9 +450,26 @@ class _Compiler:
 
     # -- injection epilogue -----------------------------------------------------------------
 
-    def _gen_injection(self, inst: Instruction, slots: Dict[int, int], emit) -> None:
+    def _gen_injection(
+        self, inst: Instruction, slots: Dict[int, int], emit, mode: str = "1bit"
+    ) -> None:
         slot = slots[id(inst)]
         emit("    state.inj_seen = _k = state.inj_seen + 1")
+        if mode == "multi":
+            # Multi-shot arming (intermittent/persistent models): a
+            # model-supplied predicate decides per execution.
+            emit("    if state.inj_fire(_k):")
+            emit(f"        f[{slot}] = state.inj_corrupt(f[{slot}])")
+            emit("        state.inj_hit = True")
+            return
+        if mode == "once":
+            # One firing through a model-supplied corrupter (multi-bit /
+            # pattern models); the occurrence disarm (inj_occ = 0) works
+            # exactly as for the legacy epilogue.
+            emit("    if _k == state.inj_occ:")
+            emit(f"        f[{slot}] = state.inj_corrupt(f[{slot}])")
+            emit("        state.inj_hit = True")
+            return
         emit("    if _k == state.inj_occ:")
         t = inst.type
         if t.is_float():

@@ -135,7 +135,8 @@ class Interpreter:
         "global_overrides", "_cells_template", "_reset_image", "cells", "sp",
         "cycles", "budget", "ret", "depth", "prof", "output_log", "inj_cfi",
         "inj_fns", "inj_seen", "inj_occ", "inj_bit", "inj_hit", "inj_inst",
-        "inj_bi", "rec", "_rec_plans", "trk", "_resume_frames",
+        "inj_bi", "inj_mode", "inj_fire", "inj_corrupt",
+        "rec", "_rec_plans", "trk", "_resume_frames",
         "_resume_next",
     )
 
@@ -188,6 +189,9 @@ class Interpreter:
         self.inj_hit = False
         self.inj_inst = None
         self.inj_bi = -1
+        self.inj_mode = "1bit"
+        self.inj_fire: Optional[Callable] = None
+        self.inj_corrupt: Optional[Callable] = None
         #: RecoveryState while a run executes under a RecoveryPolicy
         self.rec: Optional[RecoveryState] = None
         self._rec_plans: Dict[str, Dict[int, frozenset]] = {}
@@ -253,6 +257,9 @@ class Interpreter:
         self.inj_hit = False
         self.inj_inst = None
         self.inj_bi = -1
+        self.inj_mode = "1bit"
+        self.inj_fire = None
+        self.inj_corrupt = None
         self.rec = None
         self.trk = None
         self._resume_frames = None
@@ -264,7 +271,7 @@ class Interpreter:
         self,
         entry: str = "main",
         args: Sequence = (),
-        injection: Optional[Tuple[Instruction, int, int]] = None,
+        injection=None,
         profile: bool = False,
         cycle_budget: Optional[int] = None,
         recovery: Optional[RecoveryPolicy] = None,
@@ -274,7 +281,10 @@ class Interpreter:
 
         ``injection`` is an optional ``(instruction, occurrence, bit)``
         triple: after the ``occurrence``-th dynamic execution of
-        ``instruction``, flip ``bit`` in its result value.
+        ``instruction``, flip ``bit`` in its result value.  Pluggable
+        fault models pass a ``repro.faults.models.InjectionSpec``
+        instead, carrying the epilogue mode and the model's corruption
+        and firing closures.
 
         ``cycle_budget`` bounds execution (hang detection); ``None`` means
         effectively unlimited.
@@ -300,16 +310,33 @@ class Interpreter:
         if profile:
             self.prof = [0] * self.cm.total_blocks
         if injection is not None:
-            inst, occurrence, bit = injection
-            if occurrence < 1:
-                raise ValueError("occurrence is 1-based")
-            cfi, bi, fn = self.cm.injected_block_fn(inst)
+            if type(injection) is tuple:
+                # The legacy transient-1bit triple: the historical fast
+                # path, byte-identical codegen and arming.
+                inst, occurrence, bit = injection
+                if occurrence < 1:
+                    raise ValueError("occurrence is 1-based")
+                cfi, bi, fn = self.cm.injected_block_fn(inst)
+                self.inj_occ = occurrence
+                self.inj_bit = bit
+            else:
+                # An InjectionSpec from a pluggable fault model
+                # (repro.faults.models): the epilogue mode and the
+                # corruption/firing closures come from the model.
+                inst = injection.instruction
+                if injection.occurrence < 1:
+                    raise ValueError("occurrence is 1-based")
+                cfi, bi, fn = self.cm.injected_block_fn(
+                    inst, mode=injection.mode
+                )
+                self.inj_occ = injection.occurrence
+                self.inj_mode = injection.mode
+                self.inj_corrupt = injection.corrupt
+                self.inj_fire = injection.fire
             fns = list(self.cfuncs[cfi].block_fns)
             fns[bi] = fn
             self.inj_cfi = cfi
             self.inj_fns = fns
-            self.inj_occ = occurrence
-            self.inj_bit = bit
             self.inj_inst = inst
             self.inj_bi = bi
         if recovery is not None:
@@ -507,6 +534,7 @@ class Interpreter:
                     self.inj_inst
                     if cfi == self.inj_cfi and bi == self.inj_bi
                     else None,
+                    mode=self.inj_mode,
                 )
         fns = cf.block_fns if cfi != self.inj_cfi else self.inj_fns
         record = None
@@ -639,8 +667,12 @@ class Interpreter:
                 del self.output_log[mine.out_len :]
                 self.inj_seen = mine.inj_seen
                 if self.inj_hit:
-                    # Transient-fault model: the flip already happened once;
-                    # the re-execution must not replay it.
+                    # Single-shot fault models: the corruption already
+                    # happened once; the re-execution must not replay it
+                    # (inj_seen restarts below inj_occ, so zeroing the
+                    # occurrence disarms both the 1bit and once epilogues).
+                    # Multi-shot injectors never reach this path —
+                    # check_failed fail-stops instead of signalling.
                     self.inj_occ = 0
                 if trk is not None:
                     del trk.frames[trk.frames.index(record) + 1 :]
@@ -898,8 +930,11 @@ class Interpreter:
         else:
             fn_name = block_name = value_name = "?"
             check_name = "ipas.check"
-        if self.rec is not None:
+        if self.rec is not None and self.inj_mode != "multi":
             raise RollbackSignal(fn_name, block_name, check_name, value_name)
+        # Multi-shot injectors (intermittent/persistent models) corrupt
+        # deterministically on re-execution, so a rollback could never
+        # correct the run — escalate straight to the fail-stop detection.
         raise DetectedByDuplication(
             f"{check_name} failed for {value_name!r} at {fn_name}:{block_name}",
             check_name=check_name,

@@ -49,13 +49,18 @@ def build_heatmap(
     records,
     module,
     coverage=None,
+    model=None,
 ) -> Dict:
     """Tally trial outcomes per static fault site and join static verdicts.
 
     ``records`` is an iterable of ``TrialRecord``-shaped objects (``site``
     + ``outcome``); ``coverage`` is a precomputed
     :class:`~repro.analysis.coverage.CoverageReport` (computed from
-    ``module`` when omitted).  Returns a JSON-compatible report.
+    ``module`` when omitted).  ``model`` tags the report with the
+    campaign's fault model (spec string or
+    :class:`~repro.faults.models.FaultModel`) and keys the per-model
+    outcome tally, so heatmaps from different models never aggregate
+    silently.  Returns a JSON-compatible report.
     """
     if coverage is None:
         from ..analysis.coverage import coverage_report
@@ -124,13 +129,18 @@ def build_heatmap(
     for entry in ordered:
         for outcome, n in entry["outcomes"].items():
             outcome_totals[outcome] = outcome_totals.get(outcome, 0) + n
+    model_spec = "transient-1bit"
+    if model is not None:
+        model_spec = model if isinstance(model, str) else model.spec()
     return {
         "kind": "ipas-heatmap",
         "module": module.name,
+        "fault_model": model_spec,
         "trials": total_trials,
         "sites": ordered,
         "static_summary": coverage.summary(),
         "outcome_totals": dict(sorted(outcome_totals.items())),
+        "model_outcomes": {model_spec: dict(sorted(outcome_totals.items()))},
         "disagreements": flags,
     }
 
@@ -139,7 +149,8 @@ def render_heatmap_text(heatmap: Dict, limit: Optional[int] = 30) -> str:
     """Human-readable table, hottest sites first."""
     lines = [
         f"fault-site heatmap — module {heatmap['module']}, "
-        f"{heatmap['trials']} trials over {len(heatmap['sites'])} sites",
+        f"{heatmap['trials']} trials over {len(heatmap['sites'])} sites "
+        f"({heatmap.get('fault_model', 'transient-1bit')} faults)",
         f"{'function':<18} {'block':<10} {'idx':>3} {'opcode':<10} "
         f"{'static':<9} {'trials':>6} {'soc':>5} {'det':>5} {'mask':>5} "
         f"{'crash':>5} {'hang':>5}  flags",

@@ -13,6 +13,10 @@ routine:
            against an error-free run
 ``is``     bucketed integer sort; verifies sortedness of the output
 =========  ==================================================================
+
+Plus ``particles`` — a long-horizon 2-D particle-disk leapfrog integration
+added for multi-shot fault-model studies; verifies final positions and
+total energy within tolerance.
 """
 
 from .base import OutputVerifier, ToleranceVerifier, Workload
@@ -21,12 +25,13 @@ from .comd import ComdVerifier, ComdWorkload
 from .fft import FftVerifier, FftWorkload
 from .hpccg import HpccgVerifier, HpccgWorkload
 from .is_sort import IsVerifier, IsWorkload
+from .particles import ParticlesWorkload
 from .registry import WORKLOAD_NAMES, all_workloads, get_workload
 
 __all__ = [
     "OutputVerifier", "ToleranceVerifier", "Workload",
     "AmgVerifier", "AmgWorkload", "ComdVerifier", "ComdWorkload",
     "FftVerifier", "FftWorkload", "HpccgVerifier", "HpccgWorkload",
-    "IsVerifier", "IsWorkload",
+    "IsVerifier", "IsWorkload", "ParticlesWorkload",
     "WORKLOAD_NAMES", "all_workloads", "get_workload",
 ]

@@ -1,0 +1,143 @@
+"""Particles: long-horizon 2-D particle-disk integration (N-body).
+
+A small disk of particles orbits a central mass under softened gravity,
+integrated with a kick-drift-kick leapfrog for hundreds to thousands of
+steps.  The long horizon is the point: an N-body system is chaotic, so a
+masked-looking low-mantissa corruption early in the run can grow into a
+macroscopic trajectory error by the end — exactly the silent-corruption
+amplification profile that motivates intermittent and persistent fault
+models.  SPMD: each rank computes accelerations for its particle slice
+against all particles and the slices are summed with a zero-and-allreduce
+exchange; every rank then advances the full (now identical) state.
+
+Verification (paper Table 2 style): final positions and the total energy
+must stay within an absolute tolerance of the error-free run; any NaN is
+corruption.
+"""
+
+from __future__ import annotations
+
+from .base import OutputVerifier, ToleranceVerifier, Workload
+
+_SOURCE = """
+// 2-D particle disk around a central mass, leapfrog (kick-drift-kick).
+int param_n = 6;                // particles (max 16)
+int param_steps = 300;          // leapfrog steps (the long horizon)
+
+output double out_x[16];        // final positions
+output double out_y[16];
+output double out_energy[1];    // total energy at the end
+
+double px[16];
+double py[16];
+double vx[16];
+double vy[16];
+double ax[16];
+double ay[16];
+
+// Softened gravity on this rank's slice [p0, p1): central mass M = 1 at
+// the origin plus pairwise pulls from every particle (mass m each).
+void accelerations(int n, int p0, int p1) {
+    double eps2 = 0.01;
+    double m = 0.001;
+    for (int i = 0; i < n; i = i + 1) { ax[i] = 0.0; ay[i] = 0.0; }
+    for (int i = p0; i < p1; i = i + 1) {
+        double r2 = px[i] * px[i] + py[i] * py[i] + eps2;
+        double inv = 1.0 / (r2 * sqrt(r2));
+        ax[i] = 0.0 - px[i] * inv;
+        ay[i] = 0.0 - py[i] * inv;
+        for (int j = 0; j < n; j = j + 1) {
+            if (j != i) {
+                double dx = px[j] - px[i];
+                double dy = py[j] - py[i];
+                double d2 = dx * dx + dy * dy + eps2;
+                double dinv = m / (d2 * sqrt(d2));
+                ax[i] = ax[i] + dx * dinv;
+                ay[i] = ay[i] + dy * dinv;
+            }
+        }
+    }
+    mpi_allreduce_sum_array(ax, n);
+    mpi_allreduce_sum_array(ay, n);
+}
+
+void main() {
+    int n = param_n;
+    int steps = param_steps;
+    double dt = 0.02;
+
+    int rank = mpi_rank();
+    int size = mpi_size();
+    int chunk = (n + size - 1) / size;
+    int p0 = rank * chunk;
+    int p1 = p0 + chunk;
+    if (p1 > n) { p1 = n; }
+    if (p0 > n) { p0 = n; }
+
+    // Deterministic disk: staggered ring radii, circular orbit speeds.
+    for (int i = 0; i < n; i = i + 1) {
+        double angle = 6.283185307179586 * (double)i / (double)n;
+        double radius = 1.0 + 0.05 * (double)i;
+        px[i] = radius * cos(angle);
+        py[i] = radius * sin(angle);
+        double speed = sqrt(1.0 / radius);
+        vx[i] = 0.0 - speed * sin(angle);
+        vy[i] = speed * cos(angle);
+    }
+
+    accelerations(n, p0, p1);
+    for (int step = 0; step < steps; step = step + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            vx[i] = vx[i] + 0.5 * dt * ax[i];
+            vy[i] = vy[i] + 0.5 * dt * ay[i];
+            px[i] = px[i] + dt * vx[i];
+            py[i] = py[i] + dt * vy[i];
+        }
+        accelerations(n, p0, p1);
+        for (int i = 0; i < n; i = i + 1) {
+            vx[i] = vx[i] + 0.5 * dt * ax[i];
+            vy[i] = vy[i] + 0.5 * dt * ay[i];
+        }
+    }
+
+    // Total energy: kinetic + central potential + pairwise potential.
+    double m = 0.001;
+    double eps2 = 0.01;
+    double energy = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        energy = energy + 0.5 * m * (vx[i] * vx[i] + vy[i] * vy[i]);
+        energy = energy - m / sqrt(px[i] * px[i] + py[i] * py[i] + eps2);
+        for (int j = i + 1; j < n; j = j + 1) {
+            double dx = px[j] - px[i];
+            double dy = py[j] - py[i];
+            energy = energy - m * m / sqrt(dx * dx + dy * dy + eps2);
+        }
+        out_x[i] = px[i];
+        out_y[i] = py[i];
+    }
+    out_energy[0] = energy;
+}
+"""
+
+
+class ParticlesWorkload(Workload):
+    name = "particles"
+    description = "Long-horizon 2-D particle-disk leapfrog integration"
+    source = _SOURCE
+    inputs = {
+        1: {"param_n": 6, "param_steps": 300},
+        2: {"param_n": 8, "param_steps": 800},
+        3: {"param_n": 10, "param_steps": 1500},
+        4: {"param_n": 12, "param_steps": 4000},
+    }
+    input_labels = {
+        1: "6 particles x 300 steps",
+        2: "8 particles x 800 steps",
+        3: "10 particles x 1500 steps",
+        4: "12 particles x 4000 steps",
+    }
+
+    def verifier(self) -> OutputVerifier:
+        return ToleranceVerifier(
+            {"out_x": 1e-6, "out_y": 1e-6, "out_energy": 1e-6}
+        )

@@ -10,14 +10,17 @@ from .comd import ComdWorkload
 from .fft import FftWorkload
 from .hpccg import HpccgWorkload
 from .is_sort import IsWorkload
+from .particles import ParticlesWorkload
 
-#: Paper order: two mini-apps, two kernels, one benchmark.
+#: Paper order: two mini-apps, two kernels, one benchmark — plus the
+#: long-horizon particle disk added for multi-shot fault-model studies.
 WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
     "comd": ComdWorkload,
     "hpccg": HpccgWorkload,
     "amg": AmgWorkload,
     "fft": FftWorkload,
     "is": IsWorkload,
+    "particles": ParticlesWorkload,
 }
 
 WORKLOAD_NAMES: List[str] = list(WORKLOAD_CLASSES)

@@ -223,6 +223,63 @@ class TestChaosSpecValidation:
             build_parser().parse_args(["inject", "is", "--chaos", "drop-ack@1"])
 
 
+class TestFaultModelSpecValidation:
+    """--fault-model specs are rejected at argparse time, naming the bad
+    token, exactly like --chaos."""
+
+    def test_inject_accepts_good_specs(self):
+        for spec in (
+            "transient-1bit",
+            "transient-multibit:k=3,adjacent=0",
+            "pattern:kind=stuck1",
+            "intermittent:p=0.25,window=4",
+            "persistent",
+        ):
+            args = build_parser().parse_args(
+                ["inject", "is", "--fault-model", spec]
+            )
+            assert args.fault_model == spec
+
+    def test_inject_rejects_unknown_model_naming_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["inject", "is", "--fault-model", "chaos"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "'chaos'" in err
+        assert "transient-1bit" in err
+
+    def test_inject_rejects_bad_parameter_naming_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["inject", "is", "--fault-model", "transient-multibit:boom=1"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "boom=1" in err
+        assert "adjacent" in err and "k" in err
+
+    def test_inject_rejects_out_of_range_parameter(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["inject", "is", "--fault-model", "intermittent:p=7"]
+            )
+        assert excinfo.value.code == 2
+        assert "p must be in (0, 1]" in capsys.readouterr().err
+
+    def test_inject_status_line_names_the_model(self, capsys):
+        assert main(
+            ["inject", "is", "--trials", "10", "--fault-model", "persistent"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "10 persistent faults injected into is" in out
+
+    def test_inject_default_status_line_unchanged(self, capsys):
+        assert main(
+            ["inject", "is", "--trials", "10", "--fault-model", "transient-1bit"]
+        ) == 0
+        assert "10 single-bit faults injected into is" in capsys.readouterr().out
+
+
 class TestServiceCommands:
     def test_submit_requires_address(self, capsys):
         assert main(["submit", "fft", "--trials", "4"]) == 2

@@ -94,3 +94,41 @@ class TestMetricCatalogSync:
         from repro.obs import CATALOG
 
         assert len(CATALOG) >= 20
+
+
+ROBUSTNESS_DOC = Path(__file__).resolve().parent.parent / "docs" / "robustness.md"
+
+
+def documented_fault_models():
+    """Model names parsed from the table in the fault-models section.
+
+    Scoped between the section heading and the next ``## `` heading —
+    other robustness.md tables also use backticked first columns."""
+    text = ROBUSTNESS_DOC.read_text()
+    start = text.index("## Pluggable fault models")
+    end = text.index("\n## ", start + 1)
+    section = text[start:end]
+    return set(re.findall(r"^\|\s*`([a-z0-9-]+)`\s*\|", section, re.MULTILINE))
+
+
+class TestFaultModelTableSync:
+    """docs/robustness.md's model table must match the registry."""
+
+    def test_every_registered_model_is_documented(self):
+        from repro.faults.models import FAULT_MODELS
+
+        missing = set(FAULT_MODELS) - documented_fault_models()
+        assert not missing, (
+            f"fault models missing from docs/robustness.md: {missing}"
+        )
+
+    def test_every_documented_model_is_registered(self):
+        from repro.faults.models import FAULT_MODELS
+
+        stale = documented_fault_models() - set(FAULT_MODELS)
+        assert not stale, (
+            f"documented fault models with no implementation: {stale}"
+        )
+
+    def test_table_parse_found_models(self):
+        assert len(documented_fault_models()) >= 5

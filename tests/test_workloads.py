@@ -1,4 +1,5 @@
-"""Tests for the five evaluation workloads (paper Tables 2, 3, 5)."""
+"""Tests for the evaluation workloads (paper Tables 2, 3, 5) plus the
+long-horizon ``particles`` N-body workload."""
 
 import pytest
 
@@ -25,9 +26,9 @@ def compiled():
 
 
 class TestRegistry:
-    def test_five_workloads(self):
-        assert ALL == ["comd", "hpccg", "amg", "fft", "is"]
-        assert len(all_workloads()) == 5
+    def test_registered_workloads(self):
+        assert ALL == ["comd", "hpccg", "amg", "fft", "is", "particles"]
+        assert len(all_workloads()) == 6
 
     def test_unknown_name(self):
         with pytest.raises(KeyError, match="available"):
